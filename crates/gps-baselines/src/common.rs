@@ -1,0 +1,160 @@
+//! Shared infrastructure for the baseline estimators.
+
+use gps_graph::hash::FxHashMap;
+use gps_graph::types::{Edge, EdgeKey};
+use gps_graph::AdjacencyMap;
+
+/// A streaming triangle-count estimator: the minimal interface the
+/// experiment harness needs to drive GPS and every baseline uniformly.
+pub trait TriangleEstimator {
+    /// Observes one stream arrival.
+    fn process(&mut self, edge: Edge);
+
+    /// Current estimate of the number of triangles among all edges streamed
+    /// so far.
+    fn triangle_estimate(&self) -> f64;
+
+    /// Number of edges currently stored (memory footprint proxy; the paper
+    /// compares methods at equal stored-edge budgets).
+    fn stored_edges(&self) -> usize;
+
+    /// Short display name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// An edge sample supporting O(1) uniform eviction *and* O(1) adjacency
+/// queries — the store both TRIEST variants and the uniform reservoir are
+/// built on. (Uniform eviction needs an indexable vector; triangle counting
+/// needs neighbor sets; this keeps the two views in sync.)
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSampleStore {
+    edges: Vec<Edge>,
+    positions: FxHashMap<EdgeKey, usize>,
+    adj: AdjacencyMap<()>,
+}
+
+impl EdgeSampleStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if nothing is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `edge` is stored.
+    #[inline]
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.positions.contains_key(&edge.key())
+    }
+
+    /// Inserts an edge; returns `false` if it was already present.
+    pub fn insert(&mut self, edge: Edge) -> bool {
+        if self.contains(edge) {
+            return false;
+        }
+        self.positions.insert(edge.key(), self.edges.len());
+        self.edges.push(edge);
+        self.adj.insert(edge, ());
+        true
+    }
+
+    /// Removes a specific edge; returns `false` if absent.
+    pub fn remove(&mut self, edge: Edge) -> bool {
+        let Some(pos) = self.positions.remove(&edge.key()) else {
+            return false;
+        };
+        self.edges.swap_remove(pos);
+        if pos < self.edges.len() {
+            self.positions.insert(self.edges[pos].key(), pos);
+        }
+        self.adj.remove(edge);
+        true
+    }
+
+    /// Removes and returns the edge at a uniformly chosen index (caller
+    /// supplies the index to keep RNG ownership with the estimator).
+    pub fn remove_at(&mut self, index: usize) -> Edge {
+        let edge = self.edges[index];
+        self.remove(edge);
+        edge
+    }
+
+    /// Number of common sampled neighbors of the endpoints of `edge` — the
+    /// number of sample triangles `edge` would close.
+    #[inline]
+    pub fn common_neighbors(&self, edge: Edge) -> usize {
+        self.adj.common_neighbor_count(edge.u(), edge.v())
+    }
+
+    /// Sampled degree of a node.
+    #[inline]
+    pub fn degree(&self, node: gps_graph::NodeId) -> usize {
+        self.adj.degree(node)
+    }
+
+    /// The stored edges (arbitrary order).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Read access to the adjacency view.
+    #[inline]
+    pub fn adjacency(&self) -> &AdjacencyMap<()> {
+        &self.adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_keep_views_consistent() {
+        let mut s = EdgeSampleStore::new();
+        assert!(s.insert(Edge::new(0, 1)));
+        assert!(s.insert(Edge::new(1, 2)));
+        assert!(s.insert(Edge::new(0, 2)));
+        assert!(!s.insert(Edge::new(2, 0)), "duplicate rejected");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.common_neighbors(Edge::new(0, 1)), 1);
+        assert!(s.remove(Edge::new(1, 2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.common_neighbors(Edge::new(0, 1)), 0);
+        assert!(!s.remove(Edge::new(1, 2)));
+        assert_eq!(s.degree(0), 2);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_valid() {
+        let mut s = EdgeSampleStore::new();
+        for i in 0..10u32 {
+            s.insert(Edge::new(i, i + 1));
+        }
+        // Remove from the middle repeatedly; each stored edge must stay
+        // findable and removable.
+        while !s.is_empty() {
+            let e = s.remove_at(s.len() / 2);
+            assert!(!s.contains(e));
+        }
+    }
+
+    #[test]
+    fn remove_at_returns_the_indexed_edge() {
+        let mut s = EdgeSampleStore::new();
+        s.insert(Edge::new(3, 4));
+        let e = s.remove_at(0);
+        assert_eq!(e, Edge::new(3, 4));
+        assert!(s.is_empty());
+    }
+}

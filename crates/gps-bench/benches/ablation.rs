@@ -1,0 +1,113 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. Adjacency representation: the paper notes GPS could save space by
+//!    rescanning the reservoir (O(m) per weight) instead of keeping the
+//!    O(|V̂|+m) adjacency; this bench quantifies the time gap by comparing
+//!    the adjacency-backed triangle weight against a simulated rescan.
+//! 2. In-stream variance accumulators: Algorithm 3's covariance tracking
+//!    costs extra slab writes per completed subgraph; compare the full
+//!    in-stream estimator against the bare sampler to bound that overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gps_core::weights::{FnWeight, TriangleWeight};
+use gps_core::{GpsSampler, InStreamEstimator, SampleView};
+use gps_graph::types::Edge;
+use gps_stream::{gen, permuted};
+
+fn bench_ablation(c: &mut Criterion) {
+    let edges = permuted(&gen::holme_kim(12_000, 3, 0.5, 21), 8);
+    let m = 3_000;
+
+    let mut group = c.benchmark_group("ablation");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    // 1a. Adjacency-backed weight (the shipped implementation).
+    group.bench_function("weight_via_adjacency", |b| {
+        b.iter_batched(
+            || GpsSampler::new(m, TriangleWeight::default(), 3),
+            |mut s| {
+                for &e in &edges {
+                    s.process(e);
+                }
+                s.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // 1b. Simulated O(m) rescan: recount triangles by scanning a bounded
+    // window of sampled edges (the space-lean alternative in §3.2 S4).
+    group.bench_function("weight_via_rescan", |b| {
+        b.iter_batched(
+            || {
+                GpsSampler::new(
+                    m,
+                    FnWeight(|edge: Edge, view: &SampleView<'_>| {
+                        // Rescan: count sampled edges adjacent to `edge` by
+                        // walking every sampled edge (O(m)).
+                        let mut triangles = 0usize;
+                        let (u, v) = edge.endpoints();
+                        let mut u_nbrs = Vec::new();
+                        let mut v_nbrs = Vec::new();
+                        for se in view.sampled_edges() {
+                            if let Some(w) = se.other(u) {
+                                u_nbrs.push(w);
+                            }
+                            if let Some(w) = se.other(v) {
+                                v_nbrs.push(w);
+                            }
+                        }
+                        u_nbrs.sort_unstable();
+                        for w in v_nbrs {
+                            if u_nbrs.binary_search(&w).is_ok() {
+                                triangles += 1;
+                            }
+                        }
+                        9.0 * triangles as f64 + 1.0
+                    }),
+                    3,
+                )
+            },
+            |mut s| {
+                for &e in &edges {
+                    s.process(e);
+                }
+                s.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // 2. Full in-stream estimation vs bare sampling (same weights/seed):
+    // the marginal cost of Algorithm 3's count + variance accumulators.
+    group.bench_function("sampler_only", |b| {
+        b.iter_batched(
+            || GpsSampler::new(m, TriangleWeight::default(), 5),
+            |mut s| {
+                for &e in &edges {
+                    s.process(e);
+                }
+                s.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("sampler_plus_in_stream", |b| {
+        b.iter_batched(
+            || InStreamEstimator::new(m, TriangleWeight::default(), 5),
+            |mut s| {
+                for &e in &edges {
+                    s.process(e);
+                }
+                s.triangle_count()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of post-stream estimation (paper Algorithm 2): serial vs parallel,
+//! full variance bookkeeping vs counts-only, across reservoir sizes.
+//!
+//! The paper claims `O(m^{3/2})` total and "abundant parallelism"; these
+//! benches measure both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gps_core::weights::TriangleWeight;
+use gps_core::{post_stream, GpsSampler};
+use gps_stream::{gen, permuted};
+
+fn loaded_sampler(m: usize) -> GpsSampler<TriangleWeight> {
+    let edges = permuted(&gen::holme_kim(30_000, 3, 0.6, 11), 2);
+    let mut s = GpsSampler::new(m, TriangleWeight::default(), 5);
+    s.process_stream(edges);
+    s
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    for m in [2_000usize, 8_000, 32_000] {
+        let sampler = loaded_sampler(m);
+        let mut group = c.benchmark_group(format!("post_stream_m{m}"));
+        group.sample_size(10);
+        group.bench_function("full_serial", |b| {
+            b.iter(|| post_stream::estimate(&sampler))
+        });
+        group.bench_function("full_parallel4", |b| {
+            b.iter(|| post_stream::estimate_with_threads(&sampler, 4))
+        });
+        group.bench_function("counts_only", |b| {
+            b.iter(|| post_stream::estimate_counts(&sampler))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Exact-counting substrate benchmarks: the ground-truth cost every
+//! experiment pays, and the incremental counter used for time-series truth.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gps_graph::csr::CsrGraph;
+use gps_graph::exact;
+use gps_graph::IncrementalCounter;
+use gps_stream::gen;
+
+fn bench_exact(c: &mut Criterion) {
+    let hk = gen::holme_kim(30_000, 3, 0.6, 1);
+    let er = gen::erdos_renyi(30_000, 90_000, 1);
+
+    let mut group = c.benchmark_group("exact_triangles");
+    group.sample_size(10);
+    for (name, edges) in [("holme_kim_90k", &hk), ("erdos_renyi_90k", &er)] {
+        let g = CsrGraph::from_edges(edges);
+        group.bench_function(format!("{name}_csr_build"), |b| {
+            b.iter(|| CsrGraph::from_edges(edges).num_edges())
+        });
+        group.bench_function(format!("{name}_count"), |b| {
+            b.iter(|| exact::triangle_count(&g))
+        });
+        group.bench_function(format!("{name}_wedges"), |b| {
+            b.iter(|| exact::wedge_count(&g))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("incremental_counter");
+    group.throughput(Throughput::Elements(hk.len() as u64));
+    group.sample_size(10);
+    group.bench_function("insert_stream_90k", |b| {
+        b.iter_batched(
+            IncrementalCounter::new,
+            |mut inc| {
+                for &e in &hk {
+                    inc.insert(e);
+                }
+                inc.triangles()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

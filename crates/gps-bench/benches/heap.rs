@@ -1,0 +1,70 @@
+//! Min-heap microbenchmarks: the paper's O(log m) insert/evict claim for
+//! the reservoir's priority queue (§3.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gps_core::heap::{HeapEntry, MinHeap};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn priorities(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| 1.0 / (1.0 - rng.random::<f64>())).collect()
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let n = 100_000;
+    let pris = priorities(n, 3);
+
+    let mut group = c.benchmark_group("heap");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+
+    group.bench_function("push_100k", |b| {
+        b.iter_batched(
+            MinHeap::new,
+            |mut h| {
+                for (i, &p) in pris.iter().enumerate() {
+                    h.push(HeapEntry {
+                        priority: p,
+                        slot: i as u32,
+                    });
+                }
+                h.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("push_pop_cycle_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut h = MinHeap::with_capacity(10_000);
+                for (i, &p) in pris[..10_000].iter().enumerate() {
+                    h.push(HeapEntry {
+                        priority: p,
+                        slot: i as u32,
+                    });
+                }
+                h
+            },
+            |mut h| {
+                // Reservoir-like workload: replace the minimum repeatedly.
+                for (i, &p) in pris.iter().enumerate() {
+                    if p > h.peek().unwrap().priority {
+                        h.replace_min(HeapEntry {
+                            priority: p,
+                            slot: i as u32,
+                        });
+                    }
+                }
+                h.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap);
+criterion_main!(benches);

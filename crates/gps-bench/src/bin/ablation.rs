@@ -1,0 +1,25 @@
+//! Weight-function ablation (paper §3.5's design choice): estimation RMSE
+//! under uniform / wedge / triangle / triad weights for both estimation
+//! modes. Not a numbered paper artifact; quantifies the benefit of the
+//! paper's W(k, K̂) = 9·|△̂(k)|+1 choice.
+//!
+//! Usage: `cargo run -p gps-bench --release --bin ablation [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let runs = 10;
+    eprintln!(
+        "ablation: scale={} seed={} runs={runs}",
+        cfg.scale, cfg.seed
+    );
+    let table = experiments::ablation(&cfg, runs);
+    experiments::emit(
+        &cfg,
+        "Ablation — weight functions vs estimation mode (RMSE)",
+        "ablation.tsv",
+        &table,
+    );
+}

@@ -1,0 +1,26 @@
+//! Reproduces paper **Figure 1**: the x̂/x scatter — estimated over actual
+//! counts for triangles and wedges simultaneously from a single GPS sample
+//! per graph (in-stream estimation).
+//!
+//! Usage: `cargo run -p gps-bench --release --bin fig1 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let runs = 3;
+    eprintln!(
+        "fig1: scale={} seed={} m={} runs={runs}",
+        cfg.scale,
+        cfg.seed,
+        experiments::table2_capacity(&cfg)
+    );
+    let table = experiments::fig1(&cfg, runs);
+    experiments::emit(
+        &cfg,
+        "Figure 1 — x\u{302}/x for triangles and wedges",
+        "fig1.tsv",
+        &table,
+    );
+}

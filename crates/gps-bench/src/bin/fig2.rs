@@ -1,0 +1,20 @@
+//! Reproduces paper **Figure 2**: convergence of the triangle estimate and
+//! its 95% confidence bounds (normalized by the true count) as the sample
+//! size sweeps a geometric grid.
+//!
+//! Usage: `cargo run -p gps-bench --release --bin fig2 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    eprintln!("fig2: scale={} seed={}", cfg.scale, cfg.seed);
+    let table = experiments::fig2(&cfg);
+    experiments::emit(
+        &cfg,
+        "Figure 2 — confidence-bound convergence vs sample size",
+        "fig2.tsv",
+        &table,
+    );
+}

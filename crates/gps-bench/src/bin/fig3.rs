@@ -1,0 +1,26 @@
+//! Reproduces paper **Figure 3**: real-time tracking of triangle counts and
+//! global clustering with 95% bounds versus the exact evolving values
+//! (orkut and skitter stand-ins).
+//!
+//! Usage: `cargo run -p gps-bench --release --bin fig3 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let checkpoints = 30;
+    eprintln!(
+        "fig3: scale={} seed={} m={} checkpoints={checkpoints}",
+        cfg.scale,
+        cfg.seed,
+        experiments::table3_capacity(&cfg)
+    );
+    let table = experiments::fig3(&cfg, checkpoints);
+    experiments::emit(
+        &cfg,
+        "Figure 3 — real-time tracking with confidence bounds",
+        "fig3.tsv",
+        &table,
+    );
+}

@@ -1,0 +1,26 @@
+//! Reproduces paper **Table 1**: GPS post-stream vs in-stream estimates of
+//! triangle counts, wedge counts and global clustering with 95% bounds, on
+//! the 11 Table-1 workloads.
+//!
+//! Usage: `cargo run -p gps-bench --release --bin table1 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let runs = 5;
+    eprintln!(
+        "table1: scale={} seed={} m={} runs={runs}",
+        cfg.scale,
+        cfg.seed,
+        experiments::table1_capacity(&cfg)
+    );
+    let table = experiments::table1(&cfg, runs);
+    experiments::emit(
+        &cfg,
+        "Table 1 — GPS in-stream vs post-stream estimation",
+        "table1.tsv",
+        &table,
+    );
+}

@@ -1,0 +1,26 @@
+//! Reproduces paper **Table 2**: baseline comparison (NSAMP, TRIEST,
+//! MASCOT, GPS post-stream) at equal stored-edge budgets — absolute relative
+//! error and measured µs/edge.
+//!
+//! Usage: `cargo run -p gps-bench --release --bin table2 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let runs = 3;
+    eprintln!(
+        "table2: scale={} seed={} m={} runs={runs}",
+        cfg.scale,
+        cfg.seed,
+        experiments::table2_capacity(&cfg)
+    );
+    let table = experiments::table2(&cfg, runs);
+    experiments::emit(
+        &cfg,
+        "Table 2 — baseline comparison (ARE + update time)",
+        "table2.tsv",
+        &table,
+    );
+}

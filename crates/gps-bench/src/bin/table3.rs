@@ -1,0 +1,26 @@
+//! Reproduces paper **Table 3**: mean / max absolute relative error of
+//! triangle estimates tracked across the stream, for TRIEST, TRIEST-IMPR,
+//! GPS post-stream and GPS in-stream.
+//!
+//! Usage: `cargo run -p gps-bench --release --bin table3 [--scale S] [--seed N] [--out DIR]`
+
+use gps_bench::config::Config;
+use gps_bench::experiments;
+
+fn main() {
+    let cfg = Config::from_env();
+    let (runs, checkpoints) = (3, 40);
+    eprintln!(
+        "table3: scale={} seed={} m={} runs={runs} checkpoints={checkpoints}",
+        cfg.scale,
+        cfg.seed,
+        experiments::table3_capacity(&cfg)
+    );
+    let table = experiments::table3(&cfg, runs, checkpoints);
+    experiments::emit(
+        &cfg,
+        "Table 3 — estimates vs. time (MARE / Max ARE)",
+        "table3.tsv",
+        &table,
+    );
+}

@@ -1,0 +1,213 @@
+//! Estimate types shared by post-stream and in-stream estimation.
+//!
+//! An [`Estimate`] pairs a Horvitz–Thompson point estimate with its unbiased
+//! variance estimate (paper Theorems 3/5). [`TriadEstimates`] bundles the
+//! three statistics every experiment reports — triangle count, wedge count,
+//! global clustering coefficient — plus the triangle–wedge covariance that
+//! feeds the clustering coefficient's delta-method variance (paper Eq. 11).
+
+/// A point estimate together with an estimate of its variance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Horvitz–Thompson point estimate.
+    pub value: f64,
+    /// Unbiased variance estimate (may be 0 when the sample retained
+    /// everything; never negative by paper Theorem 3(ii)).
+    pub variance: f64,
+}
+
+impl Estimate {
+    /// An exact (zero-variance) estimate.
+    pub fn exact(value: f64) -> Self {
+        Estimate {
+            value,
+            variance: 0.0,
+        }
+    }
+
+    /// Standard deviation (`sqrt` of the variance estimate, 0 if the
+    /// variance estimate is slightly negative due to float rounding).
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Two-sided normal confidence interval `value ± z·σ`. The lower bound
+    /// is clamped at 0 since all estimated quantities here are counts or
+    /// ratios of counts.
+    pub fn ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_dev();
+        ((self.value - half).max(0.0), self.value + half)
+    }
+
+    /// The paper's 95% bounds: `value ± 1.96·σ` (§6, item 4).
+    pub fn ci95(&self) -> (f64, f64) {
+        self.ci(1.96)
+    }
+
+    /// Absolute relative error against ground truth `actual`
+    /// (`|X̂ - X| / X`, the paper's ARE; 0 when both are 0).
+    pub fn are(&self, actual: f64) -> f64 {
+        if actual == 0.0 {
+            if self.value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.value - actual).abs() / actual
+        }
+    }
+}
+
+/// Triangle, wedge, and clustering estimates from one sample.
+#[derive(Clone, Copy, Debug)]
+pub struct TriadEstimates {
+    /// Triangle count estimate `N̂(△)` with variance `V̂(△)`.
+    pub triangles: Estimate,
+    /// Wedge count estimate `N̂(Λ)` with variance `V̂(Λ)`.
+    pub wedges: Estimate,
+    /// Triangle–wedge covariance estimate `V̂(△,Λ)` (paper Eq. 12).
+    pub tri_wedge_cov: f64,
+    /// Global clustering coefficient `α̂ = 3·N̂(△)/N̂(Λ)` with delta-method
+    /// variance (paper Eq. 11).
+    pub clustering: Estimate,
+}
+
+impl TriadEstimates {
+    /// Assembles the bundle, deriving the clustering estimate from the
+    /// triangle/wedge estimates via the delta method.
+    pub fn from_parts(triangles: Estimate, wedges: Estimate, tri_wedge_cov: f64) -> Self {
+        let clustering = clustering_estimate(&triangles, &wedges, tri_wedge_cov);
+        TriadEstimates {
+            triangles,
+            wedges,
+            tri_wedge_cov,
+            clustering,
+        }
+    }
+}
+
+/// Delta-method estimate of the global clustering coefficient
+/// `α̂ = 3·T̂/Ŵ` (paper Eq. 11):
+///
+/// ```text
+/// Var(T̂/Ŵ) ≈ Var(T̂)/Ŵ² + T̂²·Var(Ŵ)/Ŵ⁴ − 2·T̂·Cov(T̂,Ŵ)/Ŵ³
+/// ```
+///
+/// multiplied by 9 for the leading factor 3. Returns an exact zero estimate
+/// when no wedges were observed (clustering undefined/zero).
+pub fn clustering_estimate(triangles: &Estimate, wedges: &Estimate, cov: f64) -> Estimate {
+    let t = triangles.value;
+    let w = wedges.value;
+    if w <= 0.0 {
+        return Estimate::exact(0.0);
+    }
+    let ratio_var = triangles.variance / (w * w) + t * t * wedges.variance / w.powi(4)
+        - 2.0 * t * cov / (w * w * w);
+    Estimate {
+        value: 3.0 * t / w,
+        variance: (9.0 * ratio_var).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_is_symmetric_and_clamped() {
+        let e = Estimate {
+            value: 100.0,
+            variance: 25.0,
+        };
+        let (lb, ub) = e.ci(2.0);
+        assert_eq!((lb, ub), (90.0, 110.0));
+        let tiny = Estimate {
+            value: 1.0,
+            variance: 100.0,
+        };
+        let (lb, _) = tiny.ci95();
+        assert_eq!(lb, 0.0, "lower bound clamps at zero");
+    }
+
+    #[test]
+    fn ci95_uses_paper_z() {
+        let e = Estimate {
+            value: 0.0,
+            variance: 1.0,
+        };
+        let (_, ub) = e.ci95();
+        assert!((ub - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_handles_zero_actual() {
+        assert_eq!(Estimate::exact(0.0).are(0.0), 0.0);
+        assert_eq!(Estimate::exact(5.0).are(0.0), f64::INFINITY);
+        assert!((Estimate::exact(99.0).are(100.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_float_noise_in_variance_is_tolerated() {
+        let e = Estimate {
+            value: 10.0,
+            variance: -1e-12,
+        };
+        assert_eq!(e.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn clustering_exact_when_inputs_exact() {
+        // 4 triangles, 12 wedges → α = 1 with zero variance.
+        let c = clustering_estimate(&Estimate::exact(4.0), &Estimate::exact(12.0), 0.0);
+        assert!((c.value - 1.0).abs() < 1e-12);
+        assert_eq!(c.variance, 0.0);
+    }
+
+    #[test]
+    fn clustering_zero_when_no_wedges() {
+        let c = clustering_estimate(&Estimate::exact(0.0), &Estimate::exact(0.0), 0.0);
+        assert_eq!(c.value, 0.0);
+        assert_eq!(c.variance, 0.0);
+    }
+
+    #[test]
+    fn clustering_variance_formula_matches_hand_computation() {
+        let t = Estimate {
+            value: 50.0,
+            variance: 4.0,
+        };
+        let w = Estimate {
+            value: 600.0,
+            variance: 100.0,
+        };
+        let cov = 10.0;
+        let c = clustering_estimate(&t, &w, cov);
+        let expect = 9.0
+            * (4.0 / (600.0f64 * 600.0) + 50.0 * 50.0 * 100.0 / 600.0f64.powi(4)
+                - 2.0 * 50.0 * 10.0 / 600.0f64.powi(3));
+        assert!((c.variance - expect).abs() < 1e-15);
+        assert!((c.value - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_covariance_tightens_clustering_variance() {
+        let t = Estimate {
+            value: 50.0,
+            variance: 4.0,
+        };
+        let w = Estimate {
+            value: 600.0,
+            variance: 100.0,
+        };
+        let loose = clustering_estimate(&t, &w, 0.0);
+        let tight = clustering_estimate(&t, &w, 20.0);
+        assert!(tight.variance < loose.variance);
+    }
+
+    #[test]
+    fn triad_bundle_derives_clustering() {
+        let b = TriadEstimates::from_parts(Estimate::exact(10.0), Estimate::exact(60.0), 0.0);
+        assert!((b.clustering.value - 0.5).abs() < 1e-12);
+    }
+}

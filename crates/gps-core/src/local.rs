@@ -1,0 +1,218 @@
+//! Local (per-node) triangle counting via in-stream snapshots.
+//!
+//! The paper's related work (§7) highlights local triangle counting (MASCOT,
+//! Lim & Kang 2015) as a companion problem to the global counts GPS targets.
+//! GPS's snapshot machinery extends to it directly: when edge `k₃ = (u, v)`
+//! arrives and completes the triangle `(k₁, k₂, k₃)` with sampled common
+//! neighbor `w`, the snapshot value `1/(q₁·q₂)` is — by exactly the
+//! Theorem 4 argument used for the global count — an unbiased increment for
+//! the local counts of *all three* corners `u`, `v`, `w`.
+//!
+//! [`LocalTriangleCounter`] maintains those per-node accumulators next to
+//! the global count. Memory is `O(#nodes-with-nonzero-estimate)`, bounded by
+//! the number of snapshot corners seen, not by the graph.
+
+use crate::reservoir::{prob, Arrival, GpsSampler};
+use crate::weights::EdgeWeight;
+use gps_graph::types::{Edge, NodeId};
+use gps_graph::FxHashMap;
+
+/// In-stream estimator of per-node (local) triangle counts.
+pub struct LocalTriangleCounter<W> {
+    sampler: GpsSampler<W>,
+    local: FxHashMap<NodeId, f64>,
+    global: f64,
+    scratch: Vec<(NodeId, f64)>,
+}
+
+impl<W: EdgeWeight> LocalTriangleCounter<W> {
+    /// Creates a counter over a fresh `GPS(m)` sampler.
+    pub fn new(capacity: usize, weight_fn: W, seed: u64) -> Self {
+        LocalTriangleCounter {
+            sampler: GpsSampler::new(capacity, weight_fn, seed),
+            local: FxHashMap::default(),
+            global: 0.0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Processes one arrival: snapshot the triangles it completes, credit
+    /// all three corners, then offer the edge to the sampler.
+    pub fn process(&mut self, edge: Edge) -> Arrival {
+        if !self.sampler.contains(edge) {
+            let (u, v) = edge.endpoints();
+            self.scratch.clear();
+            {
+                let view = self.sampler.view();
+                let z = view.threshold();
+                let scratch = &mut self.scratch;
+                view.for_each_common_slot(u, v, |w, s1, s2| {
+                    let q1 = prob(view.record(s1).weight, z);
+                    let q2 = prob(view.record(s2).weight, z);
+                    scratch.push((w, 1.0 / (q1 * q2)));
+                });
+            }
+            for &(w, inv) in &self.scratch {
+                self.global += inv;
+                *self.local.entry(u).or_insert(0.0) += inv;
+                *self.local.entry(v).or_insert(0.0) += inv;
+                *self.local.entry(w).or_insert(0.0) += inv;
+            }
+        }
+        self.sampler.process(edge)
+    }
+
+    /// Streams every edge through [`LocalTriangleCounter::process`].
+    pub fn process_stream<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.process(e);
+        }
+    }
+
+    /// Unbiased estimate of the number of triangles containing `node`
+    /// (0 for nodes never seen in a snapshot).
+    pub fn local_count(&self, node: NodeId) -> f64 {
+        self.local.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// Unbiased global triangle count (sums each triangle once, like
+    /// [`crate::in_stream::InStreamEstimator`]).
+    pub fn global_count(&self) -> f64 {
+        self.global
+    }
+
+    /// The `k` nodes with the largest local-count estimates, descending
+    /// (ties broken by node id for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut all: Vec<(NodeId, f64)> = self.local.iter().map(|(&n, &c)| (n, c)).collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Number of nodes with a nonzero local estimate.
+    pub fn nodes_tracked(&self) -> usize {
+        self.local.len()
+    }
+
+    /// The underlying sampler.
+    pub fn sampler(&self) -> &GpsSampler<W> {
+        &self.sampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{TriangleWeight, UniformWeight};
+
+    fn complete_graph(n: u32) -> Vec<Edge> {
+        let mut v = vec![];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                v.push(Edge::new(a, b));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn exact_under_full_retention() {
+        // K5: every node is in C(4,2) = 6 triangles; global = 10.
+        let mut c = LocalTriangleCounter::new(100, UniformWeight, 1);
+        c.process_stream(complete_graph(5));
+        assert!((c.global_count() - 10.0).abs() < 1e-12);
+        for node in 0..5 {
+            assert!((c.local_count(node) - 6.0).abs() < 1e-12, "node {node}");
+        }
+        assert_eq!(c.local_count(99), 0.0);
+        assert_eq!(c.nodes_tracked(), 5);
+    }
+
+    #[test]
+    fn locality_is_respected() {
+        // Triangle on {0,1,2} plus disjoint path 3-4-5: only the triangle's
+        // corners get local counts.
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(3, 4),
+            Edge::new(4, 5),
+        ];
+        let mut c = LocalTriangleCounter::new(100, UniformWeight, 2);
+        c.process_stream(edges);
+        assert_eq!(c.local_count(0), 1.0);
+        assert_eq!(c.local_count(1), 1.0);
+        assert_eq!(c.local_count(2), 1.0);
+        assert_eq!(c.local_count(4), 0.0);
+        assert_eq!(c.nodes_tracked(), 3);
+    }
+
+    #[test]
+    fn top_k_orders_hubs_first() {
+        // Wheel: hub 0 on a cycle of 8 → hub in 8 triangles, rim nodes in 2.
+        let mut edges: Vec<Edge> = (1..=8).map(|i| Edge::new(0, i)).collect();
+        for i in 1..=8u32 {
+            let j = if i == 8 { 1 } else { i + 1 };
+            edges.push(Edge::new(i, j));
+        }
+        let mut c = LocalTriangleCounter::new(100, UniformWeight, 3);
+        c.process_stream(edges);
+        let top = c.top_k(3);
+        assert_eq!(top[0], (0, 8.0));
+        assert_eq!(top[1].1, 2.0);
+        assert!((c.global_count() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_estimates_are_unbiased_under_sampling() {
+        // K7 (35 triangles, 15 per node), reservoir of 10 of 21 edges:
+        // averaged over seeds, local counts converge to 15.
+        let edges = complete_graph(7);
+        let runs = 500;
+        let mut sum_node0 = 0.0;
+        let mut sum_global = 0.0;
+        for seed in 0..runs {
+            let mut c = LocalTriangleCounter::new(10, TriangleWeight::default(), seed);
+            // Vary stream order with the seed to average over permutations.
+            c.process_stream(gps_stream_shuffle(&edges, seed));
+            sum_node0 += c.local_count(0);
+            sum_global += c.global_count();
+        }
+        let mean0 = sum_node0 / runs as f64;
+        let mean_g = sum_global / runs as f64;
+        assert!(
+            (mean0 - 15.0).abs() / 15.0 < 0.2,
+            "local mean {mean0} should approach 15"
+        );
+        assert!(
+            (mean_g - 35.0).abs() / 35.0 < 0.15,
+            "global mean {mean_g} should approach 35"
+        );
+    }
+
+    /// Minimal deterministic shuffle (avoids a dev-dependency cycle on
+    /// gps-stream).
+    fn gps_stream_shuffle(edges: &[Edge], seed: u64) -> Vec<Edge> {
+        let mut out = edges.to_vec();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        for i in (1..out.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        out
+    }
+
+    #[test]
+    fn global_count_matches_in_stream_estimator() {
+        let edges = complete_graph(8);
+        let mut local = LocalTriangleCounter::new(14, TriangleWeight::default(), 9);
+        local.process_stream(edges.iter().copied());
+        let mut global = crate::in_stream::InStreamEstimator::new(14, TriangleWeight::default(), 9);
+        global.process_stream(edges);
+        assert!((local.global_count() - global.triangle_count()).abs() < 1e-9);
+    }
+}

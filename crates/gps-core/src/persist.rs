@@ -1,0 +1,345 @@
+//! Saving and restoring reference samples.
+//!
+//! The paper's post-stream estimation exists to let GPS "construct a
+//! reference sample of edges to support retrospective graph queries" (§1).
+//! A reference sample is only useful if it can outlive the process that
+//! built it, so this module serializes the sampler's estimation-relevant
+//! state — sampled edges with weights and priorities, the threshold `z*`,
+//! and the stream position — to a simple line-oriented text format:
+//!
+//! ```text
+//! gps-sample v1
+//! capacity 20000
+//! arrivals 265000
+//! threshold 417.22914
+//! edges 20000
+//! 17 94 10.0 241.9018...
+//! ...
+//! ```
+//!
+//! The format is deliberately plain (no binary framing, no dependencies):
+//! samples are inspectable with standard tools and diff cleanly. Weights,
+//! priorities and the threshold round-trip exactly (Rust's shortest-exact
+//! float formatting), so estimates from a restored sample equal estimates
+//! from the original up to float summation order — the rebuilt adjacency
+//! map may iterate neighbors in a different order, which can shift sums by
+//! an ULP.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::reservoir::GpsSampler;
+use crate::weights::EdgeWeight;
+use gps_graph::types::Edge;
+
+/// Magic first line of the format.
+const MAGIC: &str = "gps-sample v1";
+
+/// Errors arising from saving/loading samples.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the expected magic/version line.
+    BadHeader(String),
+    /// A malformed line (1-based index within the file).
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Offending content (truncated).
+        content: String,
+    },
+    /// Edge count declared in the header does not match the body.
+    CountMismatch {
+        /// Header-declared count.
+        declared: usize,
+        /// Actual parsed count.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadHeader(h) => write!(f, "not a gps-sample file (header {h:?})"),
+            PersistError::Parse { line, content } => {
+                write!(f, "cannot parse sample line {line}: {content:?}")
+            }
+            PersistError::CountMismatch { declared, found } => {
+                write!(f, "sample declares {declared} edges but contains {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// A sample loaded from disk, ready to become a sampler again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SavedSample {
+    /// Reservoir capacity `m`.
+    pub capacity: usize,
+    /// Stream position when saved.
+    pub arrivals: u64,
+    /// Threshold `z*` when saved.
+    pub threshold: f64,
+    /// Sampled `(edge, weight, priority)` records.
+    pub records: Vec<(Edge, f64, f64)>,
+}
+
+impl SavedSample {
+    /// Rebuilds a sampler from the saved state. Pass the weight function to
+    /// use if the sampler will keep consuming the stream; for purely
+    /// retrospective use any weight function works (stored weights are what
+    /// estimation reads).
+    pub fn into_sampler<W: EdgeWeight>(self, weight_fn: W, seed: u64) -> GpsSampler<W> {
+        GpsSampler::restore(
+            self.capacity,
+            weight_fn,
+            seed,
+            self.threshold,
+            self.arrivals,
+            self.records,
+        )
+    }
+}
+
+/// Writes the sampler's estimation state to `writer`.
+pub fn save<W: EdgeWeight, Out: Write>(
+    sampler: &GpsSampler<W>,
+    writer: Out,
+) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "capacity {}", sampler.capacity())?;
+    writeln!(w, "arrivals {}", sampler.arrivals())?;
+    writeln!(w, "threshold {}", sampler.threshold())?;
+    writeln!(w, "edges {}", sampler.len())?;
+    for se in sampler.edges() {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            se.edge.u(),
+            se.edge.v(),
+            se.weight,
+            se.priority
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves to a file path. See [`save`].
+pub fn save_file<W: EdgeWeight, P: AsRef<std::path::Path>>(
+    sampler: &GpsSampler<W>,
+    path: P,
+) -> Result<(), PersistError> {
+    save(sampler, std::fs::File::create(path)?)
+}
+
+/// Reads a saved sample from `reader`.
+pub fn load<R: Read>(reader: R) -> Result<SavedSample, PersistError> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut read_line = |r: &mut BufReader<R>, line: &mut String| -> Result<bool, PersistError> {
+        line.clear();
+        lineno += 1;
+        Ok(r.read_line(line)? != 0)
+    };
+    let parse_err = |lineno: usize, line: &str| PersistError::Parse {
+        line: lineno,
+        content: line.trim_end().chars().take(80).collect(),
+    };
+
+    if !read_line(&mut r, &mut line)? || line.trim_end() != MAGIC {
+        return Err(PersistError::BadHeader(line.trim_end().to_string()));
+    }
+
+    let mut header =
+        |r: &mut BufReader<R>, line: &mut String, key: &str| -> Result<String, PersistError> {
+            if !read_line(r, line)? {
+                return Err(parse_err(0, ""));
+            }
+            let trimmed = line.trim_end();
+            match trimmed.strip_prefix(key).and_then(|v| v.strip_prefix(' ')) {
+                Some(v) => Ok(v.to_string()),
+                None => Err(parse_err(0, trimmed)),
+            }
+        };
+
+    let capacity: usize = header(&mut r, &mut line, "capacity")?
+        .parse()
+        .map_err(|_| parse_err(2, &line))?;
+    let arrivals: u64 = header(&mut r, &mut line, "arrivals")?
+        .parse()
+        .map_err(|_| parse_err(3, &line))?;
+    let threshold: f64 = header(&mut r, &mut line, "threshold")?
+        .parse()
+        .map_err(|_| parse_err(4, &line))?;
+    let count: usize = header(&mut r, &mut line, "edges")?
+        .parse()
+        .map_err(|_| parse_err(5, &line))?;
+
+    let mut records = Vec::with_capacity(count);
+    let mut body_line = 5usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        body_line += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let mut next = || fields.next().ok_or_else(|| parse_err(body_line, trimmed));
+        let u: u32 = next()?.parse().map_err(|_| parse_err(body_line, trimmed))?;
+        let v: u32 = next()?.parse().map_err(|_| parse_err(body_line, trimmed))?;
+        let weight: f64 = next()?.parse().map_err(|_| parse_err(body_line, trimmed))?;
+        let priority: f64 = next()?.parse().map_err(|_| parse_err(body_line, trimmed))?;
+        let edge = Edge::try_new(u, v).ok_or_else(|| parse_err(body_line, trimmed))?;
+        records.push((edge, weight, priority));
+    }
+    if records.len() != count {
+        return Err(PersistError::CountMismatch {
+            declared: count,
+            found: records.len(),
+        });
+    }
+    Ok(SavedSample {
+        capacity,
+        arrivals,
+        threshold,
+        records,
+    })
+}
+
+/// Loads from a file path. See [`load`].
+pub fn load_file<P: AsRef<std::path::Path>>(path: P) -> Result<SavedSample, PersistError> {
+    load(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post_stream;
+    use crate::weights::{TriangleWeight, UniformWeight};
+
+    fn loaded_sampler() -> GpsSampler<TriangleWeight> {
+        let mut s = GpsSampler::new(12, TriangleWeight::default(), 3);
+        let mut edges = vec![];
+        for base in 0..15u32 {
+            edges.push(Edge::new(base, base + 1));
+            edges.push(Edge::new(base, base + 2));
+            edges.push(Edge::new(base + 1, base + 2));
+        }
+        s.process_stream(edges);
+        assert!(s.threshold() > 0.0);
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let sampler = loaded_sampler();
+        let mut buf = Vec::new();
+        save(&sampler, &mut buf).unwrap();
+        let saved = load(buf.as_slice()).unwrap();
+        assert_eq!(saved.capacity, sampler.capacity());
+        assert_eq!(saved.arrivals, sampler.arrivals());
+        assert_eq!(saved.threshold, sampler.threshold());
+        assert_eq!(saved.records.len(), sampler.len());
+    }
+
+    #[test]
+    fn restored_sampler_estimates_identically() {
+        let sampler = loaded_sampler();
+        let original = post_stream::estimate(&sampler);
+        let mut buf = Vec::new();
+        save(&sampler, &mut buf).unwrap();
+        let restored = load(buf.as_slice()).unwrap().into_sampler(UniformWeight, 0);
+        let again = post_stream::estimate(&restored);
+        // Equal up to float summation order (see module docs).
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()));
+        assert!(close(original.triangles.value, again.triangles.value));
+        assert!(close(original.triangles.variance, again.triangles.variance));
+        assert!(close(original.wedges.value, again.wedges.value));
+        assert!(close(original.tri_wedge_cov, again.tri_wedge_cov));
+    }
+
+    #[test]
+    fn restored_sampler_can_keep_streaming() {
+        let sampler = loaded_sampler();
+        let mut buf = Vec::new();
+        save(&sampler, &mut buf).unwrap();
+        let mut restored = load(buf.as_slice())
+            .unwrap()
+            .into_sampler(TriangleWeight::default(), 7);
+        let before = restored.arrivals();
+        restored.process(Edge::new(900, 901));
+        assert_eq!(restored.arrivals(), before + 1);
+        assert_eq!(restored.len(), restored.capacity());
+        // Threshold can only grow.
+        assert!(restored.threshold() >= sampler.threshold());
+    }
+
+    #[test]
+    fn rejects_garbage_input() {
+        assert!(matches!(
+            load("nonsense".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+        let bad_body = "gps-sample v1\ncapacity 4\narrivals 9\nthreshold 1.5\nedges 1\nx y z w\n";
+        assert!(matches!(
+            load(bad_body.as_bytes()),
+            Err(PersistError::Parse { .. })
+        ));
+        let bad_count =
+            "gps-sample v1\ncapacity 4\narrivals 9\nthreshold 1.5\nedges 2\n0 1 1.0 2.0\n";
+        assert!(matches!(
+            load(bad_count.as_bytes()),
+            Err(PersistError::CountMismatch { .. })
+        ));
+        let self_loop =
+            "gps-sample v1\ncapacity 4\narrivals 9\nthreshold 1.5\nedges 1\n3 3 1.0 2.0\n";
+        assert!(matches!(
+            load(self_loop.as_bytes()),
+            Err(PersistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let sampler = loaded_sampler();
+        let path = std::env::temp_dir().join("gps-persist-test.sample");
+        save_file(&sampler, &path).unwrap();
+        let saved = load_file(&path).unwrap();
+        assert_eq!(saved.records.len(), sampler.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::CountMismatch {
+            declared: 5,
+            found: 3,
+        };
+        assert!(format!("{e}").contains("5"));
+        let e = PersistError::BadHeader("x".into());
+        assert!(format!("{e}").contains("gps-sample"));
+    }
+}

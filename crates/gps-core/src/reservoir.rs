@@ -1,0 +1,649 @@
+//! The Graph Priority Sampler — paper Algorithm 1, `GPS(m)`.
+//!
+//! [`GpsSampler`] maintains a fixed-capacity reservoir `K̂` of edges over a
+//! one-pass stream. Each arriving edge `k` receives:
+//!
+//! 1. a weight `w(k) = W(k, K̂)` from a pluggable [`EdgeWeight`] function,
+//!    computed against the sample *as the edge finds it* (Theorem 1's
+//!    measurability condition);
+//! 2. an independent uniform `u(k) ∈ (0, 1]`;
+//! 3. the priority `r(k) = w(k)/u(k)`.
+//!
+//! The reservoir keeps the `m` highest-priority edges seen so far; the
+//! threshold `z*` tracks the maximum priority ever discarded. At any time,
+//! the conditional inclusion probability of a sampled edge is
+//! `p(k) = min{1, w(k)/z*}` (procedure `GPSNormalize`), and `1/p(k)` is its
+//! Horvitz–Thompson edge estimator.
+//!
+//! Data structures follow the paper §3.2: a binary min-heap over priorities
+//! (O(1) eviction candidate, O(log m) updates) plus a hash adjacency over
+//! the sampled edges so that topology-dependent weights cost
+//! `O(min(deĝ(v1), deĝ(v2)))`, and total space is `O(|V̂| + m)`.
+
+use crate::heap::{HeapEntry, MinHeap};
+use crate::slab::{EdgeRecord, Slab, SlotId};
+use crate::weights::EdgeWeight;
+use gps_graph::types::{Edge, NodeId};
+use gps_graph::AdjacencyMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of processing one stream arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// The edge is already in the reservoir; the arrival was ignored.
+    /// (The paper's model assumes unique edges; duplicates in real streams
+    /// are skipped so estimators stay unbiased for the simplified graph.)
+    Duplicate,
+    /// Inserted while the reservoir had spare capacity.
+    Inserted {
+        /// Weight assigned to the arriving edge.
+        weight: f64,
+    },
+    /// Inserted; the previous lowest-priority edge was evicted.
+    Replaced {
+        /// Weight assigned to the arriving edge.
+        weight: f64,
+        /// The evicted edge.
+        evicted: Edge,
+    },
+    /// The arriving edge itself had the lowest priority among the `m + 1`
+    /// candidates and was discarded.
+    Rejected {
+        /// Weight assigned to the arriving edge.
+        weight: f64,
+    },
+}
+
+/// A sampled edge as exposed by [`GpsSampler::edges`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledEdge {
+    /// The edge.
+    pub edge: Edge,
+    /// Its sampling weight `w(k)` (assigned at arrival).
+    pub weight: f64,
+    /// Its priority `r(k) = w(k)/u(k)`.
+    pub priority: f64,
+    /// Its current HT inclusion probability `p(k) = min{1, w(k)/z*}`.
+    pub inclusion_prob: f64,
+}
+
+/// Read-only view of the sample, passed to weight functions and estimators.
+pub struct SampleView<'a> {
+    slab: &'a Slab,
+    adj: &'a AdjacencyMap<SlotId>,
+    threshold: f64,
+}
+
+impl<'a> SampleView<'a> {
+    /// Number of sampled edges `|K̂|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Number of nodes touched by sampled edges `|V̂|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.num_nodes()
+    }
+
+    /// Current threshold `z*` (0 until the first discard).
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Sampled degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj.degree(node)
+    }
+
+    /// Whether `edge` is currently sampled.
+    #[inline]
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.adj.contains(edge)
+    }
+
+    /// Weight of a sampled edge.
+    #[inline]
+    pub fn weight_of(&self, edge: Edge) -> Option<f64> {
+        self.adj.get(edge).map(|slot| self.slab.get(slot).weight)
+    }
+
+    /// Current HT inclusion probability `p(k) = min{1, w(k)/z*}` of a
+    /// sampled edge (`1` while `z* = 0`, i.e. before any discard).
+    #[inline]
+    pub fn inclusion_prob_of(&self, edge: Edge) -> Option<f64> {
+        self.adj.get(edge).map(|slot| self.prob_of_slot(slot))
+    }
+
+    /// Number of sampled triangles the (not necessarily sampled) edge
+    /// `(u, v)` closes: `|Γ̂(u) ∩ Γ̂(v)|`.
+    #[inline]
+    pub fn triangles_closed_by(&self, edge: Edge) -> usize {
+        self.adj.common_neighbor_count(edge.u(), edge.v())
+    }
+
+    /// Number of sampled edges adjacent to `edge` — the number of wedges it
+    /// closes. If `edge` is itself sampled it is not counted.
+    #[inline]
+    pub fn wedges_closed_by(&self, edge: Edge) -> usize {
+        let mut n = self.adj.degree(edge.u()) + self.adj.degree(edge.v());
+        if self.adj.contains(edge) {
+            n -= 2;
+        }
+        n
+    }
+
+    /// HT inclusion probability for a slot.
+    #[inline]
+    pub(crate) fn prob_of_slot(&self, slot: SlotId) -> f64 {
+        prob(self.slab.get(slot).weight, self.threshold)
+    }
+
+    /// Calls `f(w, slot_uw, slot_vw)` for each sampled common neighbor `w`
+    /// of the endpoints of `(u, v)` — i.e. per sampled triangle the edge
+    /// closes.
+    #[inline]
+    pub(crate) fn for_each_common_slot<F: FnMut(NodeId, SlotId, SlotId)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        f: F,
+    ) {
+        self.adj.for_each_common_neighbor(u, v, f);
+    }
+
+    /// Calls `f(neighbor, slot)` for each sampled edge incident to `node`.
+    #[inline]
+    pub(crate) fn for_each_incident_slot<F: FnMut(NodeId, SlotId)>(&self, node: NodeId, mut f: F) {
+        for (nbr, slot) in self.adj.neighbors(node) {
+            f(nbr, slot);
+        }
+    }
+
+    /// Iterates the sampled edges themselves — for weight functions that
+    /// scan the reservoir (e.g. the space-lean O(m)-rescan alternative the
+    /// paper discusses in §3.2 S4).
+    pub fn sampled_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.slab.iter().map(|(_, r)| r.edge)
+    }
+
+    /// Calls `f(w)` for each sampled common neighbor `w` of `u` and `v` —
+    /// i.e. per sampled triangle an edge `(u, v)` would close. Public
+    /// counterpart of the estimators' slot-level iteration, for custom
+    /// weight functions and motif detectors.
+    pub fn for_each_common_sampled_neighbor<F: FnMut(NodeId)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        mut f: F,
+    ) {
+        self.adj.for_each_common_neighbor(u, v, |w, _, _| f(w));
+    }
+
+    /// Direct record access by slot (estimator internals).
+    #[inline]
+    pub(crate) fn record(&self, slot: SlotId) -> &EdgeRecord {
+        self.slab.get(slot)
+    }
+
+    /// Iterates `(slot, record)` pairs of all sampled edges.
+    pub(crate) fn records(&self) -> impl Iterator<Item = (SlotId, &EdgeRecord)> + '_ {
+        self.slab.iter()
+    }
+
+    /// Underlying slab (parallel estimator chunking).
+    #[inline]
+    pub(crate) fn slab(&self) -> &Slab {
+        self.slab
+    }
+}
+
+/// Inclusion probability `min{1, w/z*}`, with `p = 1` while `z* = 0`.
+#[inline]
+pub(crate) fn prob(weight: f64, threshold: f64) -> f64 {
+    if threshold <= 0.0 {
+        1.0
+    } else {
+        (weight / threshold).min(1.0)
+    }
+}
+
+/// The GPS(m) sampler (paper Algorithm 1).
+pub struct GpsSampler<W> {
+    capacity: usize,
+    weight_fn: W,
+    slab: Slab,
+    heap: MinHeap,
+    adj: AdjacencyMap<SlotId>,
+    z_star: f64,
+    rng: SmallRng,
+    arrivals: u64,
+    duplicates: u64,
+}
+
+impl<W: EdgeWeight> GpsSampler<W> {
+    /// Creates a sampler with reservoir capacity `m`, a weight function and
+    /// a deterministic RNG seed.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, weight_fn: W, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        GpsSampler {
+            capacity,
+            weight_fn,
+            slab: Slab::with_capacity(capacity + 1),
+            heap: MinHeap::with_capacity(capacity + 1),
+            adj: AdjacencyMap::new(),
+            z_star: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+            arrivals: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Restores a sampler from a previously saved sample state (see
+    /// `gps_core::persist`): the sampled edges with their original weights
+    /// and priorities, plus the threshold `z*` and the stream position.
+    ///
+    /// Post-stream estimation on the restored sampler is *identical* to
+    /// estimation on the original. The RNG restarts from `seed`, so if the
+    /// restored sampler keeps consuming the stream, its future `u(k)` draws
+    /// are fresh — statistically equivalent (they are IID) but not
+    /// bit-identical to the original process continuing.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, more than `capacity` edges are supplied,
+    /// a duplicate edge is supplied, or a weight/priority is not finite and
+    /// positive.
+    pub fn restore<I>(
+        capacity: usize,
+        weight_fn: W,
+        seed: u64,
+        threshold: f64,
+        arrivals: u64,
+        records: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (Edge, f64, f64)>,
+    {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        assert!(
+            threshold >= 0.0 && threshold.is_finite(),
+            "invalid threshold {threshold}"
+        );
+        let mut sampler = GpsSampler {
+            capacity,
+            weight_fn,
+            slab: Slab::with_capacity(capacity + 1),
+            heap: MinHeap::with_capacity(capacity + 1),
+            adj: AdjacencyMap::new(),
+            z_star: threshold,
+            rng: SmallRng::seed_from_u64(seed),
+            arrivals,
+            duplicates: 0,
+        };
+        for (edge, weight, priority) in records {
+            assert!(
+                weight.is_finite() && weight > 0.0 && priority > 0.0,
+                "invalid record for {edge}: weight {weight}, priority {priority}"
+            );
+            assert!(
+                !sampler.adj.contains(edge),
+                "duplicate edge {edge} in restored sample"
+            );
+            let slot = sampler.slab.insert(EdgeRecord::new(edge, weight, priority));
+            sampler.adj.insert(edge, slot);
+            sampler.heap.push(HeapEntry { priority, slot });
+            assert!(
+                sampler.slab.len() <= capacity,
+                "more edges than capacity {capacity}"
+            );
+        }
+        sampler
+    }
+
+    /// Processes one stream arrival (procedure `GPSUpdate`).
+    pub fn process(&mut self, edge: Edge) -> Arrival {
+        self.arrivals += 1;
+        if self.adj.contains(edge) {
+            self.duplicates += 1;
+            return Arrival::Duplicate;
+        }
+
+        // Weight against the sample as the edge finds it (before the
+        // provisional insert), per Theorem 1's measurability requirement.
+        let view = SampleView {
+            slab: &self.slab,
+            adj: &self.adj,
+            threshold: self.z_star,
+        };
+        let weight = self.weight_fn.weight(edge, &view);
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight function returned invalid weight {weight} for {edge}"
+        );
+        // u ∈ (0, 1]: rand yields [0, 1), so 1 - x is in (0, 1].
+        let u = 1.0 - self.rng.random::<f64>();
+        let priority = weight / u;
+
+        if self.slab.len() < self.capacity {
+            let slot = self.slab.insert(EdgeRecord::new(edge, weight, priority));
+            self.adj.insert(edge, slot);
+            self.heap.push(HeapEntry { priority, slot });
+            return Arrival::Inserted { weight };
+        }
+
+        // Reservoir full: of the m+1 candidates, discard the lowest
+        // priority and raise the threshold to it (Alg 1 lines 11–14).
+        let current_min = self.heap.peek().expect("full reservoir has a minimum");
+        if priority <= current_min.priority {
+            self.z_star = self.z_star.max(priority);
+            return Arrival::Rejected { weight };
+        }
+        let slot = self.slab.insert(EdgeRecord::new(edge, weight, priority));
+        self.adj.insert(edge, slot);
+        let evicted_entry = self
+            .heap
+            .replace_min(HeapEntry { priority, slot })
+            .expect("full reservoir has a minimum");
+        self.z_star = self.z_star.max(evicted_entry.priority);
+        let evicted_record = self.slab.remove(evicted_entry.slot);
+        self.adj.remove(evicted_record.edge);
+        Arrival::Replaced {
+            weight,
+            evicted: evicted_record.edge,
+        }
+    }
+
+    /// Feeds every edge of an iterator through [`GpsSampler::process`].
+    pub fn process_stream<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.process(e);
+        }
+    }
+
+    /// Reservoir capacity `m`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current sample size `|K̂|` (equal to `m` once the stream has produced
+    /// at least `m` distinct edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// True if the sample is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// Current threshold `z*`: the `(m+1)`-st highest priority seen, or 0 if
+    /// nothing has been discarded yet.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.z_star
+    }
+
+    /// Total arrivals processed (stream position `t`).
+    #[inline]
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Arrivals skipped as duplicates of sampled edges.
+    #[inline]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Read-only sample view (for estimators and weight functions).
+    #[inline]
+    pub fn view(&self) -> SampleView<'_> {
+        SampleView {
+            slab: &self.slab,
+            adj: &self.adj,
+            threshold: self.z_star,
+        }
+    }
+
+    /// Whether `edge` is currently sampled.
+    #[inline]
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.adj.contains(edge)
+    }
+
+    /// Current HT inclusion probability of a sampled edge (procedure
+    /// `GPSNormalize`, paper Alg 1 lines 15–17); `None` if not sampled.
+    pub fn inclusion_prob(&self, edge: Edge) -> Option<f64> {
+        self.adj
+            .get(edge)
+            .map(|slot| prob(self.slab.get(slot).weight, self.z_star))
+    }
+
+    /// Iterates the sampled edges with their weights, priorities and current
+    /// inclusion probabilities.
+    pub fn edges(&self) -> impl Iterator<Item = SampledEdge> + '_ {
+        self.slab.iter().map(move |(_, r)| SampledEdge {
+            edge: r.edge,
+            weight: r.weight,
+            priority: r.priority,
+            inclusion_prob: prob(r.weight, self.z_star),
+        })
+    }
+
+    /// Horvitz–Thompson estimator `Ŝ_J = ∏_{i∈J} 1/p(i)` of the subgraph
+    /// indicator for an arbitrary edge set `J` (paper Theorem 2): nonzero —
+    /// and unbiased for "all of `J` has arrived" — only when every edge of
+    /// `J` is in the sample.
+    ///
+    /// Duplicate edges in `subgraph` are counted once (a subgraph is a set).
+    pub fn subgraph_estimate(&self, subgraph: &[Edge]) -> f64 {
+        let mut product = 1.0;
+        for (i, &e) in subgraph.iter().enumerate() {
+            if subgraph[..i].contains(&e) {
+                continue;
+            }
+            match self.inclusion_prob(e) {
+                Some(p) => product /= p,
+                None => return 0.0,
+            }
+        }
+        product
+    }
+
+    /// In-stream internals: mutable slab plus the pieces needed to walk the
+    /// sampled topology while mutating covariance accumulators.
+    pub(crate) fn estimator_parts(&mut self) -> (&mut Slab, &AdjacencyMap<SlotId>, f64) {
+        (&mut self.slab, &self.adj, self.z_star)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{TriangleWeight, UniformWeight};
+
+    fn edges_chain(n: u32) -> Vec<Edge> {
+        (0..n).map(|i| Edge::new(i, i + 1)).collect()
+    }
+
+    #[test]
+    fn fills_then_holds_capacity() {
+        let mut s = GpsSampler::new(8, UniformWeight, 3);
+        for (i, e) in edges_chain(50).into_iter().enumerate() {
+            s.process(e);
+            assert!(s.len() <= 8);
+            if i < 8 {
+                assert_eq!(s.len(), i + 1);
+            } else {
+                assert_eq!(s.len(), 8, "fixed-size property S1");
+            }
+        }
+        assert_eq!(s.arrivals(), 50);
+    }
+
+    #[test]
+    fn threshold_is_monotone_and_zero_before_discard() {
+        let mut s = GpsSampler::new(4, UniformWeight, 7);
+        let mut last = 0.0;
+        for (i, e) in edges_chain(100).into_iter().enumerate() {
+            s.process(e);
+            if i < 4 {
+                assert_eq!(s.threshold(), 0.0);
+            }
+            assert!(s.threshold() >= last, "threshold must be non-decreasing");
+            last = s.threshold();
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn inclusion_probs_lie_in_unit_interval() {
+        let mut s = GpsSampler::new(16, TriangleWeight::default(), 11);
+        s.process_stream(gps_stream_like(200));
+        for se in s.edges() {
+            assert!(se.inclusion_prob > 0.0 && se.inclusion_prob <= 1.0);
+            assert_eq!(s.inclusion_prob(se.edge), Some(se.inclusion_prob));
+        }
+        assert_eq!(s.inclusion_prob(Edge::new(9999, 10000)), None);
+    }
+
+    /// A denser synthetic stream with triangles (clique chunks).
+    fn gps_stream_like(n: u32) -> Vec<Edge> {
+        let mut edges = vec![];
+        for base in (0..n).step_by(5) {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    edges.push(Edge::new(base + a, base + b));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn duplicates_are_skipped() {
+        let mut s = GpsSampler::new(8, UniformWeight, 5);
+        assert!(matches!(
+            s.process(Edge::new(1, 2)),
+            Arrival::Inserted { .. }
+        ));
+        assert_eq!(s.process(Edge::new(2, 1)), Arrival::Duplicate);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.duplicates(), 1);
+    }
+
+    #[test]
+    fn same_seed_reproduces_sample_exactly() {
+        let stream = gps_stream_like(100);
+        let mut a = GpsSampler::new(20, TriangleWeight::default(), 42);
+        let mut b = GpsSampler::new(20, TriangleWeight::default(), 42);
+        a.process_stream(stream.clone());
+        b.process_stream(stream);
+        let mut ea: Vec<Edge> = a.edges().map(|s| s.edge).collect();
+        let mut eb: Vec<Edge> = b.edges().map(|s| s.edge).collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb);
+        assert_eq!(a.threshold(), b.threshold());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let stream = gps_stream_like(100);
+        let mut a = GpsSampler::new(10, UniformWeight, 1);
+        let mut b = GpsSampler::new(10, UniformWeight, 2);
+        a.process_stream(stream.clone());
+        b.process_stream(stream);
+        let ea: std::collections::BTreeSet<Edge> = a.edges().map(|s| s.edge).collect();
+        let eb: std::collections::BTreeSet<Edge> = b.edges().map(|s| s.edge).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn full_retention_keeps_probability_one() {
+        // Capacity exceeds the stream: z* stays 0, all p = 1, and the
+        // subgraph estimator is the exact indicator.
+        let mut s = GpsSampler::new(1000, TriangleWeight::default(), 9);
+        let tri = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+        s.process_stream(tri);
+        assert_eq!(s.threshold(), 0.0);
+        for e in tri {
+            assert_eq!(s.inclusion_prob(e), Some(1.0));
+        }
+        assert_eq!(s.subgraph_estimate(&tri), 1.0);
+        assert_eq!(
+            s.subgraph_estimate(&[Edge::new(0, 1), Edge::new(5, 6)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn subgraph_estimate_ignores_duplicate_edges() {
+        let mut s = GpsSampler::new(10, UniformWeight, 0);
+        s.process(Edge::new(0, 1));
+        let dup = [Edge::new(0, 1), Edge::new(1, 0)];
+        assert_eq!(s.subgraph_estimate(&dup), 1.0);
+    }
+
+    #[test]
+    fn eviction_reports_the_displaced_edge() {
+        let mut s = GpsSampler::new(1, UniformWeight, 13);
+        s.process(Edge::new(0, 1));
+        // Process arrivals until one replaces (priority coin flips).
+        let mut replaced = false;
+        for i in 2..100u32 {
+            match s.process(Edge::new(0, i)) {
+                Arrival::Replaced { evicted, .. } => {
+                    assert!(!s.contains(evicted));
+                    replaced = true;
+                    break;
+                }
+                Arrival::Rejected { .. } => continue,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(
+            replaced,
+            "100 arrivals at capacity 1 should replace at least once"
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = GpsSampler::new(0, UniformWeight, 0);
+    }
+
+    #[test]
+    fn view_reflects_sampled_topology() {
+        let mut s = GpsSampler::new(100, UniformWeight, 3);
+        s.process_stream([
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(1, 3),
+            Edge::new(3, 4),
+        ]);
+        let v = s.view();
+        assert_eq!(v.num_edges(), 4);
+        assert_eq!(v.num_nodes(), 4);
+        assert_eq!(v.degree(3), 3);
+        assert_eq!(v.triangles_closed_by(Edge::new(1, 4)), 1);
+        assert_eq!(v.wedges_closed_by(Edge::new(4, 5)), 1);
+        // For an edge already in the sample, adjacency excludes itself:
+        // partners are (1,3) at node 1 and (2,3) at node 2.
+        assert_eq!(v.wedges_closed_by(Edge::new(1, 2)), 2);
+        assert!(v.weight_of(Edge::new(1, 2)).is_some());
+        assert_eq!(v.weight_of(Edge::new(7, 8)), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Slot storage for sampled edges.
+//!
+//! The reservoir stores per-edge state (edge, weight, priority, and the
+//! in-stream covariance accumulators `C̃_k(△)`, `C̃_k(Λ)` of paper
+//! Algorithm 3) in a slab: a flat `Vec` with an internal free list, so slots
+//! are reused across evictions, ids stay dense `u32`s, and per-arrival work
+//! allocates nothing.
+
+use gps_graph::types::Edge;
+
+/// Index of an edge's slot in the slab (also carried in the heap and the
+/// adjacency map).
+pub type SlotId = u32;
+
+/// Per-edge reservoir record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeRecord {
+    /// The sampled edge.
+    pub edge: Edge,
+    /// Sampling weight `w(k) = W(k, K̂)` computed at arrival.
+    pub weight: f64,
+    /// Priority `r(k) = w(k)/u(k)` computed at arrival.
+    pub priority: f64,
+    /// In-stream triangle covariance accumulator `C̃_k(△)` (Alg 3).
+    pub cov_tri: f64,
+    /// In-stream wedge covariance accumulator `C̃_k(Λ)` (Alg 3).
+    pub cov_wedge: f64,
+}
+
+impl EdgeRecord {
+    /// A fresh record with zeroed covariance accumulators (paper Alg 3
+    /// line 34).
+    pub fn new(edge: Edge, weight: f64, priority: f64) -> Self {
+        EdgeRecord {
+            edge,
+            weight,
+            priority,
+            cov_tri: 0.0,
+            cov_wedge: 0.0,
+        }
+    }
+}
+
+enum Slot {
+    Occupied(EdgeRecord),
+    Free { next: Option<SlotId> },
+}
+
+/// Slab of [`EdgeRecord`]s with slot reuse.
+#[derive(Default)]
+pub struct Slab {
+    slots: Vec<Slot>,
+    free_head: Option<SlotId>,
+    live: usize,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot::Free { next: None }
+    }
+}
+
+impl Slab {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty slab with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free_head: None,
+            live: 0,
+        }
+    }
+
+    /// Number of live records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no records are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Stores a record, returning its slot.
+    pub fn insert(&mut self, record: EdgeRecord) -> SlotId {
+        self.live += 1;
+        match self.free_head {
+            Some(id) => {
+                let next = match self.slots[id as usize] {
+                    Slot::Free { next } => next,
+                    Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next;
+                self.slots[id as usize] = Slot::Occupied(record);
+                id
+            }
+            None => {
+                let id = self.slots.len() as SlotId;
+                self.slots.push(Slot::Occupied(record));
+                id
+            }
+        }
+    }
+
+    /// Removes and returns the record in `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is free (a logic error in the sampler).
+    pub fn remove(&mut self, slot: SlotId) -> EdgeRecord {
+        let cell = &mut self.slots[slot as usize];
+        match std::mem::replace(
+            cell,
+            Slot::Free {
+                next: self.free_head,
+            },
+        ) {
+            Slot::Occupied(record) => {
+                self.free_head = Some(slot);
+                self.live -= 1;
+                record
+            }
+            Slot::Free { .. } => panic!("remove() on free slot {slot}"),
+        }
+    }
+
+    /// Shared access to a live record.
+    ///
+    /// # Panics
+    /// Panics if the slot is free.
+    #[inline]
+    pub fn get(&self, slot: SlotId) -> &EdgeRecord {
+        match &self.slots[slot as usize] {
+            Slot::Occupied(r) => r,
+            Slot::Free { .. } => panic!("get() on free slot {slot}"),
+        }
+    }
+
+    /// Mutable access to a live record.
+    ///
+    /// # Panics
+    /// Panics if the slot is free.
+    #[inline]
+    pub fn get_mut(&mut self, slot: SlotId) -> &mut EdgeRecord {
+        match &mut self.slots[slot as usize] {
+            Slot::Occupied(r) => r,
+            Slot::Free { .. } => panic!("get_mut() on free slot {slot}"),
+        }
+    }
+
+    /// Iterates `(slot, record)` over live records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &EdgeRecord)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied(r) => Some((i as SlotId, r)),
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Total slots ever allocated (live + free); the parallel estimator
+    /// chunks over this range.
+    #[inline]
+    pub fn slot_upper_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record in `slot` if live (non-panicking variant for chunked scans).
+    #[inline]
+    pub fn get_if_live(&self, slot: SlotId) -> Option<&EdgeRecord> {
+        match self.slots.get(slot as usize) {
+            Some(Slot::Occupied(r)) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(a: u32, b: u32, w: f64) -> EdgeRecord {
+        EdgeRecord::new(Edge::new(a, b), w, w / 0.5)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let id = s.insert(rec(1, 2, 3.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(id).edge, Edge::new(1, 2));
+        assert_eq!(s.get(id).weight, 3.0);
+        let r = s.remove(id);
+        assert_eq!(r.edge, Edge::new(1, 2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert(rec(0, 1, 1.0));
+        let b = s.insert(rec(0, 2, 1.0));
+        s.remove(a);
+        s.remove(b);
+        // Free list is LIFO: b then a.
+        assert_eq!(s.insert(rec(0, 3, 1.0)), b);
+        assert_eq!(s.insert(rec(0, 4, 1.0)), a);
+        assert_eq!(s.slot_upper_bound(), 2, "no growth when reusing");
+    }
+
+    #[test]
+    fn iter_skips_free_slots() {
+        let mut s = Slab::new();
+        let _a = s.insert(rec(0, 1, 1.0));
+        let b = s.insert(rec(0, 2, 2.0));
+        let _c = s.insert(rec(0, 3, 3.0));
+        s.remove(b);
+        let live: Vec<Edge> = s.iter().map(|(_, r)| r.edge).collect();
+        assert_eq!(live, vec![Edge::new(0, 1), Edge::new(0, 3)]);
+        assert_eq!(s.get_if_live(b), None);
+        assert!(s.get_if_live(0).is_some());
+        assert_eq!(s.get_if_live(999), None);
+    }
+
+    #[test]
+    fn mutation_via_get_mut_persists() {
+        let mut s = Slab::new();
+        let id = s.insert(rec(4, 5, 2.0));
+        s.get_mut(id).cov_tri += 1.5;
+        s.get_mut(id).cov_wedge += 0.5;
+        assert_eq!(s.get(id).cov_tri, 1.5);
+        assert_eq!(s.get(id).cov_wedge, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "free slot")]
+    fn get_on_free_slot_panics() {
+        let mut s = Slab::new();
+        let id = s.insert(rec(1, 2, 1.0));
+        s.remove(id);
+        let _ = s.get(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "free slot")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let id = s.insert(rec(1, 2, 1.0));
+        s.remove(id);
+        s.remove(id);
+    }
+}

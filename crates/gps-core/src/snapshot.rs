@@ -1,0 +1,219 @@
+//! Generic in-stream subgraph counting via snapshots — paper Theorem 4.
+//!
+//! The triangle/wedge machinery of Algorithm 3 is one instance of a general
+//! pattern: *each time a subgraph matching a motif is completed by an
+//! arriving edge, freeze ("snapshot") the Horvitz–Thompson product of its
+//! already-sampled edges and add it to a counter.* Theorem 4(ii) shows the
+//! resulting sum is an unbiased estimator of the number of motif instances
+//! in the streamed graph, because arrival times are deterministic stopping
+//! times.
+//!
+//! [`MotifCounter`] exposes that pattern for arbitrary motifs: the caller
+//! supplies a detector that, given the sample and the arriving edge, lists
+//! the sampled edge sets completed by the arrival. [`four_clique_counter`]
+//! is a ready-made instance counting 4-cliques, demonstrating estimation of
+//! a motif the paper only gestures at ("triangle or other clique", §5).
+
+use crate::reservoir::{Arrival, GpsSampler, SampleView};
+use crate::weights::EdgeWeight;
+use gps_graph::types::Edge;
+
+/// Detector callback: pushes, for each motif instance completed by
+/// `arriving`, the set of *sampled* edges forming the rest of the instance.
+pub trait MotifDetector {
+    /// Enumerates completed instances into `out` (one `Vec<Edge>` each).
+    fn detect(&self, sample: &SampleView<'_>, arriving: Edge, out: &mut Vec<Vec<Edge>>);
+}
+
+impl<F: Fn(&SampleView<'_>, Edge, &mut Vec<Vec<Edge>>)> MotifDetector for F {
+    fn detect(&self, sample: &SampleView<'_>, arriving: Edge, out: &mut Vec<Vec<Edge>>) {
+        self(sample, arriving, out)
+    }
+}
+
+/// In-stream unbiased counter for an arbitrary motif (Theorem 4(ii)).
+pub struct MotifCounter<W, D> {
+    sampler: GpsSampler<W>,
+    detector: D,
+    count: f64,
+    instances_seen: u64,
+    scratch: Vec<Vec<Edge>>,
+}
+
+impl<W: EdgeWeight, D: MotifDetector> MotifCounter<W, D> {
+    /// Creates a counter over a fresh `GPS(m)` sampler.
+    pub fn new(capacity: usize, weight_fn: W, detector: D, seed: u64) -> Self {
+        MotifCounter {
+            sampler: GpsSampler::new(capacity, weight_fn, seed),
+            detector,
+            count: 0.0,
+            instances_seen: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Processes one arrival: snapshot each completed instance, then offer
+    /// the edge to the sampler.
+    pub fn process(&mut self, edge: Edge) -> Arrival {
+        if !self.sampler.contains(edge) {
+            self.scratch.clear();
+            self.detector
+                .detect(&self.sampler.view(), edge, &mut self.scratch);
+            for instance in &self.scratch {
+                let mut product = 1.0;
+                let mut complete = true;
+                for &e in instance {
+                    match self.sampler.inclusion_prob(e) {
+                        Some(p) => product /= p,
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if complete {
+                    self.count += product;
+                    self.instances_seen += 1;
+                }
+            }
+        }
+        self.sampler.process(edge)
+    }
+
+    /// Streams every edge through [`MotifCounter::process`].
+    pub fn process_stream<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.process(e);
+        }
+    }
+
+    /// The running unbiased motif-count estimate.
+    #[inline]
+    pub fn estimate(&self) -> f64 {
+        self.count
+    }
+
+    /// Number of sampled motif instances that contributed snapshots.
+    #[inline]
+    pub fn instances_seen(&self) -> u64 {
+        self.instances_seen
+    }
+
+    /// Underlying sampler.
+    #[inline]
+    pub fn sampler(&self) -> &GpsSampler<W> {
+        &self.sampler
+    }
+}
+
+/// Detector for 4-cliques: when `(u, v)` arrives, every sampled pair
+/// `{w, x}` of common neighbors of `u` and `v` with `(w, x)` sampled
+/// completes the clique `{u, v, w, x}`; its remaining 5 edges must all be
+/// in the sample.
+pub fn four_clique_detector() -> impl MotifDetector {
+    |sample: &SampleView<'_>, arriving: Edge, out: &mut Vec<Vec<Edge>>| {
+        let (u, v) = arriving.endpoints();
+        let mut commons = Vec::new();
+        sample.for_each_common_slot(u, v, |w, _, _| commons.push(w));
+        for (i, &w) in commons.iter().enumerate() {
+            for &x in &commons[i + 1..] {
+                let wx = Edge::new(w, x);
+                if sample.contains(wx) {
+                    out.push(vec![
+                        Edge::new(u, w),
+                        Edge::new(v, w),
+                        Edge::new(u, x),
+                        Edge::new(v, x),
+                        wx,
+                    ]);
+                }
+            }
+        }
+    }
+}
+
+/// Ready-made in-stream 4-clique counter. Uses triangle-targeted weights as
+/// a proxy objective: edges in many sampled triangles are exactly the ones
+/// likely to appear in cliques.
+pub fn four_clique_counter(
+    capacity: usize,
+    seed: u64,
+) -> MotifCounter<crate::weights::TriangleWeight, impl MotifDetector> {
+    MotifCounter::new(
+        capacity,
+        crate::weights::TriangleWeight::default(),
+        four_clique_detector(),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: u32) -> Vec<Edge> {
+        let mut v = vec![];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                v.push(Edge::new(a, b));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn four_cliques_exact_under_full_retention() {
+        // K5 has C(5,4) = 5 four-cliques.
+        let mut counter = four_clique_counter(1000, 3);
+        counter.process_stream(complete_graph(5));
+        assert!((counter.estimate() - 5.0).abs() < 1e-12);
+        assert_eq!(counter.instances_seen(), 5);
+
+        // K6: C(6,4) = 15.
+        let mut counter = four_clique_counter(1000, 4);
+        counter.process_stream(complete_graph(6));
+        assert!((counter.estimate() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cliques_in_sparse_graphs() {
+        let mut counter = four_clique_counter(100, 1);
+        counter.process_stream((0..50).map(|i| Edge::new(i, i + 1)));
+        assert_eq!(counter.estimate(), 0.0);
+        assert_eq!(counter.instances_seen(), 0);
+    }
+
+    #[test]
+    fn triangle_motif_matches_in_stream_estimator() {
+        // A triangle detector through the generic API must agree with the
+        // dedicated InStreamEstimator on triangle counts (same seed).
+        let detector = |sample: &SampleView<'_>, arriving: Edge, out: &mut Vec<Vec<Edge>>| {
+            let (u, v) = arriving.endpoints();
+            let mut commons = Vec::new();
+            sample.for_each_common_slot(u, v, |w, _, _| commons.push(w));
+            for w in commons {
+                out.push(vec![Edge::new(u, w), Edge::new(v, w)]);
+            }
+        };
+        let edges = complete_graph(9);
+        let mut generic =
+            MotifCounter::new(20, crate::weights::TriangleWeight::default(), detector, 55);
+        generic.process_stream(edges.clone());
+        let mut dedicated = crate::in_stream::InStreamEstimator::new(
+            20,
+            crate::weights::TriangleWeight::default(),
+            55,
+        );
+        dedicated.process_stream(edges);
+        assert!((generic.estimate() - dedicated.triangle_count()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut counter = four_clique_counter(100, 9);
+        counter.process_stream(complete_graph(4));
+        let before = counter.estimate();
+        counter.process(Edge::new(0, 1));
+        assert_eq!(counter.estimate(), before);
+    }
+}

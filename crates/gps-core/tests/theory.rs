@@ -1,0 +1,196 @@
+//! Direct validation of the paper's Martingale theorems on the implemented
+//! estimators, using small fixed graphs and many independent samples.
+//!
+//! These tests go beyond "the counts look right": they check the exact
+//! statistical identities the proofs assert — unbiasedness of edge products
+//! (Theorem 2), unbiasedness and nonnegativity of the covariance estimator
+//! (Theorem 3), and unbiasedness of stopped products (Theorems 4/6).
+
+use gps_core::weights::UniformWeight;
+use gps_core::{GpsSampler, InStreamEstimator};
+use gps_graph::types::Edge;
+
+/// A fixed 8-edge test graph: two triangles sharing edge (1,2), plus tails.
+///
+/// ```text
+///   0 — 1 — 3        triangles: (0,1,2) and (1,2,3)
+///    \ / \ /         J1 = {(0,1),(1,2),(0,2)}  J2 = {(1,2),(1,3),(2,3)}
+///     2   4 — 5      J1 ∩ J2 = {(1,2)}
+/// ```
+fn graph() -> Vec<Edge> {
+    vec![
+        Edge::new(0, 1),
+        Edge::new(1, 2),
+        Edge::new(0, 2),
+        Edge::new(1, 3),
+        Edge::new(2, 3),
+        Edge::new(1, 4),
+        Edge::new(4, 5),
+        Edge::new(2, 5),
+    ]
+}
+
+fn tri1() -> [Edge; 3] {
+    [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]
+}
+
+fn tri2() -> [Edge; 3] {
+    [Edge::new(1, 2), Edge::new(1, 3), Edge::new(2, 3)]
+}
+
+/// Streams the fixed graph (fixed order — arrival order is deterministic in
+/// the theory; only `u(k)` is random) into a capacity-5 sampler.
+fn sample(seed: u64) -> GpsSampler<UniformWeight> {
+    let mut s = GpsSampler::new(5, UniformWeight, seed);
+    s.process_stream(graph());
+    s
+}
+
+#[test]
+fn theorem2_edge_products_are_unbiased() {
+    // E[Ŝ_J] = 1 for every J fully arrived. We test single edges, a wedge
+    // and both triangles. (Higher-order products like the 5-edge union are
+    // also unbiased but have heavy-tailed — here infinite-variance —
+    // distributions at m = 5, so their Monte-Carlo means converge far too
+    // slowly to assert on; see the paper's variance discussion.)
+    let runs = 20_000u64;
+    let wedge = [Edge::new(0, 1), Edge::new(1, 3)];
+    let single = [Edge::new(4, 5)];
+    let (mut s1, mut s2, mut sw, mut se) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..runs {
+        let s = sample(seed);
+        s1 += s.subgraph_estimate(&tri1());
+        s2 += s.subgraph_estimate(&tri2());
+        sw += s.subgraph_estimate(&wedge);
+        se += s.subgraph_estimate(&single);
+    }
+    let n = runs as f64;
+    for (label, mean) in [
+        ("S_J1", s1 / n),
+        ("S_J2", s2 / n),
+        ("S_wedge", sw / n),
+        ("S_edge", se / n),
+    ] {
+        assert!(
+            (mean - 1.0).abs() < 0.06,
+            "{label} should have expectation 1, got {mean:.4}"
+        );
+    }
+}
+
+#[test]
+fn theorem3_covariance_estimator_is_unbiased_and_nonnegative() {
+    // Empirical Cov(Ŝ_J1, Ŝ_J2) over many samples must match the mean of
+    // the estimator Ĉ = Ŝ_{J1∪J2}(Ŝ_{J1∩J2} − 1), and both must be ≥ 0.
+    let runs = 40_000u64;
+    let (mut sum1, mut sum2, mut sum_prod, mut sum_c) = (0.0, 0.0, 0.0, 0.0);
+    let union: Vec<Edge> = {
+        let mut u = tri1().to_vec();
+        u.extend(tri2());
+        u
+    };
+    let shared = [Edge::new(1, 2)];
+    for seed in 0..runs {
+        let s = sample(seed);
+        let a = s.subgraph_estimate(&tri1());
+        let b = s.subgraph_estimate(&tri2());
+        sum1 += a;
+        sum2 += b;
+        sum_prod += a * b;
+        let c = s.subgraph_estimate(&union) * (s.subgraph_estimate(&shared) - 1.0);
+        assert!(c >= -1e-12, "Theorem 3(ii): Ĉ must be nonnegative, got {c}");
+        sum_c += c;
+    }
+    let n = runs as f64;
+    let empirical_cov = sum_prod / n - (sum1 / n) * (sum2 / n);
+    let mean_c = sum_c / n;
+    assert!(
+        empirical_cov >= -0.05,
+        "covariance should be ≥ 0, got {empirical_cov:.4}"
+    );
+    // Same scale and sign; MC noise on 4th moments is substantial, so allow
+    // a generous band while still catching factor-of-2 errors.
+    assert!(
+        (mean_c - empirical_cov).abs() < 0.20 * (1.0 + empirical_cov.abs().max(mean_c.abs())),
+        "E[Ĉ] = {mean_c:.4} should approximate Cov = {empirical_cov:.4}"
+    );
+}
+
+#[test]
+fn theorem3_variance_estimator_matches_empirical_variance() {
+    // V̂ar(Ŝ_J) = Ŝ_J(Ŝ_J − 1) is unbiased for Var(Ŝ_J).
+    let runs = 40_000u64;
+    let (mut sum, mut sum_sq, mut sum_v) = (0.0, 0.0, 0.0);
+    for seed in 0..runs {
+        let s = sample(seed);
+        let a = s.subgraph_estimate(&tri1());
+        sum += a;
+        sum_sq += a * a;
+        sum_v += a * (a - 1.0);
+    }
+    let n = runs as f64;
+    let empirical_var = sum_sq / n - (sum / n) * (sum / n);
+    let mean_v = sum_v / n;
+    assert!(
+        (mean_v - empirical_var).abs() < 0.15 * (1.0 + empirical_var),
+        "E[V̂] = {mean_v:.4} should approximate Var = {empirical_var:.4}"
+    );
+}
+
+#[test]
+fn theorem6_in_stream_snapshot_count_is_unbiased() {
+    // The fixed graph has exactly 2 triangles; the in-stream snapshot sum
+    // must be unbiased for 2 under heavy subsampling (m = 4 of 8 edges).
+    let runs = 30_000u64;
+    let mut sum = 0.0;
+    for seed in 0..runs {
+        let mut est = InStreamEstimator::new(4, UniformWeight, seed);
+        est.process_stream(graph());
+        sum += est.triangle_count();
+    }
+    let mean = sum / runs as f64;
+    assert!(
+        (mean - 2.0).abs() < 0.08,
+        "in-stream snapshot count should have expectation 2, got {mean:.4}"
+    );
+}
+
+#[test]
+fn product_form_identity_of_the_covariance_estimator() {
+    // Eq. (7): Ŝ_J1·Ŝ_J2 − Ŝ_{J1\J2}·Ŝ_{J2\J1}·Ŝ_{J1∩J2}
+    //        = Ŝ_{J1∪J2}·(Ŝ_{J1∩J2} − 1)
+    // holds pathwise (not just in expectation) because Ŝ is a product over
+    // edges. Verify on real samples.
+    let j1_minus = [Edge::new(0, 1), Edge::new(0, 2)];
+    let j2_minus = [Edge::new(1, 3), Edge::new(2, 3)];
+    let shared = [Edge::new(1, 2)];
+    let union: Vec<Edge> = {
+        let mut u = tri1().to_vec();
+        u.extend(tri2());
+        u
+    };
+    for seed in 0..2_000u64 {
+        let s = sample(seed);
+        let lhs = s.subgraph_estimate(&tri1()) * s.subgraph_estimate(&tri2())
+            - s.subgraph_estimate(&j1_minus)
+                * s.subgraph_estimate(&j2_minus)
+                * s.subgraph_estimate(&shared);
+        let rhs = s.subgraph_estimate(&union) * (s.subgraph_estimate(&shared) - 1.0);
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()),
+            "Eq. (7) identity violated at seed {seed}: {lhs} vs {rhs}"
+        );
+    }
+}
+
+#[test]
+fn fixed_size_is_exact_at_every_prefix() {
+    // Property S1 holds along the whole stream, not just at the end.
+    for seed in 0..50u64 {
+        let mut s = GpsSampler::new(5, UniformWeight, seed);
+        for (i, e) in graph().into_iter().enumerate() {
+            s.process(e);
+            assert_eq!(s.len(), (i + 1).min(5));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Edge-list I/O.
+//!
+//! Real-world corpora (e.g. networkrepository.com, SNAP) ship as white-space
+//! separated edge lists with assorted comment conventions and sparse node
+//! ids. [`read_edge_list`] handles those: it skips `#`/`%` comment lines,
+//! accepts extra columns (weights/timestamps are ignored), relabels arbitrary
+//! `u64` ids onto the dense `u32` space via [`NodeRelabeler`], and — matching
+//! the paper's preprocessing — *simplifies* the graph (undirected, duplicate
+//! edges and self-loops dropped).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::GraphError;
+use crate::hash::FxHashMap;
+use crate::types::{Edge, NodeId};
+
+/// Maps sparse external `u64` node identifiers onto dense internal [`NodeId`]s.
+#[derive(Debug, Default)]
+pub struct NodeRelabeler {
+    map: FxHashMap<u64, NodeId>,
+}
+
+impl NodeRelabeler {
+    /// Creates an empty relabeler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense id for `external`, allocating the next free id on
+    /// first sight.
+    pub fn relabel(&mut self, external: u64) -> Result<NodeId, GraphError> {
+        if let Some(&id) = self.map.get(&external) {
+            return Ok(id);
+        }
+        let next = self.map.len();
+        if next > u32::MAX as usize {
+            return Err(GraphError::NodeSpaceExhausted);
+        }
+        let id = next as NodeId;
+        self.map.insert(external, id);
+        Ok(id)
+    }
+
+    /// Number of distinct nodes seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no nodes have been seen.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Options controlling edge-list parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadOptions {
+    /// Drop duplicate edges (in either orientation). Default `true`.
+    pub dedupe: bool,
+    /// Silently skip self-loops instead of failing. Default `true`
+    /// (the paper considers simplified graphs without self loops).
+    pub skip_self_loops: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            dedupe: true,
+            skip_self_loops: true,
+        }
+    }
+}
+
+/// Reads a white-space separated edge list from `reader`.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Each data
+/// line must begin with two integer fields; further fields are ignored.
+pub fn read_edge_list<R: Read>(reader: R, opts: ReadOptions) -> Result<Vec<Edge>, GraphError> {
+    let mut reader = BufReader::new(reader);
+    let mut relabel = NodeRelabeler::new();
+    let mut edges = Vec::new();
+    let mut seen = crate::hash::FxHashSet::default();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_err = || GraphError::Parse {
+            line: lineno,
+            content: trimmed.chars().take(80).collect(),
+        };
+        let a: u64 = fields
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let b: u64 = fields
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        if a == b {
+            if opts.skip_self_loops {
+                continue;
+            }
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        let edge = Edge::new(relabel.relabel(a)?, relabel.relabel(b)?);
+        if opts.dedupe && !seen.insert(edge.key()) {
+            continue;
+        }
+        edges.push(edge);
+    }
+    Ok(edges)
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    opts: ReadOptions,
+) -> Result<Vec<Edge>, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, opts)
+}
+
+/// Writes edges as `u v` lines (buffered; one syscall per ~8 KiB).
+pub fn write_edge_list<W: Write>(writer: W, edges: &[Edge]) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    for e in edges {
+        writeln!(w, "{} {}", e.u(), e.v())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes edges to a file path. See [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(path: P, edges: &[Edge]) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(file, edges)
+}
+
+/// Removes duplicates (in either orientation) from an in-memory edge list,
+/// preserving first-occurrence order. Self-loops cannot be represented by
+/// [`Edge`], so the result is a simple graph edge list.
+pub fn simplify(edges: &[Edge]) -> Vec<Edge> {
+    let mut seen = crate::hash::FxHashSet::default();
+    edges
+        .iter()
+        .copied()
+        .filter(|e| seen.insert(e.key()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blank_lines_and_extra_columns() {
+        let input = "# a comment\n% another\n\n1 2\n2 3 17.5\n3 1 42 1999\n";
+        let edges = read_edge_list(input.as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(edges.len(), 3);
+        // Relabeling is first-seen order: 1→0, 2→1, 3→2.
+        assert_eq!(edges[0], Edge::new(0, 1));
+        assert_eq!(edges[1], Edge::new(1, 2));
+        assert_eq!(edges[2], Edge::new(0, 2));
+    }
+
+    #[test]
+    fn dedupes_both_orientations() {
+        let input = "5 9\n9 5\n5 9\n5 6\n";
+        let edges = read_edge_list(input.as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn keeps_duplicates_when_asked() {
+        let input = "5 9\n9 5\n";
+        let opts = ReadOptions {
+            dedupe: false,
+            ..Default::default()
+        };
+        let edges = read_edge_list(input.as_bytes(), opts).unwrap();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0], edges[1]);
+    }
+
+    #[test]
+    fn self_loops_skipped_or_rejected() {
+        let input = "1 1\n1 2\n";
+        let edges = read_edge_list(input.as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(edges.len(), 1);
+
+        let opts = ReadOptions {
+            skip_self_loops: false,
+            ..Default::default()
+        };
+        let err = read_edge_list(input.as_bytes(), opts).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let input = "1 2\nnot numbers\n";
+        let err = read_edge_list(input.as_bytes(), ReadOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 3)];
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &edges).unwrap();
+        let back = read_edge_list(buf.as_slice(), ReadOptions::default()).unwrap();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn relabeler_is_stable_and_bounded() {
+        let mut r = NodeRelabeler::new();
+        assert_eq!(r.relabel(10_000_000_000).unwrap(), 0);
+        assert_eq!(r.relabel(7).unwrap(), 1);
+        assert_eq!(r.relabel(10_000_000_000).unwrap(), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn simplify_preserves_order() {
+        let edges = vec![
+            Edge::new(3, 4),
+            Edge::new(1, 2),
+            Edge::new(4, 3),
+            Edge::new(1, 2),
+            Edge::new(2, 5),
+        ];
+        assert_eq!(
+            simplify(&edges),
+            vec![Edge::new(3, 4), Edge::new(1, 2), Edge::new(2, 5)]
+        );
+    }
+}

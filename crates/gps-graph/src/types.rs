@@ -1,0 +1,227 @@
+//! Compact node and edge types.
+//!
+//! Nodes are dense `u32` identifiers (the paper's graphs have at most a few
+//! hundred million nodes, well inside `u32`). An undirected [`Edge`] is stored
+//! *normalized* — `u() <= v()` — so that `(a, b)` and `(b, a)` compare and
+//! hash identically, and packs into a single `u64` [`EdgeKey`] for use as a
+//! hash-map key.
+
+use std::fmt;
+
+/// Dense node identifier.
+pub type NodeId = u32;
+
+/// Packed representation of a normalized edge: `(u as u64) << 32 | v`.
+pub type EdgeKey = u64;
+
+/// An undirected, normalized edge between two distinct nodes.
+///
+/// Construction normalizes the endpoints so `u() <= v()`. Self-loops are
+/// rejected by [`Edge::try_new`] and are a logic error in [`Edge::new`]
+/// (checked via `debug_assert!`); the paper's model explicitly excludes
+/// self-loops ("Let G = (V,K) be a graph with no self loops").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: NodeId,
+    v: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized edge. `a` and `b` must be distinct.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `a == b`.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        debug_assert!(a != b, "self-loop ({a},{a}) is not a valid edge");
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Creates a normalized edge, returning `None` for self-loops.
+    #[inline]
+    pub fn try_new(a: NodeId, b: NodeId) -> Option<Self> {
+        if a == b {
+            None
+        } else {
+            Some(Self::new(a, b))
+        }
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> NodeId {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(&self) -> NodeId {
+        self.v
+    }
+
+    /// Both endpoints as a `(small, large)` pair.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// Packs the edge into a single `u64` key.
+    #[inline]
+    pub fn key(&self) -> EdgeKey {
+        ((self.u as u64) << 32) | self.v as u64
+    }
+
+    /// Reconstructs an edge from a packed key produced by [`Edge::key`].
+    #[inline]
+    pub fn from_key(key: EdgeKey) -> Self {
+        let u = (key >> 32) as NodeId;
+        let v = (key & 0xffff_ffff) as NodeId;
+        debug_assert!(u < v, "malformed edge key {key:#x}");
+        Edge { u, v }
+    }
+
+    /// Returns `true` if `node` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.u == node || self.v == node
+    }
+
+    /// Given one endpoint, returns the other; `None` if `node` is not an
+    /// endpoint.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.u {
+            Some(self.v)
+        } else if node == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the two edges share at least one endpoint (the
+    /// paper's adjacency relation `k ~ k'`).
+    #[inline]
+    pub fn adjacent(&self, other: &Edge) -> bool {
+        self != other && (other.touches(self.u) || other.touches(self.v))
+    }
+
+    /// The shared endpoint of two adjacent edges, if exactly one exists.
+    #[inline]
+    pub fn shared_endpoint(&self, other: &Edge) -> Option<NodeId> {
+        if self == other {
+            return None;
+        }
+        if other.touches(self.u) {
+            Some(self.u)
+        } else if other.touches(self.v) {
+            Some(self.v)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.u, self.v)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    #[inline]
+    fn from((a, b): (NodeId, NodeId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_endpoints() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(5, 2).u(), 2);
+        assert_eq!(Edge::new(5, 2).v(), 5);
+    }
+
+    #[test]
+    fn try_new_rejects_self_loops() {
+        assert!(Edge::try_new(3, 3).is_none());
+        assert!(Edge::try_new(3, 4).is_some());
+    }
+
+    #[test]
+    fn key_round_trips() {
+        for (a, b) in [
+            (0u32, 1u32),
+            (7, 3),
+            (1_000_000, 2),
+            (u32::MAX - 1, u32::MAX),
+        ] {
+            let e = Edge::new(a, b);
+            assert_eq!(Edge::from_key(e.key()), e);
+        }
+    }
+
+    #[test]
+    fn key_is_injective_on_distinct_edges() {
+        let e1 = Edge::new(1, 2);
+        let e2 = Edge::new(1, 3);
+        let e3 = Edge::new(2, 3);
+        assert_ne!(e1.key(), e2.key());
+        assert_ne!(e1.key(), e3.key());
+        assert_ne!(e2.key(), e3.key());
+    }
+
+    #[test]
+    fn touches_and_other() {
+        let e = Edge::new(4, 9);
+        assert!(e.touches(4));
+        assert!(e.touches(9));
+        assert!(!e.touches(5));
+        assert_eq!(e.other(4), Some(9));
+        assert_eq!(e.other(9), Some(4));
+        assert_eq!(e.other(1), None);
+    }
+
+    #[test]
+    fn adjacency_relation() {
+        let a = Edge::new(1, 2);
+        let b = Edge::new(2, 3);
+        let c = Edge::new(3, 4);
+        assert!(a.adjacent(&b));
+        assert!(!a.adjacent(&c));
+        assert!(!a.adjacent(&a), "an edge is not adjacent to itself");
+        assert_eq!(a.shared_endpoint(&b), Some(2));
+        assert_eq!(a.shared_endpoint(&c), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_normalized_pairs() {
+        let mut edges = vec![Edge::new(2, 3), Edge::new(1, 9), Edge::new(1, 2)];
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![Edge::new(1, 2), Edge::new(1, 9), Edge::new(2, 3)]
+        );
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let e = Edge::new(7, 2);
+        assert_eq!(format!("{e}"), "2-7");
+        assert_eq!(format!("{e:?}"), "(2, 7)");
+    }
+}

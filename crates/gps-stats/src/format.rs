@@ -1,0 +1,67 @@
+//! Human-readable number formatting in the paper's style
+//! (`4.9B` triangles, `925.8K` edges, `1.8T` wedges).
+
+/// Formats a nonnegative count with an SI-style suffix, one decimal place:
+/// `1234` → `1.2K`, `4.9e9` → `4.9B`, `1.8e12` → `1.8T`. Values below 1000
+/// print as integers. NaN prints as `nan`.
+pub fn si(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".into();
+    }
+    let neg = x < 0.0;
+    let a = x.abs();
+    let (value, suffix) = if a >= 1e12 {
+        (a / 1e12, "T")
+    } else if a >= 1e9 {
+        (a / 1e9, "B")
+    } else if a >= 1e6 {
+        (a / 1e6, "M")
+    } else if a >= 1e3 {
+        (a / 1e3, "K")
+    } else {
+        let s = format!("{}{}", if neg { "-" } else { "" }, a.round());
+        return s;
+    };
+    format!("{}{:.1}{}", if neg { "-" } else { "" }, value, suffix)
+}
+
+/// Formats a probability/ratio with four decimals (the paper's `|K̂|/|K|`
+/// and ARE columns).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a duration in microseconds with two decimals (the paper's
+/// "µs/edge" column).
+pub fn micros(us: f64) -> String {
+    format!("{us:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_suffixes() {
+        assert_eq!(si(0.0), "0");
+        assert_eq!(si(999.0), "999");
+        assert_eq!(si(1_234.0), "1.2K");
+        assert_eq!(si(925_800.0), "925.8K");
+        assert_eq!(si(56_300_000.0), "56.3M");
+        assert_eq!(si(4_900_000_000.0), "4.9B");
+        assert_eq!(si(1_800_000_000_000.0), "1.8T");
+    }
+
+    #[test]
+    fn si_handles_negatives_and_nan() {
+        assert_eq!(si(-1_500.0), "-1.5K");
+        assert_eq!(si(-12.0), "-12");
+        assert_eq!(si(f64::NAN), "nan");
+    }
+
+    #[test]
+    fn ratio_and_micros() {
+        assert_eq!(ratio(0.00361), "0.0036");
+        assert_eq!(micros(0.634), "0.63");
+    }
+}

@@ -1,0 +1,17 @@
+//! Statistics utilities shared by the experiment harness and tests:
+//! running moments, the paper's error metrics (ARE / MARE / max-ARE),
+//! human-readable number formatting, plain-text table rendering and TSV
+//! export. No dependencies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod format;
+pub mod metrics;
+pub mod running;
+pub mod table;
+
+pub use format::si;
+pub use metrics::{are, ErrorSeries};
+pub use running::Running;
+pub use table::Table;

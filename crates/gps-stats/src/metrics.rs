@@ -1,0 +1,143 @@
+//! The paper's error metrics.
+//!
+//! - **ARE** (`|X̂ − X| / X`): absolute relative error of one estimate
+//!   (paper §6, step 3).
+//! - **MARE** (`(1/T)·Σ_t |X̂_t − X_t| / X_t`): mean ARE over a time series
+//!   of checkpoints (paper Table 3).
+//! - **max-ARE**: the worst checkpoint (paper Table 3's "Max. ARE").
+
+/// Absolute relative error `|estimate − actual| / actual`.
+///
+/// Defined as 0 when both are 0 and `+inf` when only `actual` is 0 — the
+/// conventions that make MARE well-behaved on early-stream checkpoints
+/// where a graph may have no triangles yet.
+pub fn are(estimate: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - actual).abs() / actual
+    }
+}
+
+/// Accumulates a time series of (estimate, actual) pairs and reports MARE
+/// and max-ARE.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorSeries {
+    sum: f64,
+    max: f64,
+    n: u64,
+    skipped: u64,
+}
+
+impl ErrorSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one checkpoint. Checkpoints with `actual == 0` and a nonzero
+    /// estimate would make MARE infinite; they are counted separately in
+    /// [`ErrorSeries::skipped`] (the paper's checkpoints start late enough
+    /// that the actual counts are nonzero).
+    pub fn push(&mut self, estimate: f64, actual: f64) {
+        let e = are(estimate, actual);
+        if e.is_finite() {
+            self.sum += e;
+            self.max = self.max.max(e);
+            self.n += 1;
+        } else {
+            self.skipped += 1;
+        }
+    }
+
+    /// Mean ARE over the recorded checkpoints.
+    pub fn mare(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Maximum ARE over the recorded checkpoints.
+    pub fn max_are(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of checkpoints recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Checkpoints skipped because the true value was 0 while the estimate
+    /// was not.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Merges another series (for averaging across runs).
+    pub fn merge(&mut self, other: &ErrorSeries) {
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+        self.skipped += other.skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn are_basic_cases() {
+        assert_eq!(are(100.0, 100.0), 0.0);
+        assert!((are(99.0, 100.0) - 0.01).abs() < 1e-12);
+        assert!((are(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(are(0.0, 0.0), 0.0);
+        assert_eq!(are(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn series_mare_and_max() {
+        let mut s = ErrorSeries::new();
+        s.push(110.0, 100.0); // 0.10
+        s.push(95.0, 100.0); // 0.05
+        s.push(100.0, 100.0); // 0.00
+        assert!((s.mare() - 0.05).abs() < 1e-12);
+        assert!((s.max_are() - 0.10).abs() < 1e-12);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn series_skips_undefined_checkpoints() {
+        let mut s = ErrorSeries::new();
+        s.push(5.0, 0.0);
+        s.push(50.0, 100.0);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.count(), 1);
+        assert!((s.mare() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_reports_zero() {
+        let s = ErrorSeries::new();
+        assert_eq!(s.mare(), 0.0);
+        assert_eq!(s.max_are(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = ErrorSeries::new();
+        a.push(110.0, 100.0);
+        let mut b = ErrorSeries::new();
+        b.push(130.0, 100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mare() - 0.2).abs() < 1e-12);
+        assert!((a.max_are() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal plain-text table rendering + TSV export for the experiment
+//! harness (the binaries print paper-style tables to stdout and
+//! machine-readable TSV next to them).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with space-padded columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:width$}", cell, width = widths[i]);
+            }
+            // Trim per-line trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["graph", "X", "ARE"]);
+        t.row(["hollywood-sim", "4.9B", "0.0009"]);
+        t.row(["amazon-sim", "667.1K", "0.0001"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("graph"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The "X" column starts at the same offset in every row.
+        let col = lines[0].find('X').unwrap();
+        assert_eq!(&lines[2][col..col + 4], "4.9B");
+        assert_eq!(&lines[3][col..col + 6], "667.1K");
+    }
+
+    #[test]
+    fn tsv_is_machine_readable() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

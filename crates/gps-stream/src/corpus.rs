@@ -1,0 +1,502 @@
+//! Named synthetic stand-ins for the paper's evaluation corpus.
+//!
+//! The paper evaluates on graphs from networkrepository.com (up to 265M
+//! edges). Those datasets cannot be bundled, so each graph used in a table
+//! or figure gets a *stand-in* generated to match its qualitative profile —
+//! degree skew, clustering level, and density — at laptop scale
+//! (~10⁵–10⁶ edges at `scale = 1.0`). Experiments preserve the paper's
+//! *sampling fractions* `m/|K|`, so relative behaviour (estimation error,
+//! convergence, baseline ordering) is comparable; see DESIGN.md §5.
+//!
+//! Real datasets drop in via [`gps_graph::io::read_edge_list_file`] and the
+//! same harness binaries.
+
+use crate::gen::{self, RmatParams};
+use gps_graph::types::Edge;
+
+/// Generator recipe for one workload.
+#[derive(Clone, Copy, Debug)]
+pub enum GenSpec {
+    /// Erdős–Rényi `G(n, m)`.
+    ErdosRenyi {
+        /// node count
+        n: u32,
+        /// edge count
+        m: usize,
+    },
+    /// Barabási–Albert with `m_per_node` attachments.
+    BarabasiAlbert {
+        /// node count
+        n: u32,
+        /// edges added per new node
+        m_per_node: usize,
+    },
+    /// Holme–Kim power-law cluster graph.
+    HolmeKim {
+        /// node count
+        n: u32,
+        /// edges added per new node
+        m_per_node: usize,
+        /// triad-formation probability (dials clustering)
+        triad_p: f64,
+    },
+    /// Chung–Lu with power-law exponent `gamma`.
+    ChungLu {
+        /// node count
+        n: u32,
+        /// edge count
+        m: usize,
+        /// degree-distribution exponent (> 2)
+        gamma: f64,
+    },
+    /// R-MAT with `2^scale` nodes.
+    Rmat {
+        /// log2 of node count
+        scale: u32,
+        /// edge count
+        m: usize,
+        /// quadrant probabilities
+        params: RmatParams,
+    },
+    /// Watts–Strogatz ring with rewiring.
+    WattsStrogatz {
+        /// node count
+        n: u32,
+        /// ring degree (even)
+        k: usize,
+        /// rewiring probability
+        beta: f64,
+    },
+    /// Overlapping-clique collaboration/affiliation graph.
+    Collaboration {
+        /// node (actor) count
+        n: u32,
+        /// number of cliques (movies/baskets)
+        cliques: usize,
+        /// inclusive clique-size range
+        size: (usize, usize),
+        /// popularity skew (Zipf-like exponent)
+        skew: f64,
+    },
+    /// Grid lattice with diagonal probability.
+    Grid {
+        /// grid rows
+        rows: u32,
+        /// grid columns
+        cols: u32,
+        /// probability of a diagonal per cell
+        diag_p: f64,
+    },
+}
+
+impl GenSpec {
+    /// Generates the edge list, linearly scaling the size knobs by `scale`.
+    pub fn build(&self, scale: f64, seed: u64) -> Vec<Edge> {
+        assert!(scale > 0.0, "scale must be positive");
+        let sn = |n: u32| ((n as f64 * scale) as u32).max(8);
+        let sm = |m: usize| ((m as f64 * scale) as usize).max(8);
+        match *self {
+            GenSpec::ErdosRenyi { n, m } => gen::erdos_renyi(sn(n), sm(m), seed),
+            GenSpec::BarabasiAlbert { n, m_per_node } => {
+                gen::barabasi_albert(sn(n), m_per_node, seed)
+            }
+            GenSpec::HolmeKim {
+                n,
+                m_per_node,
+                triad_p,
+            } => gen::holme_kim(sn(n), m_per_node, triad_p, seed),
+            GenSpec::ChungLu { n, m, gamma } => gen::chung_lu(sn(n), sm(m), gamma, seed),
+            GenSpec::Rmat {
+                scale: s,
+                m,
+                params,
+            } => {
+                // Scale node count by adjusting the exponent: each halving of
+                // `scale` drops one level. Keep at least 2^10 nodes.
+                let adj = (s as f64 + scale.log2()).round().clamp(10.0, 31.0) as u32;
+                gen::rmat(adj, sm(m), params, seed)
+            }
+            GenSpec::WattsStrogatz { n, k, beta } => gen::watts_strogatz(sn(n), k, beta, seed),
+            GenSpec::Collaboration {
+                n,
+                cliques,
+                size,
+                skew,
+            } => gen::collaboration(sn(n), sm(cliques), size, skew, seed),
+            GenSpec::Grid { rows, cols, diag_p } => {
+                let f = scale.sqrt();
+                gen::grid(
+                    ((rows as f64 * f) as u32).max(3),
+                    ((cols as f64 * f) as u32).max(3),
+                    diag_p,
+                    seed,
+                )
+            }
+        }
+    }
+}
+
+/// A named workload: which paper graph it stands in for, and how to build it.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Short name used in tables (e.g. `hollywood-sim`).
+    pub name: &'static str,
+    /// The paper graph this stands in for (e.g. `ca-hollywood-2009`).
+    pub stands_in_for: &'static str,
+    /// Qualitative profile being matched.
+    pub profile: &'static str,
+    /// Generator recipe.
+    pub gen: GenSpec,
+}
+
+impl WorkloadSpec {
+    /// Builds the workload at the given scale with a deterministic per-name
+    /// seed derived from `seed`.
+    pub fn build(&self, scale: f64, seed: u64) -> Workload {
+        // Mix the workload name into the seed so two workloads in the same
+        // experiment never share an RNG stream.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in self.name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let edges = self.gen.build(scale, seed ^ h);
+        Workload { spec: *self, edges }
+    }
+}
+
+/// A realized workload: the spec plus its generated edges.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The spec this was built from.
+    pub spec: WorkloadSpec,
+    /// Generated edge list (generation order; shuffle before streaming).
+    pub edges: Vec<Edge>,
+}
+
+impl Workload {
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// All distinct stand-ins used anywhere in the evaluation.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        // High-clustering collaboration graph: ca-hollywood-2009 (α ≈ 0.31).
+        WorkloadSpec {
+            name: "hollywood-sim",
+            stands_in_for: "ca-hollywood-2009",
+            profile: "heavy-tail, very high clustering (overlapping casts)",
+            gen: GenSpec::Collaboration {
+                n: 36_000,
+                cliques: 9_600,
+                size: (4, 10),
+                skew: 0.2,
+            },
+        },
+        // Co-purchase graph: com-amazon (α ≈ 0.205, mild skew).
+        WorkloadSpec {
+            name: "amazon-sim",
+            stands_in_for: "com-amazon",
+            profile: "mild tail, high clustering (co-purchase baskets)",
+            gen: GenSpec::Collaboration {
+                n: 50_000,
+                cliques: 28_000,
+                size: (3, 6),
+                skew: 0.3,
+            },
+        },
+        // Retweet/mention graph: higgs-social-network (α ≈ 0.009).
+        WorkloadSpec {
+            name: "higgs-sim",
+            stands_in_for: "higgs-social-network",
+            profile: "heavy-tail, very low clustering",
+            gen: GenSpec::HolmeKim {
+                n: 110_000,
+                m_per_node: 2,
+                triad_p: 0.10,
+            },
+        },
+        // Blog/social graph: soc-livejournal (α ≈ 0.139).
+        WorkloadSpec {
+            name: "livejournal-sim",
+            stands_in_for: "soc-livejournal",
+            profile: "heavy-tail, moderate clustering",
+            gen: GenSpec::HolmeKim {
+                n: 75_000,
+                m_per_node: 3,
+                triad_p: 0.45,
+            },
+        },
+        // Dense social graph: soc-orkut (α ≈ 0.041).
+        WorkloadSpec {
+            name: "orkut-sim",
+            stands_in_for: "soc-orkut",
+            profile: "dense, heavy-tail, low clustering",
+            gen: GenSpec::HolmeKim {
+                n: 55_000,
+                m_per_node: 4,
+                triad_p: 0.15,
+            },
+        },
+        // Follower graph: soc-twitter-2010 (α ≈ 0.028, extreme skew).
+        WorkloadSpec {
+            name: "twitter-sim",
+            stands_in_for: "soc-twitter-2010",
+            profile: "extreme skew, low clustering",
+            gen: GenSpec::Rmat {
+                scale: 17,
+                m: 260_000,
+                params: RmatParams::web(),
+            },
+        },
+        // Subscription graph: soc-youtube-snap (α ≈ 0.006).
+        WorkloadSpec {
+            name: "youtube-sim",
+            stands_in_for: "soc-youtube-snap",
+            profile: "heavy-tail, very low clustering",
+            gen: GenSpec::HolmeKim {
+                n: 120_000,
+                m_per_node: 2,
+                triad_p: 0.08,
+            },
+        },
+        // Facebook network: socfb-Penn94 (α ≈ 0.098, dense).
+        WorkloadSpec {
+            name: "penn94-sim",
+            stands_in_for: "socfb-Penn94",
+            profile: "dense, moderate clustering",
+            gen: GenSpec::HolmeKim {
+                n: 20_000,
+                m_per_node: 10,
+                triad_p: 0.35,
+            },
+        },
+        // Facebook network: socfb-Texas84 (α ≈ 0.100, dense).
+        WorkloadSpec {
+            name: "texas84-sim",
+            stands_in_for: "socfb-Texas84",
+            profile: "dense, moderate clustering",
+            gen: GenSpec::HolmeKim {
+                n: 18_000,
+                m_per_node: 11,
+                triad_p: 0.35,
+            },
+        },
+        // Internet topology: tech-as-skitter (α ≈ 0.005).
+        WorkloadSpec {
+            name: "skitter-sim",
+            stands_in_for: "tech-as-skitter",
+            profile: "extreme skew, very low clustering",
+            gen: GenSpec::Rmat {
+                scale: 16,
+                m: 220_000,
+                params: RmatParams::web(),
+            },
+        },
+        // Web graph: web-google (α ≈ 0.055).
+        WorkloadSpec {
+            name: "google-sim",
+            stands_in_for: "web-google",
+            profile: "skewed, moderate local clustering",
+            gen: GenSpec::HolmeKim {
+                n: 70_000,
+                m_per_node: 3,
+                triad_p: 0.25,
+            },
+        },
+        // Web graph: web-BerkStan.
+        WorkloadSpec {
+            name: "berkstan-sim",
+            stands_in_for: "web-BerkStan",
+            profile: "skewed web graph",
+            gen: GenSpec::Rmat {
+                scale: 16,
+                m: 210_000,
+                params: RmatParams::social(),
+            },
+        },
+        // Citation graph: cit-Patents (α ≈ 0.067, low clustering).
+        WorkloadSpec {
+            name: "patents-sim",
+            stands_in_for: "cit-Patents",
+            profile: "moderate skew, low clustering",
+            gen: GenSpec::ChungLu {
+                n: 140_000,
+                m: 280_000,
+                gamma: 2.2,
+            },
+        },
+        // Road network: infra-roadNet-CA (near-planar, few triangles).
+        WorkloadSpec {
+            name: "roadnet-sim",
+            stands_in_for: "infra-roadNet-CA",
+            profile: "near-constant degree, triangle-poor",
+            gen: GenSpec::Grid {
+                rows: 330,
+                cols: 320,
+                diag_p: 0.03,
+            },
+        },
+        // Low-clustering control (not in the paper's tables; used by tests
+        // and ablations).
+        WorkloadSpec {
+            name: "er-control",
+            stands_in_for: "(control)",
+            profile: "Poisson degrees, vanishing clustering",
+            gen: GenSpec::ErdosRenyi {
+                n: 80_000,
+                m: 240_000,
+            },
+        },
+        // Small-world control with high clustering and flat degrees.
+        WorkloadSpec {
+            name: "smallworld-control",
+            stands_in_for: "(control)",
+            profile: "flat degrees, high clustering",
+            gen: GenSpec::WattsStrogatz {
+                n: 60_000,
+                k: 8,
+                beta: 0.1,
+            },
+        },
+    ]
+}
+
+/// Looks up a spec by its short name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The 11 graphs of paper Table 1, in the paper's row order.
+pub fn table1() -> Vec<WorkloadSpec> {
+    [
+        "hollywood-sim",
+        "amazon-sim",
+        "higgs-sim",
+        "livejournal-sim",
+        "orkut-sim",
+        "twitter-sim",
+        "youtube-sim",
+        "penn94-sim",
+        "texas84-sim",
+        "skitter-sim",
+        "google-sim",
+    ]
+    .iter()
+    .map(|n| by_name(n).unwrap())
+    .collect()
+}
+
+/// The 3 graphs of paper Table 2.
+pub fn table2() -> Vec<WorkloadSpec> {
+    ["patents-sim", "higgs-sim", "roadnet-sim"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+/// The 4 graphs of paper Table 3.
+pub fn table3() -> Vec<WorkloadSpec> {
+    ["hollywood-sim", "skitter-sim", "roadnet-sim", "youtube-sim"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+/// The 12 panels of paper Figures 1–2.
+pub fn figure_panels() -> Vec<WorkloadSpec> {
+    [
+        "texas84-sim",
+        "penn94-sim",
+        "twitter-sim",
+        "youtube-sim",
+        "orkut-sim",
+        "livejournal-sim",
+        "higgs-sim",
+        "patents-sim",
+        "berkstan-sim",
+        "amazon-sim",
+        "skitter-sim",
+        "google-sim",
+    ]
+    .iter()
+    .map(|n| by_name(n).unwrap())
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::csr::CsrGraph;
+    use gps_graph::exact;
+
+    #[test]
+    fn all_specs_have_unique_names() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn experiment_sets_resolve() {
+        assert_eq!(table1().len(), 11);
+        assert_eq!(table2().len(), 3);
+        assert_eq!(table3().len(), 4);
+        assert_eq!(figure_panels().len(), 12);
+        assert!(by_name("no-such-graph").is_none());
+    }
+
+    #[test]
+    fn small_scale_builds_are_simple_and_seeded() {
+        for spec in all() {
+            let w1 = spec.build(0.02, 42);
+            let w2 = spec.build(0.02, 42);
+            assert_eq!(w1.edges, w2.edges, "{} not deterministic", spec.name);
+            assert!(w1.num_edges() > 0, "{} generated no edges", spec.name);
+            let mut keys: Vec<u64> = w1.edges.iter().map(|e| e.key()).collect();
+            keys.sort_unstable();
+            let n = keys.len();
+            keys.dedup();
+            assert_eq!(n, keys.len(), "{} has duplicate edges", spec.name);
+        }
+    }
+
+    #[test]
+    fn clustering_profiles_are_ordered_as_designed() {
+        // At test scale, hollywood-sim must cluster far above higgs-sim.
+        let hollywood = by_name("hollywood-sim").unwrap().build(0.05, 7);
+        let higgs = by_name("higgs-sim").unwrap().build(0.05, 7);
+        let a_h = exact::global_clustering(&CsrGraph::from_edges(&hollywood.edges));
+        let a_g = exact::global_clustering(&CsrGraph::from_edges(&higgs.edges));
+        assert!(
+            a_h > 3.0 * a_g,
+            "hollywood {a_h} should cluster >> higgs {a_g}"
+        );
+    }
+
+    #[test]
+    fn roadnet_is_triangle_poor() {
+        let road = by_name("roadnet-sim").unwrap().build(0.05, 9);
+        let g = CsrGraph::from_edges(&road.edges);
+        let t = exact::triangle_count(&g);
+        // Few triangles, but nonzero thanks to diagonal streets.
+        assert!(t > 0);
+        assert!((t as f64) < 0.05 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn different_workloads_use_different_streams() {
+        let a = by_name("higgs-sim").unwrap().build(0.02, 1);
+        let b = by_name("youtube-sim").unwrap().build(0.02, 1);
+        assert_ne!(a.edges, b.edges);
+    }
+}

@@ -1,0 +1,183 @@
+//! Lazy single-pass edge streaming from disk.
+//!
+//! `gps_graph::io::read_edge_list` loads a whole edge list into memory —
+//! fine for experiments that also need exact ground truth, but the entire
+//! point of the paper's streaming model is that the graph need *not* fit in
+//! memory. [`EdgeFileStream`] yields edges one line at a time with a single
+//! reused line buffer, so sampling a 100-GB edge list needs memory only for
+//! the reservoir (plus the node relabeling table).
+//!
+//! Deduplication is intentionally NOT performed here (that would require
+//! remembering all past edges, defeating streaming); the GPS sampler
+//! already skips duplicates of *currently sampled* edges, and the paper's
+//! model assumes unique edges. For strict simplification, preprocess with
+//! `gps_graph::io`.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use gps_graph::error::GraphError;
+use gps_graph::io::NodeRelabeler;
+use gps_graph::types::Edge;
+
+/// Streaming reader over a white-space separated edge list.
+///
+/// Yields `Result<Edge, GraphError>` per data line; `#`/`%` comments and
+/// blank lines are skipped, self-loops are dropped, extra columns ignored,
+/// and sparse ids are relabeled densely in first-seen order.
+pub struct EdgeFileStream<R: Read> {
+    reader: BufReader<R>,
+    relabeler: NodeRelabeler,
+    line: String,
+    lineno: usize,
+    edges_seen: u64,
+}
+
+impl EdgeFileStream<std::fs::File> {
+    /// Opens a file for streaming.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, GraphError> {
+        Ok(Self::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> EdgeFileStream<R> {
+    /// Wraps any reader (sockets, pipes, compressed readers, …).
+    pub fn new(reader: R) -> Self {
+        EdgeFileStream {
+            reader: BufReader::new(reader),
+            relabeler: NodeRelabeler::new(),
+            line: String::new(),
+            lineno: 0,
+            edges_seen: 0,
+        }
+    }
+
+    /// Edges yielded so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Distinct nodes seen so far.
+    pub fn nodes_seen(&self) -> usize {
+        self.relabeler.len()
+    }
+}
+
+impl<R: Read> Iterator for EdgeFileStream<R> {
+    type Item = Result<Edge, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Err(e) => return Some(Err(GraphError::Io(e))),
+                Ok(0) => return None,
+                Ok(_) => {}
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let parse_err = GraphError::Parse {
+                line: self.lineno,
+                content: trimmed.chars().take(80).collect(),
+            };
+            let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
+                return Some(Err(parse_err));
+            };
+            let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+                return Some(Err(parse_err));
+            };
+            if a == b {
+                continue; // paper model: no self-loops
+            }
+            let a = match self.relabeler.relabel(a) {
+                Ok(id) => id,
+                Err(e) => return Some(Err(e)),
+            };
+            let b = match self.relabeler.relabel(b) {
+                Ok(id) => id,
+                Err(e) => return Some(Err(e)),
+            };
+            self.edges_seen += 1;
+            return Some(Ok(Edge::new(a, b)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_edges_lazily_with_relabeling() {
+        let input = "# header\n100 200\n200 300\n\n% note\n100 300 7.5\n";
+        let mut stream = EdgeFileStream::new(input.as_bytes());
+        let edges: Vec<Edge> = stream.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]
+        );
+        assert_eq!(stream.edges_seen(), 3);
+        assert_eq!(stream.nodes_seen(), 3);
+    }
+
+    #[test]
+    fn self_loops_are_dropped_silently() {
+        let input = "5 5\n5 6\n";
+        let edges: Vec<Edge> = EdgeFileStream::new(input.as_bytes())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let input = "1 2\nbad line\n3 4\n";
+        let mut stream = EdgeFileStream::new(input.as_bytes());
+        assert!(stream.next().unwrap().is_ok());
+        match stream.next().unwrap() {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // The stream recovers and continues after an error.
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn feeds_a_sampler_end_to_end() {
+        use std::fmt::Write as _;
+        // 300-edge path written as text, streamed into a reservoir of 50.
+        let mut text = String::new();
+        for i in 0..300u32 {
+            writeln!(text, "{} {}", i * 7 + 1, (i + 1) * 7 + 1).unwrap();
+        }
+        let stream = EdgeFileStream::new(text.as_bytes());
+        let mut edges = 0u32;
+        for r in stream {
+            r.unwrap();
+            edges += 1;
+        }
+        assert_eq!(edges, 300);
+    }
+
+    #[test]
+    fn agrees_with_eager_loader() {
+        let input = "9 4\n4 2\n2 9\n7 7\n9 2\n";
+        let lazy: Vec<Edge> = EdgeFileStream::new(input.as_bytes())
+            .map(|r| r.unwrap())
+            .collect();
+        let eager = gps_graph::io::read_edge_list(
+            input.as_bytes(),
+            gps_graph::io::ReadOptions {
+                dedupe: false,
+                skip_self_loops: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(lazy, eager);
+    }
+}

@@ -1,0 +1,113 @@
+//! Barabási–Albert preferential attachment.
+
+use super::EdgeAccumulator;
+use gps_graph::types::{Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph: `n` nodes, each new node attaching
+/// `m_per_node` edges to existing nodes with probability proportional to
+/// their degree.
+///
+/// Produces the heavy-tailed degree distributions of the paper's social
+/// stand-ins (higgs-social-network, soc-youtube, soc-orkut) with low-to-
+/// moderate clustering. The seed graph is a `(m_per_node + 1)`-clique.
+///
+/// # Panics
+/// Panics if `n <= m_per_node` or `m_per_node == 0`.
+pub fn barabasi_albert(n: NodeId, m_per_node: usize, seed: u64) -> Vec<Edge> {
+    assert!(m_per_node >= 1, "need at least one edge per node");
+    assert!(
+        (n as usize) > m_per_node,
+        "need more nodes ({n}) than edges per node ({m_per_node})"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m0 = m_per_node + 1;
+    let expected_edges = m0 * (m0 - 1) / 2 + (n as usize - m0) * m_per_node;
+    let mut acc = EdgeAccumulator::with_capacity(expected_edges);
+
+    // `stubs` holds each node once per incident edge; uniform draws from it
+    // implement degree-proportional selection exactly.
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(expected_edges * 2);
+
+    // Seed clique.
+    for a in 0..m0 as NodeId {
+        for b in (a + 1)..m0 as NodeId {
+            acc.push(Edge::new(a, b));
+            stubs.push(a);
+            stubs.push(b);
+        }
+    }
+
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m_per_node);
+    for v in m0 as NodeId..n {
+        picked.clear();
+        // Draw m distinct targets by preferential attachment; rejection on
+        // duplicates terminates fast because m_per_node << current nodes.
+        while picked.len() < m_per_node {
+            let target = stubs[rng.random_range(0..stubs.len())];
+            if !picked.contains(&target) {
+                picked.push(target);
+            }
+        }
+        for &t in &picked {
+            acc.push(Edge::new(v, t));
+            stubs.push(v);
+            stubs.push(t);
+        }
+    }
+    acc.into_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_simple;
+    use super::*;
+    use gps_graph::csr::CsrGraph;
+    use gps_graph::degrees::DegreeStats;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let n = 500;
+        let m = 3;
+        let edges = barabasi_albert(n, m, 11);
+        let m0 = m + 1;
+        assert_eq!(edges.len(), m0 * (m0 - 1) / 2 + (n as usize - m0) * m);
+        assert_simple(&edges);
+    }
+
+    #[test]
+    fn produces_heavy_tailed_degrees() {
+        let edges = barabasi_albert(3000, 2, 5);
+        let g = CsrGraph::from_edges(&edges);
+        let stats = DegreeStats::of(&g);
+        assert!(
+            stats.is_heavy_tailed(),
+            "BA should be heavy-tailed, got max={} median={}",
+            stats.max,
+            stats.median
+        );
+        // Every non-seed node has degree >= m.
+        assert!(stats.min >= 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(barabasi_albert(200, 2, 1), barabasi_albert(200, 2, 1));
+        assert_ne!(barabasi_albert(200, 2, 1), barabasi_albert(200, 2, 2));
+    }
+
+    #[test]
+    fn minimal_configuration() {
+        // n = m + 2: the clique plus a single attached node.
+        let edges = barabasi_albert(4, 2, 0);
+        assert_simple(&edges);
+        assert_eq!(edges.len(), 3 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_tiny_n() {
+        barabasi_albert(2, 2, 0);
+    }
+}

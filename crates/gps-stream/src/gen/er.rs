@@ -1,0 +1,97 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+
+use super::EdgeAccumulator;
+use gps_graph::types::{Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random simple graph with `n` nodes and exactly `m`
+/// distinct edges (`G(n, m)` model).
+///
+/// ER graphs have Poisson degrees and vanishing clustering — the paper-less
+/// "control" workload where triangle-weighted sampling has the least to
+/// exploit.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n·(n-1)/2`, or if
+/// `n < 2` while `m > 0`.
+pub fn erdos_renyi(n: NodeId, m: usize, seed: u64) -> Vec<Edge> {
+    let possible = n as u64 * (n as u64 - 1) / 2;
+    assert!(
+        m as u64 <= possible,
+        "G({n}, {m}) requested but only {possible} edges possible"
+    );
+    if m == 0 {
+        return vec![];
+    }
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = EdgeAccumulator::with_capacity(m);
+
+    // Rejection sampling is fast while m is well below the ceiling; for
+    // dense requests (> 50% of possible edges) fall back to sampling the
+    // complement-free exact way via shuffled enumeration.
+    if (m as u64) * 2 <= possible {
+        while acc.len() < m {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if let Some(e) = Edge::try_new(a, b) {
+                acc.push(e);
+            }
+        }
+        acc.into_edges()
+    } else {
+        let mut all: Vec<Edge> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| Edge::new(a, b)))
+            .collect();
+        crate::permute::shuffle_in_place(&mut all, rng.random());
+        all.truncate(m);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_simple;
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_and_simplicity() {
+        let edges = erdos_renyi(100, 500, 1);
+        assert_eq!(edges.len(), 500);
+        assert_simple(&edges);
+        assert!(edges.iter().all(|e| e.v() < 100));
+    }
+
+    #[test]
+    fn dense_path_uses_enumeration() {
+        // 10 nodes → 45 possible; ask for 40 (> half).
+        let edges = erdos_renyi(10, 40, 3);
+        assert_eq!(edges.len(), 40);
+        assert_simple(&edges);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(erdos_renyi(50, 200, 9), erdos_renyi(50, 200, 9));
+        assert_ne!(erdos_renyi(50, 200, 9), erdos_renyi(50, 200, 10));
+    }
+
+    #[test]
+    fn zero_edges() {
+        assert!(erdos_renyi(5, 0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_impossible_density() {
+        erdos_renyi(3, 10, 0);
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let edges = erdos_renyi(6, 15, 2);
+        assert_eq!(edges.len(), 15);
+        assert_simple(&edges);
+    }
+}

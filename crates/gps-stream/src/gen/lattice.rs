@@ -1,0 +1,97 @@
+//! Grid lattices with optional diagonal shortcuts.
+
+use super::EdgeAccumulator;
+use gps_graph::types::{Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `rows × cols` grid graph; each cell additionally gains one
+/// random diagonal with probability `diag_p` (creating a pair of triangles
+/// per diagonal).
+///
+/// A pure grid (`diag_p = 0`) has *zero* triangles and near-constant degree
+/// — the adversarial workload for triangle estimators, matching the paper's
+/// infra-roadNet-CA where TRIEST degrades hardest (Table 3). A small
+/// `diag_p` models occasional cross streets so estimators have a nonzero
+/// target.
+///
+/// # Panics
+/// Panics if fewer than 2 total nodes, the node count overflows `u32`, or
+/// `diag_p ∉ [0, 1]`.
+pub fn grid(rows: u32, cols: u32, diag_p: f64, seed: u64) -> Vec<Edge> {
+    assert!(rows as u64 * cols as u64 >= 2, "need at least two nodes");
+    assert!(
+        rows as u64 * cols as u64 <= u32::MAX as u64,
+        "grid too large for u32 ids"
+    );
+    assert!((0.0..=1.0).contains(&diag_p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let id = |r: u32, c: u32| -> NodeId { r * cols + c };
+    let mut acc = EdgeAccumulator::with_capacity((rows as usize) * (cols as usize) * 2);
+
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                acc.push(Edge::new(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                acc.push(Edge::new(id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.random::<f64>() < diag_p {
+                // Pick one of the two diagonals of the cell at random.
+                if rng.random::<bool>() {
+                    acc.push(Edge::new(id(r, c), id(r + 1, c + 1)));
+                } else {
+                    acc.push(Edge::new(id(r, c + 1), id(r + 1, c)));
+                }
+            }
+        }
+    }
+    acc.into_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_simple;
+    use super::*;
+    use gps_graph::csr::CsrGraph;
+    use gps_graph::exact;
+
+    #[test]
+    fn pure_grid_shape() {
+        let edges = grid(4, 5, 0.0, 0);
+        // 4x5 grid: 4*(5-1) horizontal + 5*(4-1) vertical = 16 + 15 = 31.
+        assert_eq!(edges.len(), 31);
+        assert_simple(&edges);
+        let g = CsrGraph::from_edges(&edges);
+        assert_eq!(exact::triangle_count(&g), 0, "pure grids are triangle-free");
+    }
+
+    #[test]
+    fn diagonals_create_triangles() {
+        let edges = grid(20, 20, 1.0, 1);
+        let g = CsrGraph::from_edges(&edges);
+        // Every cell has a diagonal → 2 triangles per cell.
+        assert_eq!(exact::triangle_count(&g), 2 * 19 * 19);
+    }
+
+    #[test]
+    fn partial_diagonals_between_extremes() {
+        let edges = grid(30, 30, 0.2, 5);
+        let g = CsrGraph::from_edges(&edges);
+        let t = exact::triangle_count(&g);
+        assert!(t > 0 && t < 2 * 29 * 29);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(grid(10, 10, 0.5, 2), grid(10, 10, 0.5, 2));
+        assert_ne!(grid(10, 10, 0.5, 2), grid(10, 10, 0.5, 3));
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let edges = grid(1, 6, 0.0, 0);
+        assert_eq!(edges.len(), 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! R-MAT recursive-matrix graphs (Chakrabarti, Zhan & Faloutsos).
+
+use super::EdgeAccumulator;
+use gps_graph::types::{Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for the recursive matrix. Must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left (both endpoints in the low half) — the "community core".
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic skewed setting used for web/internet topologies
+    /// (a=0.57, b=0.19, c=0.19, d=0.05).
+    pub fn web() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// A milder skew approximating collaboration networks.
+    pub fn social() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `m` distinct edges.
+///
+/// R-MAT's recursive quadrant descent yields skewed degrees and
+/// community-like structure; it is the standard synthetic stand-in for web
+/// and autonomous-system graphs (the paper's web-google, web-BerkStan,
+/// tech-as-skitter).
+///
+/// # Panics
+/// Panics if the quadrant probabilities do not sum to ≈1, `scale` is 0 or
+/// exceeds 31, or `m` exceeds the possible simple-edge count.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Vec<Edge> {
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    let sum = params.a + params.b + params.c + params.d;
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1 (got {sum})"
+    );
+    let n: u64 = 1 << scale;
+    let possible = n * (n - 1) / 2;
+    assert!((m as u64) <= possible, "too many edges requested");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = EdgeAccumulator::with_capacity(m);
+    // Noise keeps repeated descents from always picking identical cells,
+    // which would stall deduplicated generation at high densities.
+    let noise = 0.1;
+    let mut attempts = 0u64;
+    let max_attempts = (m as u64).saturating_mul(1000).max(1_000_000);
+    while acc.len() < m {
+        attempts += 1;
+        assert!(
+            attempts < max_attempts,
+            "R-MAT generation stalled: {} of {m} edges after {attempts} attempts",
+            acc.len()
+        );
+        let (mut row, mut col) = (0u64, 0u64);
+        let (mut a, mut b, mut c, mut d) = (params.a, params.b, params.c, params.d);
+        for level in 0..scale {
+            let half = 1u64 << (scale - 1 - level);
+            let x = rng.random::<f64>() * (a + b + c + d);
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + b {
+                col += half;
+            } else if x < a + b + c {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            // Perturb probabilities per level (standard R-MAT smoothing).
+            let jitter = |p: f64, r: f64| p * (1.0 - noise / 2.0 + noise * r);
+            a = jitter(a, rng.random::<f64>());
+            b = jitter(b, rng.random::<f64>());
+            c = jitter(c, rng.random::<f64>());
+            d = jitter(d, rng.random::<f64>());
+        }
+        if let Some(e) = Edge::try_new(row as NodeId, col as NodeId) {
+            acc.push(e);
+        }
+    }
+    acc.into_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_simple;
+    use super::*;
+    use gps_graph::csr::CsrGraph;
+    use gps_graph::degrees::DegreeStats;
+
+    #[test]
+    fn exact_count_simple_and_in_range() {
+        let edges = rmat(10, 4000, RmatParams::web(), 3);
+        assert_eq!(edges.len(), 4000);
+        assert_simple(&edges);
+        assert!(edges.iter().all(|e| (e.v() as u64) < (1 << 10)));
+    }
+
+    #[test]
+    fn web_params_are_skewed() {
+        let edges = rmat(12, 20000, RmatParams::web(), 17);
+        let stats = DegreeStats::of(&CsrGraph::from_edges(&edges));
+        assert!(
+            stats.is_heavy_tailed(),
+            "R-MAT web should be skewed: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            rmat(8, 500, RmatParams::social(), 1),
+            rmat(8, 500, RmatParams::social(), 1)
+        );
+        assert_ne!(
+            rmat(8, 500, RmatParams::social(), 1),
+            rmat(8, 500, RmatParams::social(), 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(
+            4,
+            5,
+            RmatParams {
+                a: 0.9,
+                b: 0.3,
+                c: 0.1,
+                d: 0.1,
+            },
+            0,
+        );
+    }
+}

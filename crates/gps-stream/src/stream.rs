@@ -1,0 +1,171 @@
+//! Stream adapters and checkpoint scheduling.
+//!
+//! An edge stream in this workspace is simply an `Iterator<Item = Edge>`;
+//! samplers consume edges one at a time and never look ahead, matching the
+//! paper's single-pass model. This module adds the scheduling helpers the
+//! experiments need: [`Checkpoints`] picks the stream positions at which the
+//! "vs. time" experiments (paper Figure 3, Table 3) compare estimates to
+//! exact counts.
+
+use gps_graph::types::Edge;
+
+/// A set of stream positions (1-based edge counts) at which to snapshot
+/// estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoints {
+    positions: Vec<usize>,
+}
+
+impl Checkpoints {
+    /// `count` checkpoints evenly spaced over a stream of `stream_len` edges,
+    /// ending exactly at `stream_len`.
+    pub fn linear(stream_len: usize, count: usize) -> Self {
+        assert!(count > 0, "need at least one checkpoint");
+        let positions = (1..=count)
+            .map(|i| (stream_len as u128 * i as u128 / count as u128) as usize)
+            .filter(|&p| p > 0)
+            .collect::<Vec<_>>();
+        let mut dedup = positions;
+        dedup.dedup();
+        Checkpoints { positions: dedup }
+    }
+
+    /// Geometrically spaced checkpoints from `start` to `stream_len`
+    /// (inclusive), multiplying by `factor` (> 1) each step. Used for
+    /// sample-size sweeps plotted on log axes (paper Figure 2).
+    pub fn geometric(start: usize, stream_len: usize, factor: f64) -> Self {
+        assert!(factor > 1.0, "factor must exceed 1");
+        assert!(start > 0, "start must be positive");
+        let mut positions = vec![];
+        let mut x = start as f64;
+        while (x as usize) < stream_len {
+            positions.push(x as usize);
+            x *= factor;
+        }
+        positions.push(stream_len);
+        positions.dedup();
+        Checkpoints { positions }
+    }
+
+    /// Explicit positions (must be strictly increasing).
+    pub fn explicit(positions: Vec<usize>) -> Self {
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be increasing"
+        );
+        Checkpoints { positions }
+    }
+
+    /// The checkpoint positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Streams `edges` through `on_edge`, invoking `at_checkpoint(t)` after
+    /// the `t`-th edge whenever `t` is a checkpoint.
+    pub fn drive<I, F, G>(&self, edges: I, mut on_edge: F, mut at_checkpoint: G)
+    where
+        I: IntoIterator<Item = Edge>,
+        F: FnMut(Edge),
+        G: FnMut(usize),
+    {
+        let mut next = 0usize;
+        for (idx, edge) in edges.into_iter().enumerate() {
+            on_edge(edge);
+            let t = idx + 1;
+            while next < self.positions.len() && self.positions[next] == t {
+                at_checkpoint(t);
+                next += 1;
+            }
+        }
+    }
+}
+
+/// Counts edges and distinct nodes flowing through a stream, without
+/// buffering it. Wrap any edge iterator to get stream-side statistics.
+#[derive(Debug, Default)]
+pub struct StreamMeter {
+    edges: usize,
+    nodes: gps_graph::FxHashSet<gps_graph::NodeId>,
+}
+
+impl StreamMeter {
+    /// New, empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one edge.
+    pub fn observe(&mut self, e: Edge) {
+        self.edges += 1;
+        self.nodes.insert(e.u());
+        self.nodes.insert(e.v());
+    }
+
+    /// Edges observed so far.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Distinct nodes observed so far.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_checkpoints_end_at_stream_len() {
+        let c = Checkpoints::linear(100, 4);
+        assert_eq!(c.positions(), &[25, 50, 75, 100]);
+        let c = Checkpoints::linear(7, 3);
+        assert_eq!(*c.positions().last().unwrap(), 7);
+    }
+
+    #[test]
+    fn geometric_checkpoints_grow_and_terminate() {
+        let c = Checkpoints::geometric(10, 1000, 10.0);
+        assert_eq!(c.positions(), &[10, 100, 1000]);
+        let c = Checkpoints::geometric(10, 10, 2.0);
+        assert_eq!(c.positions(), &[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn explicit_rejects_unsorted() {
+        Checkpoints::explicit(vec![5, 3]);
+    }
+
+    #[test]
+    fn drive_fires_checkpoints_in_order() {
+        let edges: Vec<Edge> = (0..10).map(|i| Edge::new(i, i + 1)).collect();
+        let c = Checkpoints::explicit(vec![3, 7, 10]);
+        let mut seen_edges = 0;
+        let mut fired = vec![];
+        c.drive(edges, |_| seen_edges += 1, |t| fired.push(t));
+        assert_eq!(seen_edges, 10);
+        assert_eq!(fired, vec![3, 7, 10]);
+    }
+
+    #[test]
+    fn drive_ignores_checkpoints_past_stream_end() {
+        let edges: Vec<Edge> = (0..5).map(|i| Edge::new(i, i + 1)).collect();
+        let c = Checkpoints::explicit(vec![2, 9]);
+        let mut fired = vec![];
+        c.drive(edges, |_| {}, |t| fired.push(t));
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn meter_counts_nodes_and_edges() {
+        let mut m = StreamMeter::new();
+        m.observe(Edge::new(0, 1));
+        m.observe(Edge::new(1, 2));
+        m.observe(Edge::new(0, 2));
+        assert_eq!(m.edges(), 3);
+        assert_eq!(m.nodes(), 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Diagnostic scan (ignored by default): clustering/triangle profiles of
+//! candidate generator configurations, used to calibrate the corpus.
+
+use gps_graph::csr::CsrGraph;
+use gps_graph::exact;
+use gps_stream::gen;
+
+#[test]
+#[ignore]
+fn scan_configs() {
+    let configs: Vec<(&str, Vec<gps_graph::Edge>)> = vec![
+        ("hk m4 p85", gen::holme_kim(55_000, 4, 0.85, 1)),
+        ("hk m6 p95", gen::holme_kim(37_000, 6, 0.95, 1)),
+        ("hk m8 p97", gen::holme_kim(28_000, 8, 0.97, 1)),
+        ("hk m2 p10", gen::holme_kim(110_000, 2, 0.10, 1)),
+        ("hk m2 p08", gen::holme_kim(120_000, 2, 0.08, 1)),
+        ("hk m2 p20", gen::holme_kim(120_000, 2, 0.20, 1)),
+        ("hk m3 p15", gen::holme_kim(95_000, 3, 0.15, 1)),
+        ("cl g2.8", gen::chung_lu(140_000, 280_000, 2.8, 1)),
+        ("cl g2.2", gen::chung_lu(140_000, 280_000, 2.2, 1)),
+    ];
+    for (name, edges) in configs {
+        let g = CsrGraph::from_edges(&edges);
+        let t = exact::triangle_count(&g);
+        let a = exact::global_clustering(&g);
+        println!("{name:12} |K|={:>7} T={:>8} alpha={a:.4}", edges.len(), t);
+    }
+}
+
+#[test]
+#[ignore]
+fn scan_collab() {
+    for (name, n, c, lo, hi, skew) in [
+        (
+            "collab 20k/12k s0.6",
+            20_000u32,
+            12_000usize,
+            3usize,
+            7usize,
+            0.6f64,
+        ),
+        ("collab 40k/24k s0.6", 40_000, 24_000, 3, 7, 0.6),
+        ("collab 40k/24k s0.3", 40_000, 24_000, 3, 7, 0.3),
+        ("collab 40k/24k s0.9", 40_000, 24_000, 3, 7, 0.9),
+        ("collab 60k/30k s0.5", 60_000, 30_000, 3, 8, 0.5),
+        ("collab 80k/40k s0.4", 80_000, 40_000, 3, 6, 0.4),
+        ("collab 60k/16k 4-10 s0.2", 60_000, 16_000, 4, 10, 0.2),
+        ("collab 70k/14k 4-12 s0.15", 70_000, 14_000, 4, 12, 0.15),
+        ("collab 80k/12k 5-14 s0.1", 80_000, 12_000, 5, 14, 0.1),
+        ("collab 50k/28k 3-6 s0.3", 50_000, 28_000, 3, 6, 0.3),
+    ] {
+        let edges = gen::collaboration(n, c, (lo, hi), skew, 1);
+        let g = CsrGraph::from_edges(&edges);
+        let t = exact::triangle_count(&g);
+        let a = exact::global_clustering(&g);
+        println!("{name:22} |K|={:>7} T={:>8} alpha={a:.4}", edges.len(), t);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: sample a graph stream and estimate triangle/wedge counts.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic social graph, streams it in random order through a
+//! GPS(m) reservoir holding ~8% of the edges, and prints in-stream estimates
+//! with 95% confidence bounds next to the exact values.
+
+use graph_priority_sampling::prelude::*;
+
+fn main() {
+    // 1. A workload: Holme–Kim graph (heavy-tailed degrees + triangles).
+    let edges = gps_stream::gen::holme_kim(20_000, 3, 0.5, 7);
+    println!("graph: {} edges", edges.len());
+
+    // 2. Exact ground truth (feasible here; the whole point of GPS is that
+    //    you do NOT need this at stream scale).
+    let g = CsrGraph::from_edges(&edges);
+    let exact_triangles = gps_graph::exact::triangle_count(&g) as f64;
+    let exact_wedges = gps_graph::exact::wedge_count(&g) as f64;
+    let exact_cc = gps_graph::exact::global_clustering(&g);
+
+    // 3. One pass over a random-order stream with the paper's
+    //    triangle-optimized weights W(k, K̂) = 9·|△̂(k)| + 1.
+    let m = edges.len() / 12;
+    let mut est = InStreamEstimator::new(m, TriangleWeight::default(), 42);
+    for e in permuted(&edges, 99) {
+        est.process(e);
+    }
+
+    // 4. Report.
+    let triads = est.estimates();
+    let row = |name: &str, est: Estimate, actual: f64| {
+        let (lb, ub) = est.ci95();
+        println!(
+            "{name:<10} actual {actual:>12.2}   estimate {:>12.2}   ARE {:.4}   95% CI [{lb:.2}, {ub:.2}]",
+            est.value,
+            est.are(actual),
+        );
+    };
+    println!(
+        "reservoir: {m} edges ({:.1}% of stream)\n",
+        100.0 * m as f64 / edges.len() as f64
+    );
+    row("triangles", triads.triangles, exact_triangles);
+    row("wedges", triads.wedges, exact_wedges);
+    row("clustering", triads.clustering, exact_cc);
+}

@@ -1,0 +1,136 @@
+//! Facade API coverage: the README / docs workflows compile and behave as
+//! documented, including the extension features (motif counting, subset
+//! sums, custom weights).
+
+use graph_priority_sampling::core::subset;
+use graph_priority_sampling::core::weights::FnWeight;
+use graph_priority_sampling::prelude::*;
+
+#[test]
+fn readme_quickstart_flow() {
+    let edges = gps_stream::gen::holme_kim(2_000, 3, 0.5, 7);
+    let stream = gps_stream::permuted(&edges, 99);
+    let mut est = InStreamEstimator::new(edges.len() / 6, TriangleWeight::default(), 42);
+    for e in stream {
+        est.process(e);
+    }
+    let triads = est.estimates();
+    let (lb, ub) = triads.triangles.ci95();
+    assert!(lb <= triads.triangles.value && triads.triangles.value <= ub);
+    assert!(triads.wedges.value > 0.0);
+}
+
+#[test]
+fn four_clique_counting_via_motif_snapshots() {
+    // K6 contains C(6,4) = 15 four-cliques; full retention counts exactly.
+    let mut edges = vec![];
+    for a in 0..6u32 {
+        for b in (a + 1)..6 {
+            edges.push(Edge::new(a, b));
+        }
+    }
+    let mut counter = graph_priority_sampling::core::snapshot::four_clique_counter(100, 5);
+    for e in permuted(&edges, 3) {
+        counter.process(e);
+    }
+    assert!((counter.estimate() - 15.0).abs() < 1e-9);
+}
+
+#[test]
+fn four_clique_estimates_are_unbiased_under_sampling() {
+    // Subsampled 4-clique estimation over many seeds approaches the truth:
+    // K7 has C(7,4) = 35 four-cliques.
+    let mut edges = vec![];
+    for a in 0..7u32 {
+        for b in (a + 1)..7 {
+            edges.push(Edge::new(a, b));
+        }
+    }
+    let runs = 600;
+    let mut sum = 0.0;
+    for seed in 0..runs {
+        let mut counter = graph_priority_sampling::core::snapshot::four_clique_counter(15, seed);
+        for e in permuted(&edges, seed ^ 0x5a5a) {
+            counter.process(e);
+        }
+        sum += counter.estimate();
+    }
+    let mean = sum / runs as f64;
+    assert!(
+        (mean - 35.0).abs() / 35.0 < 0.25,
+        "4-clique estimator mean {mean} should approach 35"
+    );
+}
+
+#[test]
+fn subset_sums_with_custom_weights() {
+    let edges: Vec<Edge> = (0..500).map(|i| Edge::new(i, i + 1)).collect();
+    let value = |e: Edge| (e.u() % 7) as f64;
+    let actual: f64 = edges.iter().map(|&e| value(e)).sum();
+
+    let weight =
+        FnWeight(move |e: Edge, _: &graph_priority_sampling::core::SampleView<'_>| value(e) + 0.5);
+    let mut sampler = GpsSampler::new(120, weight, 3);
+    for e in permuted(&edges, 8) {
+        sampler.process(e);
+    }
+    let est = subset::edge_total(&sampler, value);
+    assert!(est.value > 0.0);
+    // Weighted sampling keeps this well within 30% even at a 24% sample.
+    assert!(
+        (est.value - actual).abs() / actual < 0.3,
+        "estimate {} vs actual {actual}",
+        est.value
+    );
+}
+
+#[test]
+fn arrival_outcomes_are_observable() {
+    let mut sampler = GpsSampler::new(1, UniformWeight, 3);
+    assert!(matches!(
+        sampler.process(Edge::new(0, 1)),
+        Arrival::Inserted { .. }
+    ));
+    assert!(matches!(
+        sampler.process(Edge::new(0, 1)),
+        Arrival::Duplicate
+    ));
+    let outcome = sampler.process(Edge::new(1, 2));
+    assert!(matches!(
+        outcome,
+        Arrival::Replaced { .. } | Arrival::Rejected { .. }
+    ));
+}
+
+#[test]
+fn stats_utilities_are_reachable_from_the_facade() {
+    use graph_priority_sampling::stats::{si, ErrorSeries, Running, Table};
+    assert_eq!(si(4_900_000_000.0), "4.9B");
+    let mut r = Running::new();
+    r.push(1.0);
+    r.push(3.0);
+    assert_eq!(r.mean(), 2.0);
+    let mut s = ErrorSeries::new();
+    s.push(11.0, 10.0);
+    assert!((s.mare() - 0.1).abs() < 1e-12);
+    let mut t = Table::new(["a"]);
+    t.row(["1"]);
+    assert!(t.render().contains('a'));
+}
+
+#[test]
+fn checkpoints_drive_mixed_estimators() {
+    let edges = gps_stream::gen::erdos_renyi(200, 600, 3);
+    let cps = Checkpoints::geometric(100, edges.len(), 2.0);
+    let est = std::cell::RefCell::new(InStreamEstimator::new(100, TriangleWeight::default(), 1));
+    let mut fired = 0;
+    cps.drive(
+        permuted(&edges, 5),
+        |e| {
+            est.borrow_mut().process(e);
+        },
+        |_t| fired += 1,
+    );
+    assert_eq!(fired, cps.positions().len());
+    assert_eq!(est.borrow().sampler().arrivals() as usize, edges.len());
+}

@@ -1,0 +1,97 @@
+//! Cross-method integration: every estimator (GPS modes + all baselines)
+//! runs over the same streams through the common trait, and their accuracy
+//! ordering matches the paper's qualitative findings.
+
+use gps_baselines::{Mascot, MascotC, NSamp, TriestBase, TriestImpr, UniformReservoir};
+use graph_priority_sampling::prelude::*;
+
+fn run_all(edges: &[Edge], m: usize, seed: u64) -> Vec<(String, f64)> {
+    let p = (m as f64 / edges.len() as f64).min(1.0);
+    let mut methods: Vec<Box<dyn TriangleEstimator>> = vec![
+        Box::new(TriestBase::new(m, seed)),
+        Box::new(TriestImpr::new(m, seed)),
+        Box::new(Mascot::new(p, seed)),
+        Box::new(MascotC::new(p, seed)),
+        Box::new(UniformReservoir::new(m, seed)),
+        Box::new(NSamp::new(256, seed)),
+    ];
+    let stream = permuted(edges, seed ^ 0xabcdef);
+    for e in stream {
+        for mth in methods.iter_mut() {
+            mth.process(e);
+        }
+    }
+    methods
+        .into_iter()
+        .map(|m| (m.name().to_string(), m.triangle_estimate()))
+        .collect()
+}
+
+#[test]
+fn all_baselines_produce_finite_nonnegative_estimates() {
+    let edges = gps_stream::gen::holme_kim(800, 3, 0.5, 3);
+    for seed in 0..3 {
+        for (name, est) in run_all(&edges, edges.len() / 4, seed) {
+            assert!(est.is_finite() && est >= 0.0, "{name} produced {est}");
+        }
+    }
+}
+
+#[test]
+fn gps_beats_triest_base_in_mean_error() {
+    // The paper's Table 2/3 headline: GPS estimation error is well below
+    // TRIEST-BASE at the same stored-edge budget.
+    let edges = gps_stream::gen::holme_kim(1_200, 3, 0.6, 5);
+    let g = CsrGraph::from_edges(&edges);
+    let truth = gps_graph::exact::triangle_count(&g) as f64;
+    let m = edges.len() / 6;
+    let runs = 30;
+    let (mut gps_sq, mut triest_sq) = (0.0, 0.0);
+    for seed in 0..runs {
+        let stream = permuted(&edges, 100 + seed);
+        let mut gps = InStreamEstimator::new(m, TriangleWeight::default(), seed);
+        let mut triest = TriestBase::new(m, seed);
+        for &e in &stream {
+            gps.process(e);
+            triest.process(e);
+        }
+        let ge = (gps.triangle_count() - truth) / truth;
+        let te = (triest.triangle_estimate() - truth) / truth;
+        gps_sq += ge * ge;
+        triest_sq += te * te;
+    }
+    assert!(
+        gps_sq < triest_sq,
+        "GPS in-stream MSE ({gps_sq:.4}) should beat TRIEST-BASE ({triest_sq:.4})"
+    );
+}
+
+#[test]
+fn method_estimates_agree_on_fully_retained_streams() {
+    // When every method can hold the entire stream, all of them are exact
+    // (MASCOT needs p=1, NSAMP needs the wedge to be found — excluded).
+    let edges = gps_stream::gen::holme_kim(200, 2, 0.6, 9);
+    let g = CsrGraph::from_edges(&edges);
+    let truth = gps_graph::exact::triangle_count(&g) as f64;
+    let big = edges.len() + 10;
+
+    let mut methods: Vec<Box<dyn TriangleEstimator>> = vec![
+        Box::new(TriestBase::new(big, 1)),
+        Box::new(TriestImpr::new(big, 1)),
+        Box::new(Mascot::new(1.0, 1)),
+        Box::new(MascotC::new(1.0, 1)),
+        Box::new(UniformReservoir::new(big, 1)),
+    ];
+    for e in permuted(&edges, 2) {
+        for mth in methods.iter_mut() {
+            mth.process(e);
+        }
+    }
+    for mth in &methods {
+        assert!(
+            (mth.triangle_estimate() - truth).abs() < 1e-9,
+            "{} != exact {truth}",
+            mth.name()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Determinism and sample-identity guarantees the experiments rely on
+//! (paper §6: "both GPS post and in-stream estimation randomly select the
+//! same set of edges with the same random seeds").
+
+use graph_priority_sampling::prelude::*;
+
+fn workload() -> Vec<Edge> {
+    gps_stream::gen::holme_kim(1_500, 3, 0.5, 77)
+}
+
+#[test]
+fn same_seed_same_sample_across_estimation_modes() {
+    let edges = workload();
+    let stream = permuted(&edges, 9);
+    let m = edges.len() / 6;
+
+    let mut bare = GpsSampler::new(m, TriangleWeight::default(), 1234);
+    for &e in &stream {
+        bare.process(e);
+    }
+    let mut wrapped = InStreamEstimator::new(m, TriangleWeight::default(), 1234);
+    for &e in &stream {
+        wrapped.process(e);
+    }
+
+    let mut sample_a: Vec<Edge> = bare.edges().map(|s| s.edge).collect();
+    let mut sample_b: Vec<Edge> = wrapped.sampler().edges().map(|s| s.edge).collect();
+    sample_a.sort();
+    sample_b.sort();
+    assert_eq!(sample_a, sample_b);
+    assert_eq!(bare.threshold(), wrapped.sampler().threshold());
+
+    // And post-stream estimation on both samplers agrees exactly.
+    let ea = post_stream::estimate(&bare);
+    let eb = post_stream::estimate(wrapped.sampler());
+    assert_eq!(ea.triangles.value, eb.triangles.value);
+    assert_eq!(ea.wedges.variance, eb.wedges.variance);
+}
+
+#[test]
+fn whole_pipeline_is_reproducible() {
+    let run = || {
+        let edges = workload();
+        let stream = permuted(&edges, 42);
+        let mut est = InStreamEstimator::new(edges.len() / 8, TriangleWeight::default(), 7);
+        for e in stream {
+            est.process(e);
+        }
+        let t = est.estimates();
+        (
+            t.triangles.value,
+            t.triangles.variance,
+            t.wedges.value,
+            t.clustering.value,
+        )
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seeds must reproduce bit-identical results"
+    );
+}
+
+#[test]
+fn different_stream_orders_give_different_samples_but_both_unbiasedish() {
+    let edges = workload();
+    let m = edges.len() / 6;
+    let mut samples = vec![];
+    for perm_seed in [1u64, 2] {
+        let mut sampler = GpsSampler::new(m, TriangleWeight::default(), 5);
+        for e in permuted(&edges, perm_seed) {
+            sampler.process(e);
+        }
+        let mut s: Vec<Edge> = sampler.edges().map(|x| x.edge).collect();
+        s.sort();
+        samples.push(s);
+    }
+    assert_ne!(
+        samples[0], samples[1],
+        "different orders should sample differently"
+    );
+}
+
+#[test]
+fn baselines_are_seed_deterministic_too() {
+    let edges = workload();
+    let stream = permuted(&edges, 4);
+    let run = |seed: u64| {
+        let mut t = gps_baselines::TriestImpr::new(200, seed);
+        for &e in &stream {
+            t.process(e);
+        }
+        t.triangle_estimate()
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
