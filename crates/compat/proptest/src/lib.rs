@@ -1,0 +1,281 @@
+//! Offline stand-in for the `proptest` crate, covering the API subset this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*!`, the [`Strategy`]
+//! trait with [`Strategy::prop_map`], range and tuple strategies,
+//! [`any`]`::<T>()`, and [`prop::collection::vec`].
+//!
+//! Each property runs a fixed number of randomly generated cases (default
+//! 64, override with the `PROPTEST_CASES` environment variable). Case RNGs
+//! are seeded deterministically from the property name, so failures
+//! reproduce run-to-run; on failure every generated input is printed before
+//! the panic propagates. There is no shrinking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::marker::PhantomData;
+use core::ops::Range;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Re-exports used by the [`proptest!`] macro; not public API.
+#[doc(hidden)]
+pub use rand::rngs::SmallRng as __SmallRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// A recipe for generating random values of an output type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Returns a strategy generating `f(v)` for `v` drawn from `self`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random()
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use core::ops::Range;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length drawn
+        /// from `size`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 64).
+#[doc(hidden)]
+pub fn __cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-property seed derived from the property's name (FNV-1a).
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<u64>(), 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::__cases();
+            let __seed = $crate::__seed_for(stringify!($name));
+            for __case in 0..__cases {
+                let mut __rng = <$crate::__SmallRng as $crate::__SeedableRng>::seed_from_u64(
+                    __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "proptest: property `{}` failed on case {}/{} with inputs:",
+                        stringify!($name), __case + 1, __cases,
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), &$arg);)+
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )+};
+}
+
+/// `assert!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 1u32..10,
+            pair in (0usize..5, 0.0f64..1.0),
+            s in any::<u64>(),
+        ) {
+            let (a, b) = pair;
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((0.0..1.0).contains(&b));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_and_prop_map_compose(
+            v in prop::collection::vec((0u32..8, 0u32..8), 0..20).prop_map(|pairs| {
+                pairs.into_iter().map(|(a, b)| a + b).collect::<Vec<u32>>()
+            }),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&s| s < 15));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        assert_eq!(crate::__seed_for("abc"), crate::__seed_for("abc"));
+        assert_ne!(crate::__seed_for("abc"), crate::__seed_for("abd"));
+    }
+}

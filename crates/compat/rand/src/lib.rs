@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate, exposing the 0.9-style API subset
+//! this workspace uses: [`Rng`] (`random`, `random_range`, `random_bool`),
+//! [`SeedableRng::seed_from_u64`], and [`rngs::SmallRng`].
+//!
+//! `SmallRng` is xoshiro256++ (the family the real `SmallRng` uses on 64-bit
+//! targets) seeded through SplitMix64, so streams are deterministic per seed
+//! and of high statistical quality — the workspace's statistical tests depend
+//! on both properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over the full range,
+    /// `bool` fair).
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),+) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Range types usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform sampling of a `u64` in `[0, width)` by widening multiply
+/// (Lemire's unbiased-enough fast path; bias is < 2^-64 per draw).
+fn sample_below<R: RngCore>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(sample_below(rng, width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_below(rng, width + 1) as $t)
+            }
+        }
+    )+};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let f = f64::sample(rng);
+        self.start + f * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_hit_all_values_and_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(5u32..=7);
+            assert!((5..=7).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v = rng.random_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac} far from 0.25");
+    }
+}

@@ -123,7 +123,11 @@ impl JhaWedgeSampler {
         for i in 0..self.wedges.len() {
             if self.wedges[i].is_none() || self.rng.random::<f64>() < p_new {
                 let partner = self.new_wedges[self.rng.random_range(0..self.new_wedges.len())];
-                self.wedges[i] = Some(WedgeSlot { e1: edge, e2: partner, closed: false });
+                self.wedges[i] = Some(WedgeSlot {
+                    e1: edge,
+                    e2: partner,
+                    closed: false,
+                });
             }
         }
     }

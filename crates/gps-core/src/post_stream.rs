@@ -137,10 +137,10 @@ pub fn estimate_with_threads<W: EdgeWeight>(
     }
     let chunk = upper.div_ceil(threads);
     let mut partials = vec![Contribution::default(); threads];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, partial) in partials.iter_mut().enumerate() {
             let view = sampler.view();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let lo = i * chunk;
                 let hi = ((i + 1) * chunk).min(upper);
                 let mut acc = Contribution::default();
@@ -152,8 +152,7 @@ pub fn estimate_with_threads<W: EdgeWeight>(
                 *partial = acc;
             });
         }
-    })
-    .expect("estimation worker panicked");
+    });
     let mut total = Contribution::default();
     for p in &partials {
         total.merge(p);

@@ -1,0 +1,106 @@
+//! Manifest-wiring smoke test: drives the whole documented pipeline —
+//! generate → permute → sample → post-stream + in-stream estimate — through
+//! `prelude::*` imports only, so any re-export regression in the facade (or
+//! a broken inter-crate dependency edge in the manifests) fails this test
+//! loudly instead of surfacing in downstream code.
+
+use graph_priority_sampling::prelude::*;
+
+#[test]
+fn prelude_covers_the_full_pipeline_end_to_end() {
+    // Generate: a stream with plenty of triangles, via the facade path.
+    let edges = gps_stream::gen::holme_kim(600, 4, 0.6, 11);
+    let g = CsrGraph::from_edges(&edges);
+    let exact_tri = gps_graph::exact::triangle_count(&g) as f64;
+    let exact_wedge = gps_graph::exact::wedge_count(&g) as f64;
+    assert!(exact_tri > 0.0 && exact_wedge > 0.0);
+
+    // Permute: seeded, reproducible.
+    let stream = permuted(&edges, 17);
+    assert_eq!(stream.len(), edges.len());
+    assert_eq!(stream, permuted(&edges, 17));
+
+    // Sample: Algorithm 1 under eviction pressure.
+    let capacity = edges.len() / 4;
+    let mut sampler = GpsSampler::new(capacity, TriangleWeight::default(), 5);
+    for &e in &stream {
+        let _: Arrival = sampler.process(e);
+    }
+    assert_eq!(sampler.len(), capacity);
+    assert!(sampler.threshold() > 0.0, "eviction must raise z*");
+
+    // Post-stream estimate (Algorithm 2): sane, in the right ballpark.
+    let post: TriadEstimates = post_stream::estimate(&sampler);
+    let rel = |est: &Estimate, truth: f64| (est.value - truth).abs() / truth;
+    assert!(rel(&post.triangles, exact_tri) < 0.5);
+    assert!(rel(&post.wedges, exact_wedge) < 0.5);
+    assert!(post.triangles.variance >= 0.0);
+    let (lb, ub) = post.triangles.ci95();
+    assert!(lb <= post.triangles.value && post.triangles.value <= ub);
+
+    // In-stream estimate (Algorithm 3) over the identical stream.
+    let mut in_stream = InStreamEstimator::new(capacity, TriangleWeight::default(), 5);
+    for &e in &stream {
+        in_stream.process(e);
+    }
+    let ins = in_stream.estimates();
+    assert!((ins.triangles.value - exact_tri).abs() / exact_tri < 0.5);
+    assert!(ins.wedges.value > 0.0 && ins.tri_wedge_cov >= 0.0);
+}
+
+#[test]
+fn every_prelude_export_is_usable() {
+    let edges = gps_stream::gen::erdos_renyi(150, 500, 2);
+
+    // gps_graph exports: Edge / NodeId / CsrGraph / IncrementalCounter.
+    let (u, v): (NodeId, NodeId) = (0, 1);
+    let e = Edge::new(u, v);
+    assert_eq!((e.u(), e.v()), (0, 1));
+    let mut inc = IncrementalCounter::new();
+    for &e in &edges {
+        inc.insert(e);
+    }
+    let g = CsrGraph::from_edges(&edges);
+    assert_eq!(inc.triangles(), gps_graph::exact::triangle_count(&g));
+
+    // gps_core exports: the remaining weight functions and persistence.
+    let mut by_wedge = GpsSampler::new(64, WedgeWeight::default(), 1);
+    let mut by_triad = GpsSampler::new(64, TriadWeight::default(), 1);
+    let mut uniform = GpsSampler::new(64, UniformWeight, 1);
+    for &e in &edges {
+        by_wedge.process(e);
+        by_triad.process(e);
+        uniform.process(e);
+    }
+    let mut buf = Vec::new();
+    persist::save(&uniform, &mut buf).unwrap();
+    let restored = persist::load(buf.as_slice())
+        .unwrap()
+        .into_sampler(UniformWeight, 0);
+    assert_eq!(restored.len(), uniform.len());
+
+    // MotifCounter (generic snapshots) and LocalTriangleCounter.
+    let mut four_cliques: MotifCounter<_, _> = gps_core::snapshot::four_clique_counter(10_000, 3);
+    let mut local = LocalTriangleCounter::new(64, TriangleWeight::default(), 9);
+    for &e in &edges {
+        four_cliques.process(e);
+        local.process(e);
+    }
+    assert!(four_cliques.estimate() >= 0.0);
+    assert!(local.global_count() >= 0.0);
+
+    // gps_stream exports: Checkpoints scheduling.
+    let cps = Checkpoints::linear(edges.len(), 4);
+    let mut fired = 0;
+    cps.drive(edges.iter().copied(), |_| {}, |_| fired += 1);
+    assert_eq!(fired, cps.positions().len());
+
+    // gps_baselines export: TRIEST driven through the shared trait.
+    let mut triest = gps_baselines::TriestImpr::new(64, 7);
+    for &e in &edges {
+        TriangleEstimator::process(&mut triest, e);
+    }
+    assert!(triest.triangle_estimate() >= 0.0);
+    assert!(triest.stored_edges() <= 64);
+    assert!(!triest.name().is_empty());
+}
