@@ -1,0 +1,213 @@
+//! `bench_baseline` — the repo's reproducible `GPSUpdate` perf harness.
+//!
+//! Runs the update-throughput scenario grid (weights × streams × reservoir
+//! sizes) on **both** adjacency backends and writes a machine-readable
+//! baseline (`BENCH_PR2.json` by default) so every future perf PR has a
+//! trajectory to beat.
+//!
+//! ```text
+//! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
+//!                [--check PATH [--min-ratio R]]
+//! ```
+//!
+//! - `--quick`: reduced streams and capacities (CI smoke scale).
+//! - `--out PATH`: where to write the baseline (default `BENCH_PR2.json`).
+//! - `--check PATH`: *instead of* writing, validate the committed baseline
+//!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
+//!   current compact-backend throughput falls below `min-ratio` × the
+//!   committed number for any shared scenario (default ratio 0.5, i.e. a
+//!   >2× regression trips it).
+
+use gps_bench::json::{self, Value};
+use gps_bench::perf::{self, PerfConfig, ScenarioResult};
+use std::process::{Command, ExitCode};
+
+struct Args {
+    cfg: PerfConfig,
+    out: String,
+    check: Option<String>,
+    min_ratio: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: PerfConfig::default(),
+        out: "BENCH_PR2.json".to_owned(),
+        check: None,
+        min_ratio: 0.5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--quick" => args.cfg.quick = true,
+            "--iters" => {
+                args.cfg.iters = take("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--seed" => {
+                args.cfg.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out = take("--out")?,
+            "--check" => args.check = Some(take("--check")?),
+            "--min-ratio" => {
+                args.min_ratio = take("--min-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--min-ratio: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
+                     [--check PATH [--min-ratio R]]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn print_result(r: &ScenarioResult) {
+    println!(
+        "{:<28} {:>9} edges  compact {:>8.1} ns/e ({:>7.3} Me/s)  hashmap {:>8.1} ns/e ({:>7.3} Me/s)  speedup {:>5.2}x",
+        r.scenario.name(),
+        r.edges,
+        r.compact.ns_per_edge,
+        r.compact.edges_per_sec / 1e6,
+        r.hashmap.ns_per_edge,
+        r.hashmap.edges_per_sec / 1e6,
+        r.speedup(),
+    );
+}
+
+/// Compares freshly measured compact throughput against a committed
+/// baseline; returns the list of failures. At least one measured scenario
+/// must match a committed one — otherwise the gate would pass vacuously
+/// after a grid or naming change.
+fn check_against(committed: &Value, results: &[ScenarioResult], min_ratio: f64) -> Vec<String> {
+    // `committed` has already passed `perf::validate_baseline` in main().
+    let mut failures = Vec::new();
+    let scenarios = committed
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    let mut matched = 0usize;
+    for r in results {
+        let name = r.scenario.name();
+        let Some(entry) = scenarios.iter().find(|s| s.get_str("name") == Some(&name)) else {
+            // The committed file may predate a scenario; shape problems are
+            // already reported by validate_baseline.
+            continue;
+        };
+        let Some(floor) = entry
+            .get("compact")
+            .and_then(|m| m.get_f64("edges_per_sec"))
+        else {
+            continue; // reported by validate_baseline
+        };
+        matched += 1;
+        let current = r.compact.edges_per_sec;
+        if current < min_ratio * floor {
+            failures.push(format!(
+                "{name}: current {current:.0} edges/s < {min_ratio} x committed {floor:.0} \
+                 (>{:.1}x regression)",
+                1.0 / min_ratio
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push(
+            "no measured scenario matches the committed baseline — the regression gate \
+             compared nothing (grid or scenario naming changed? re-generate the baseline)"
+                .to_owned(),
+        );
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bench_baseline: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bench_baseline: mode={} iters={} seed={}",
+        if args.cfg.quick { "quick" } else { "full" },
+        args.cfg.iters,
+        args.cfg.seed
+    );
+    // Fail fast in check mode: read, parse and shape-validate the committed
+    // baseline before burning minutes on measurement.
+    let committed = match &args.check {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("bench_baseline: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match json::parse(&text) {
+                Ok(v) => {
+                    let problems = perf::validate_baseline(&v);
+                    if !problems.is_empty() {
+                        eprintln!("bench_baseline: {path} is malformed:");
+                        for p in &problems {
+                            eprintln!("  - {p}");
+                        }
+                        return ExitCode::FAILURE;
+                    }
+                    Some(v)
+                }
+                Err(e) => {
+                    eprintln!("bench_baseline: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let results = perf::run_all(&args.cfg, print_result);
+
+    if let (Some(path), Some(committed)) = (&args.check, &committed) {
+        let failures = check_against(committed, &results, args.min_ratio);
+        if failures.is_empty() {
+            println!(
+                "check OK: {path} is well-formed and throughput is within {:.1}x of the committed floor",
+                1.0 / args.min_ratio
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("check FAILED against {path}:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let doc = perf::results_json(&args.cfg, &git_rev(), &results);
+    if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
+        eprintln!("bench_baseline: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,11 @@
 //! | Figure 2 (CI convergence vs sample size) | [`experiments::fig2`] | `fig2` |
 //! | Figure 3 (real-time tracking with CIs) | [`experiments::fig3`] | `fig3` |
 //! | §3.5 weight ablation (not a numbered figure) | [`experiments::ablation`] | `ablation` |
+//! | §6 update-cost claim ("a few μs per edge") | [`perf::run_all`] | `bench_baseline` |
+//!
+//! `bench_baseline` additionally measures the compact adjacency backend
+//! against the pre-refactor hash-map backend and persists the numbers as a
+//! committed JSON trajectory (`BENCH_PR2.json`); see [`perf`] and [`json`].
 //!
 //! Scale, seed and output directory come from CLI flags / environment; see
 //! [`config::Config`].
@@ -24,4 +29,6 @@
 pub mod adapters;
 pub mod config;
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod truth;

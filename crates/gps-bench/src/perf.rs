@@ -1,0 +1,451 @@
+//! Reproducible `GPSUpdate` throughput measurement — the harness behind the
+//! `bench_baseline` binary and the committed `BENCH_PR2.json` trajectory.
+//!
+//! Each [`Scenario`] is a full-stream sampling run: weight function ×
+//! synthetic stream × reservoir capacity. Every scenario is measured on
+//! *both* adjacency backends ([`BackendKind::Compact`] and the pre-refactor
+//! [`BackendKind::HashMap`]) in the same process, so the reported speedup is
+//! an apples-to-apples number on the machine that produced the file.
+//! Timing takes the best of `iters` runs (minimum wall time — the standard
+//! way to suppress scheduler noise for CPU-bound loops); stream generation
+//! and sampler construction are untimed.
+
+use crate::json::Value;
+use gps_core::weights::{TriadWeight, TriangleWeight, UniformWeight};
+use gps_core::GpsSampler;
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+use gps_stream::{gen, permuted};
+use std::time::Instant;
+
+/// Weight functions covered by the baseline (brackets the per-edge cost:
+/// uniform ≈ floor, triangle/triad pay the common-neighbor intersection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightKind {
+    /// `W ≡ 1` — no topology probe.
+    Uniform,
+    /// `W = 9·|△̂(k)| + 1` — the paper's headline weight.
+    Triangle,
+    /// Triangle + wedge mixture — heaviest per-edge cost.
+    Triad,
+}
+
+impl WeightKind {
+    /// All weights, in reporting order.
+    pub const ALL: [WeightKind; 3] = [WeightKind::Uniform, WeightKind::Triangle, WeightKind::Triad];
+
+    /// Stable scenario-name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightKind::Uniform => "uniform",
+            WeightKind::Triangle => "triangle",
+            WeightKind::Triad => "triad",
+        }
+    }
+}
+
+/// Stream generators covered by the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Holme–Kim: clustered power-law (many triangles; heavy intersection).
+    HolmeKim,
+    /// R-MAT (social parameters): skewed hub degrees.
+    Rmat,
+}
+
+impl StreamKind {
+    /// All streams, in reporting order.
+    pub const ALL: [StreamKind; 2] = [StreamKind::HolmeKim, StreamKind::Rmat];
+
+    /// Stable scenario-name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKind::HolmeKim => "holme_kim",
+            StreamKind::Rmat => "rmat",
+        }
+    }
+
+    /// Generates the (seeded, permuted) edge stream at the given scale.
+    /// Full-mode scales approximate the paper's §6 regime (graphs of
+    /// hundreds of thousands of edges, reservoirs up to hundreds of
+    /// thousands of slots); quick mode is CI-smoke sized.
+    pub fn edges(self, quick: bool, seed: u64) -> Vec<Edge> {
+        let edges = match (self, quick) {
+            (StreamKind::HolmeKim, false) => gen::holme_kim(80_000, 4, 0.5, seed),
+            (StreamKind::HolmeKim, true) => gen::holme_kim(2_000, 3, 0.5, seed),
+            (StreamKind::Rmat, false) => gen::rmat(18, 320_000, gen::RmatParams::social(), seed),
+            (StreamKind::Rmat, true) => gen::rmat(12, 8_000, gen::RmatParams::social(), seed),
+        };
+        permuted(&edges, seed ^ 0x5eed)
+    }
+}
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Stream generator.
+    pub stream: StreamKind,
+    /// Weight function.
+    pub weight: WeightKind,
+    /// Reservoir capacity `m`.
+    pub capacity: usize,
+}
+
+impl Scenario {
+    /// Stable machine-readable name, e.g. `holme_kim/triangle/m2000`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/m{}",
+            self.stream.name(),
+            self.weight.name(),
+            self.capacity
+        )
+    }
+}
+
+/// Timing result of one scenario on one backend.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Best-of-iters wall time for the full stream, in nanoseconds.
+    pub elapsed_ns: u128,
+    /// Nanoseconds per processed edge (best run).
+    pub ns_per_edge: f64,
+    /// Processed edges per second (best run).
+    pub edges_per_sec: f64,
+}
+
+/// A scenario measured on both backends.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The configuration.
+    pub scenario: Scenario,
+    /// Edges in the stream (arrivals processed per run).
+    pub edges: usize,
+    /// Compact (post-refactor) backend numbers.
+    pub compact: Measurement,
+    /// Hash-map (pre-refactor) backend numbers.
+    pub hashmap: Measurement,
+}
+
+impl ScenarioResult {
+    /// Compact-over-hashmap throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.compact.edges_per_sec / self.hashmap.edges_per_sec
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Reduced streams/capacities for CI smoke runs.
+    pub quick: bool,
+    /// Timed repetitions per (scenario, backend); the minimum is reported.
+    pub iters: usize,
+    /// Stream / sampler seed.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            quick: false,
+            iters: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Reservoir capacities measured per stream.
+pub fn capacities(quick: bool) -> [usize; 2] {
+    if quick {
+        [500, 2_000]
+    } else {
+        [8_000, 16_000]
+    }
+}
+
+fn time_once<W: gps_core::weights::EdgeWeight + Copy>(
+    edges: &[Edge],
+    capacity: usize,
+    backend: BackendKind,
+    weight_fn: W,
+    seed: u64,
+) -> u128 {
+    let mut sampler = GpsSampler::with_backend(capacity, weight_fn, seed, backend);
+    let start = Instant::now();
+    for &e in edges {
+        sampler.process(e);
+    }
+    let elapsed = start.elapsed().as_nanos();
+    std::hint::black_box(sampler.len());
+    elapsed
+}
+
+fn to_measurement(best_ns: u128, edges: usize) -> Measurement {
+    let secs = best_ns as f64 / 1e9;
+    Measurement {
+        elapsed_ns: best_ns,
+        ns_per_edge: best_ns as f64 / edges as f64,
+        edges_per_sec: edges as f64 / secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Times both backends with **interleaved** iterations (C, H, C, H, …) so
+/// clock-frequency drift and noisy neighbors bias neither arm, reporting
+/// each arm's best run.
+fn time_pair<W: gps_core::weights::EdgeWeight + Copy>(
+    edges: &[Edge],
+    capacity: usize,
+    weight_fn: W,
+    seed: u64,
+    iters: usize,
+) -> (Measurement, Measurement) {
+    let mut best_compact = u128::MAX;
+    let mut best_hashmap = u128::MAX;
+    for _ in 0..iters.max(1) {
+        best_compact = best_compact.min(time_once(
+            edges,
+            capacity,
+            BackendKind::Compact,
+            weight_fn,
+            seed,
+        ));
+        best_hashmap = best_hashmap.min(time_once(
+            edges,
+            capacity,
+            BackendKind::HashMap,
+            weight_fn,
+            seed,
+        ));
+    }
+    (
+        to_measurement(best_compact, edges.len()),
+        to_measurement(best_hashmap, edges.len()),
+    )
+}
+
+fn measure_pair(
+    edges: &[Edge],
+    scenario: Scenario,
+    cfg: &PerfConfig,
+) -> (Measurement, Measurement) {
+    match scenario.weight {
+        WeightKind::Uniform => {
+            time_pair(edges, scenario.capacity, UniformWeight, cfg.seed, cfg.iters)
+        }
+        WeightKind::Triangle => time_pair(
+            edges,
+            scenario.capacity,
+            TriangleWeight::default(),
+            cfg.seed,
+            cfg.iters,
+        ),
+        WeightKind::Triad => time_pair(
+            edges,
+            scenario.capacity,
+            TriadWeight::default(),
+            cfg.seed,
+            cfg.iters,
+        ),
+    }
+}
+
+/// Runs the full scenario grid (streams × weights × capacities × backends),
+/// invoking `progress` with each finished scenario.
+pub fn run_all(cfg: &PerfConfig, mut progress: impl FnMut(&ScenarioResult)) -> Vec<ScenarioResult> {
+    let mut results = Vec::new();
+    for stream in StreamKind::ALL {
+        let edges = stream.edges(cfg.quick, cfg.seed);
+        for capacity in capacities(cfg.quick) {
+            for weight in WeightKind::ALL {
+                let scenario = Scenario {
+                    stream,
+                    weight,
+                    capacity,
+                };
+                let (compact, hashmap) = measure_pair(&edges, scenario, cfg);
+                let result = ScenarioResult {
+                    scenario,
+                    edges: edges.len(),
+                    compact,
+                    hashmap,
+                };
+                progress(&result);
+                results.push(result);
+            }
+        }
+    }
+    results
+}
+
+fn measurement_json(m: &Measurement) -> Value {
+    Value::object(vec![
+        ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
+        ("ns_per_edge", Value::Number(round2(m.ns_per_edge))),
+        ("edges_per_sec", Value::Number(round2(m.edges_per_sec))),
+    ])
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Schema tag checked by the CI smoke run.
+pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
+
+/// Builds the machine-readable baseline document.
+pub fn results_json(cfg: &PerfConfig, git_rev: &str, results: &[ScenarioResult]) -> Value {
+    Value::object(vec![
+        ("schema", Value::String(SCHEMA.into())),
+        ("git_rev", Value::String(git_rev.into())),
+        (
+            "mode",
+            Value::String(if cfg.quick { "quick" } else { "full" }.into()),
+        ),
+        ("iters", Value::Number(cfg.iters as f64)),
+        ("seed", Value::Number(cfg.seed as f64)),
+        (
+            "scenarios",
+            Value::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::object(vec![
+                            ("name", Value::String(r.scenario.name())),
+                            ("stream", Value::String(r.scenario.stream.name().into())),
+                            ("weight", Value::String(r.scenario.weight.name().into())),
+                            ("capacity", Value::Number(r.scenario.capacity as f64)),
+                            ("edges", Value::Number(r.edges as f64)),
+                            ("compact", measurement_json(&r.compact)),
+                            ("hashmap", measurement_json(&r.hashmap)),
+                            ("speedup", Value::Number(round2(r.speedup()))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Fields every scenario entry of a baseline document must carry.
+pub const REQUIRED_SCENARIO_FIELDS: [&str; 8] = [
+    "name", "stream", "weight", "capacity", "edges", "compact", "hashmap", "speedup",
+];
+
+/// Validates a parsed baseline document's shape. Returns the list of
+/// problems (empty = valid).
+pub fn validate_baseline(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    match doc.get_str("schema") {
+        Some(SCHEMA) => {}
+        Some(other) => problems.push(format!("unexpected schema '{other}'")),
+        None => problems.push("missing 'schema'".into()),
+    }
+    for key in ["git_rev", "mode"] {
+        if doc.get_str(key).is_none() {
+            problems.push(format!("missing '{key}'"));
+        }
+    }
+    let Some(scenarios) = doc.get("scenarios").and_then(Value::as_array) else {
+        problems.push("missing 'scenarios' array".into());
+        return problems;
+    };
+    if scenarios.is_empty() {
+        problems.push("'scenarios' is empty".into());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        for field in REQUIRED_SCENARIO_FIELDS {
+            if s.get(field).is_none() {
+                problems.push(format!("scenario {i} missing '{field}'"));
+            }
+        }
+        for backend in ["compact", "hashmap"] {
+            if let Some(m) = s.get(backend) {
+                for field in ["elapsed_ns", "ns_per_edge", "edges_per_sec"] {
+                    match m.get_f64(field) {
+                        Some(x) if x > 0.0 => {}
+                        Some(_) => {
+                            problems.push(format!("scenario {i} {backend}.{field} is not positive"))
+                        }
+                        None => problems.push(format!("scenario {i} {backend} missing '{field}'")),
+                    }
+                }
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn tiny_cfg() -> PerfConfig {
+        PerfConfig {
+            quick: true,
+            iters: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_stable() {
+        let s = Scenario {
+            stream: StreamKind::HolmeKim,
+            weight: WeightKind::Triangle,
+            capacity: 2000,
+        };
+        assert_eq!(s.name(), "holme_kim/triangle/m2000");
+    }
+
+    #[test]
+    fn quick_streams_are_nonempty_and_deterministic() {
+        for kind in StreamKind::ALL {
+            let a = kind.edges(true, 3);
+            let b = kind.edges(true, 3);
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "stream generation must be seeded");
+        }
+    }
+
+    #[test]
+    fn baseline_document_round_trips_and_validates() {
+        // One micro-scenario end to end: measure, emit, parse, validate.
+        let cfg = tiny_cfg();
+        let edges = StreamKind::HolmeKim.edges(true, cfg.seed);
+        let scenario = Scenario {
+            stream: StreamKind::HolmeKim,
+            weight: WeightKind::Uniform,
+            capacity: 128,
+        };
+        let (compact, hashmap) = measure_pair(&edges, scenario, &cfg);
+        let result = ScenarioResult {
+            scenario,
+            edges: edges.len(),
+            compact,
+            hashmap,
+        };
+        let doc = results_json(&cfg, "deadbeef", &[result]);
+        let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
+        assert_eq!(parsed, doc);
+        assert!(validate_baseline(&parsed).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_missing_fields() {
+        let doc = json::parse(r#"{"schema": "gps-bench/bench-baseline/v1"}"#).unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems.iter().any(|p| p.contains("scenarios")));
+        assert!(problems.iter().any(|p| p.contains("git_rev")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [{"name": "a", "compact": {"elapsed_ns": 0}}]}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems.iter().any(|p| p.contains("missing 'hashmap'")));
+        assert!(problems.iter().any(|p| p.contains("not positive")));
+    }
+}

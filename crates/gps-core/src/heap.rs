@@ -1,4 +1,4 @@
-//! Binary min-heap over edge priorities.
+//! 4-ary min-heap over edge priorities.
 //!
 //! The paper stores the reservoir in a min-heap keyed by priority
 //! `r(k) = w(k)/u(k)` so the lowest-priority edge — the eviction candidate —
@@ -6,6 +6,11 @@
 //! and data structure"). This heap stores `(priority, slot)` pairs where
 //! `slot` indexes the sampler's slab; it is generic enough to be reused and
 //! benchmarked on its own.
+//!
+//! The heap is 4-ary rather than binary: `replace_min` — one sift-down per
+//! eviction — is on the sampler's hot path, and a fan-out of 4 halves the
+//! sift depth while each level's four 16-byte children share one cache
+//! line, so the sift touches half as many lines for the same comparisons.
 
 /// One heap entry: a priority and the slab slot of the edge carrying it.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -16,8 +21,9 @@ pub struct HeapEntry {
     pub slot: u32,
 }
 
-/// Array-backed binary min-heap (paper's choice of data structure: "a binary
-/// heap implemented by storing the edges in a standard array").
+/// Array-backed 4-ary min-heap (the paper uses "a binary heap implemented
+/// by storing the edges in a standard array"; the wider fan-out is a pure
+/// constant-factor improvement with identical observable behavior).
 ///
 /// Priorities are `f64` and must not be NaN (enforced by `debug_assert`);
 /// ties are broken arbitrarily, which is harmless because priorities are
@@ -26,6 +32,9 @@ pub struct HeapEntry {
 pub struct MinHeap {
     entries: Vec<HeapEntry>,
 }
+
+/// Heap fan-out. Children of `i` live at `ARITY*i + 1 ..= ARITY*i + ARITY`.
+const ARITY: usize = 4;
 
 impl MinHeap {
     /// Creates an empty heap.
@@ -107,7 +116,7 @@ impl MinHeap {
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
-            let parent = (i - 1) / 2;
+            let parent = (i - 1) / ARITY;
             if self.entries[i].priority < self.entries[parent].priority {
                 self.entries.swap(i, parent);
                 i = parent;
@@ -120,13 +129,16 @@ impl MinHeap {
     fn sift_down(&mut self, mut i: usize) {
         let n = self.entries.len();
         loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < n && self.entries[l].priority < self.entries[smallest].priority {
-                smallest = l;
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
             }
-            if r < n && self.entries[r].priority < self.entries[smallest].priority {
-                smallest = r;
+            let last = (first + ARITY).min(n);
+            let mut smallest = i;
+            for child in first..last {
+                if self.entries[child].priority < self.entries[smallest].priority {
+                    smallest = child;
+                }
             }
             if smallest == i {
                 break;
@@ -140,7 +152,7 @@ impl MinHeap {
     #[doc(hidden)]
     pub fn check_invariant(&self) -> bool {
         (1..self.entries.len()).all(|i| {
-            let parent = (i - 1) / 2;
+            let parent = (i - 1) / ARITY;
             self.entries[parent].priority <= self.entries[i].priority
         })
     }

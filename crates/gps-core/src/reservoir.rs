@@ -24,7 +24,7 @@ use crate::heap::{HeapEntry, MinHeap};
 use crate::slab::{EdgeRecord, Slab, SlotId};
 use crate::weights::EdgeWeight;
 use gps_graph::types::{Edge, NodeId};
-use gps_graph::AdjacencyMap;
+use gps_graph::{AdjacencyBackend, BackendKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -71,7 +71,7 @@ pub struct SampledEdge {
 /// Read-only view of the sample, passed to weight functions and estimators.
 pub struct SampleView<'a> {
     slab: &'a Slab,
-    adj: &'a AdjacencyMap<SlotId>,
+    adj: &'a AdjacencyBackend<SlotId>,
     threshold: f64,
 }
 
@@ -130,11 +130,38 @@ impl<'a> SampleView<'a> {
     /// closes. If `edge` is itself sampled it is not counted.
     #[inline]
     pub fn wedges_closed_by(&self, edge: Edge) -> usize {
-        let mut n = self.adj.degree(edge.u()) + self.adj.degree(edge.v());
-        if self.adj.contains(edge) {
-            n -= 2;
-        }
-        n
+        let (deg_sum, present) = self.adj.wedge_closure_counts(edge.u(), edge.v());
+        deg_sum - if present { 2 } else { 0 }
+    }
+
+    /// Fused `(triangles, wedges)` closed by `edge` — one endpoint
+    /// resolution instead of the three separate
+    /// [`SampleView::triangles_closed_by`] + [`SampleView::wedges_closed_by`]
+    /// walks; the inner loop of [`crate::weights::TriadWeight`].
+    #[inline]
+    pub fn triad_closed_by(&self, edge: Edge) -> (usize, usize) {
+        let (triangles, deg_sum, present) = self.adj.triad_counts(edge.u(), edge.v());
+        (triangles, deg_sum - if present { 2 } else { 0 })
+    }
+
+    /// Raw fused topology query `(triangles, degree-sum, edge_present)` —
+    /// the single-resolution primitive behind
+    /// [`crate::weights::EdgeWeight::weight_and_presence`].
+    #[inline]
+    pub fn triad_counts_raw(&self, edge: Edge) -> (usize, usize, bool) {
+        self.adj.triad_counts(edge.u(), edge.v())
+    }
+
+    /// Raw fused `(triangles, edge_present)` query (triangle weights).
+    #[inline]
+    pub fn triangle_closure_raw(&self, edge: Edge) -> (usize, bool) {
+        self.adj.triangle_closure_counts(edge.u(), edge.v())
+    }
+
+    /// Raw fused `(degree-sum, edge_present)` query (wedge weights).
+    #[inline]
+    pub fn wedge_closure_raw(&self, edge: Edge) -> (usize, bool) {
+        self.adj.wedge_closure_counts(edge.u(), edge.v())
     }
 
     /// HT inclusion probability for a slot.
@@ -158,10 +185,8 @@ impl<'a> SampleView<'a> {
 
     /// Calls `f(neighbor, slot)` for each sampled edge incident to `node`.
     #[inline]
-    pub(crate) fn for_each_incident_slot<F: FnMut(NodeId, SlotId)>(&self, node: NodeId, mut f: F) {
-        for (nbr, slot) in self.adj.neighbors(node) {
-            f(nbr, slot);
-        }
+    pub(crate) fn for_each_incident_slot<F: FnMut(NodeId, SlotId)>(&self, node: NodeId, f: F) {
+        self.adj.for_each_neighbor(node, f);
     }
 
     /// Iterates the sampled edges themselves — for weight functions that
@@ -218,7 +243,7 @@ pub struct GpsSampler<W> {
     weight_fn: W,
     slab: Slab,
     heap: MinHeap,
-    adj: AdjacencyMap<SlotId>,
+    adj: AdjacencyBackend<SlotId>,
     z_star: f64,
     rng: SmallRng,
     arrivals: u64,
@@ -227,23 +252,46 @@ pub struct GpsSampler<W> {
 
 impl<W: EdgeWeight> GpsSampler<W> {
     /// Creates a sampler with reservoir capacity `m`, a weight function and
-    /// a deterministic RNG seed.
+    /// a deterministic RNG seed, on the default compact adjacency backend.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, weight_fn: W, seed: u64) -> Self {
+        Self::with_backend(capacity, weight_fn, seed, BackendKind::Compact)
+    }
+
+    /// Creates a sampler on an explicit adjacency backend.
+    ///
+    /// Given identical arguments otherwise, both backends produce the
+    /// *bit-identical* reservoir, threshold and RNG stream — the sampler
+    /// consumes one uniform draw per non-duplicate arrival and weight
+    /// functions observe only topology counts, which the backends agree on.
+    /// [`BackendKind::HashMap`] exists for differential tests and for
+    /// measuring the compact backend's speedup (`bench_baseline`).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_backend(capacity: usize, weight_fn: W, seed: u64, backend: BackendKind) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
         GpsSampler {
             capacity,
             weight_fn,
             slab: Slab::with_capacity(capacity + 1),
             heap: MinHeap::with_capacity(capacity + 1),
-            adj: AdjacencyMap::new(),
+            adj: Self::sized_adjacency(backend, capacity),
             z_star: 0.0,
             rng: SmallRng::seed_from_u64(seed),
             arrivals: 0,
             duplicates: 0,
         }
+    }
+
+    /// Adjacency pre-sized like the slab and heap: the reservoir holds at
+    /// most `capacity + 1` edges at once (the provisional insert), hence at
+    /// most `2 * (capacity + 1)` incident nodes — sizing for that up front
+    /// kills rehash churn during reservoir fill.
+    fn sized_adjacency(backend: BackendKind, capacity: usize) -> AdjacencyBackend<SlotId> {
+        AdjacencyBackend::with_capacity(backend, 2 * (capacity + 1), capacity + 1)
     }
 
     /// Restores a sampler from a previously saved sample state (see
@@ -271,6 +319,36 @@ impl<W: EdgeWeight> GpsSampler<W> {
     where
         I: IntoIterator<Item = (Edge, f64, f64)>,
     {
+        Self::restore_with_backend(
+            capacity,
+            weight_fn,
+            seed,
+            threshold,
+            arrivals,
+            records,
+            BackendKind::Compact,
+        )
+    }
+
+    /// [`GpsSampler::restore`] onto an explicit adjacency backend — needed
+    /// when resuming a checkpointed baseline-arm (`HashMap`) run so
+    /// before/after comparisons keep measuring the backend they started on.
+    ///
+    /// # Panics
+    /// Same conditions as [`GpsSampler::restore`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_with_backend<I>(
+        capacity: usize,
+        weight_fn: W,
+        seed: u64,
+        threshold: f64,
+        arrivals: u64,
+        records: I,
+        backend: BackendKind,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (Edge, f64, f64)>,
+    {
         assert!(capacity > 0, "reservoir capacity must be positive");
         assert!(
             threshold >= 0.0 && threshold.is_finite(),
@@ -281,7 +359,7 @@ impl<W: EdgeWeight> GpsSampler<W> {
             weight_fn,
             slab: Slab::with_capacity(capacity + 1),
             heap: MinHeap::with_capacity(capacity + 1),
-            adj: AdjacencyMap::new(),
+            adj: Self::sized_adjacency(backend, capacity),
             z_star: threshold,
             rng: SmallRng::seed_from_u64(seed),
             arrivals,
@@ -297,7 +375,8 @@ impl<W: EdgeWeight> GpsSampler<W> {
                 "duplicate edge {edge} in restored sample"
             );
             let slot = sampler.slab.insert(EdgeRecord::new(edge, weight, priority));
-            sampler.adj.insert(edge, slot);
+            let (_, hints) = sampler.adj.insert_with_hints(edge, slot);
+            sampler.slab.get_mut(slot).hints = hints;
             sampler.heap.push(HeapEntry { priority, slot });
             assert!(
                 sampler.slab.len() <= capacity,
@@ -310,19 +389,22 @@ impl<W: EdgeWeight> GpsSampler<W> {
     /// Processes one stream arrival (procedure `GPSUpdate`).
     pub fn process(&mut self, edge: Edge) -> Arrival {
         self.arrivals += 1;
-        if self.adj.contains(edge) {
-            self.duplicates += 1;
-            return Arrival::Duplicate;
-        }
-
         // Weight against the sample as the edge finds it (before the
         // provisional insert), per Theorem 1's measurability requirement.
+        // The fused call also answers the duplicate check, reusing the
+        // endpoint resolutions the weight walk performs anyway; a
+        // duplicate's weight is discarded and no uniform draw is consumed,
+        // exactly as if the check had run first.
         let view = SampleView {
             slab: &self.slab,
             adj: &self.adj,
             threshold: self.z_star,
         };
-        let weight = self.weight_fn.weight(edge, &view);
+        let (weight, duplicate) = self.weight_fn.weight_and_presence(edge, &view);
+        if duplicate {
+            self.duplicates += 1;
+            return Arrival::Duplicate;
+        }
         assert!(
             weight.is_finite() && weight > 0.0,
             "weight function returned invalid weight {weight} for {edge}"
@@ -333,7 +415,8 @@ impl<W: EdgeWeight> GpsSampler<W> {
 
         if self.slab.len() < self.capacity {
             let slot = self.slab.insert(EdgeRecord::new(edge, weight, priority));
-            self.adj.insert(edge, slot);
+            let (_, hints) = self.adj.insert_with_hints(edge, slot);
+            self.slab.get_mut(slot).hints = hints;
             self.heap.push(HeapEntry { priority, slot });
             return Arrival::Inserted { weight };
         }
@@ -346,14 +429,16 @@ impl<W: EdgeWeight> GpsSampler<W> {
             return Arrival::Rejected { weight };
         }
         let slot = self.slab.insert(EdgeRecord::new(edge, weight, priority));
-        self.adj.insert(edge, slot);
+        let (_, hints) = self.adj.insert_with_hints(edge, slot);
+        self.slab.get_mut(slot).hints = hints;
         let evicted_entry = self
             .heap
             .replace_min(HeapEntry { priority, slot })
             .expect("full reservoir has a minimum");
         self.z_star = self.z_star.max(evicted_entry.priority);
         let evicted_record = self.slab.remove(evicted_entry.slot);
-        self.adj.remove(evicted_record.edge);
+        self.adj
+            .remove_hinted(evicted_record.edge, evicted_record.hints);
         Arrival::Replaced {
             weight,
             evicted: evicted_record.edge,
@@ -447,11 +532,27 @@ impl<W: EdgeWeight> GpsSampler<W> {
     ///
     /// Duplicate edges in `subgraph` are counted once (a subgraph is a set).
     pub fn subgraph_estimate(&self, subgraph: &[Edge]) -> f64 {
-        let mut product = 1.0;
-        for (i, &e) in subgraph.iter().enumerate() {
-            if subgraph[..i].contains(&e) {
-                continue;
+        // Motif-sized queries dedup with an allocation-free backward scan;
+        // larger edge sets sort instead so the query never goes O(|J|²).
+        const SCAN_DEDUP_MAX: usize = 16;
+        if subgraph.len() <= SCAN_DEDUP_MAX {
+            let mut product = 1.0;
+            for (i, &e) in subgraph.iter().enumerate() {
+                if subgraph[..i].contains(&e) {
+                    continue;
+                }
+                match self.inclusion_prob(e) {
+                    Some(p) => product /= p,
+                    None => return 0.0,
+                }
             }
+            return product;
+        }
+        let mut edges = subgraph.to_vec();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut product = 1.0;
+        for &e in &edges {
             match self.inclusion_prob(e) {
                 Some(p) => product /= p,
                 None => return 0.0,
@@ -460,9 +561,15 @@ impl<W: EdgeWeight> GpsSampler<W> {
         product
     }
 
+    /// Which adjacency backend this sampler runs on.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.adj.kind()
+    }
+
     /// In-stream internals: mutable slab plus the pieces needed to walk the
     /// sampled topology while mutating covariance accumulators.
-    pub(crate) fn estimator_parts(&mut self) -> (&mut Slab, &AdjacencyMap<SlotId>, f64) {
+    pub(crate) fn estimator_parts(&mut self) -> (&mut Slab, &AdjacencyBackend<SlotId>, f64) {
         (&mut self.slab, &self.adj, self.z_star)
     }
 }
@@ -593,6 +700,27 @@ mod tests {
         s.process(Edge::new(0, 1));
         let dup = [Edge::new(0, 1), Edge::new(1, 0)];
         assert_eq!(s.subgraph_estimate(&dup), 1.0);
+    }
+
+    #[test]
+    fn subgraph_estimate_dedups_large_queries_via_sort_path() {
+        // > 16 edges forces the sort+dedup branch; the answer must match
+        // the small-query scan branch on the same logical set.
+        let mut s = GpsSampler::new(64, UniformWeight, 0);
+        let chain: Vec<Edge> = (0..12u32).map(|i| Edge::new(i, i + 1)).collect();
+        s.process_stream(chain.iter().copied());
+        // 36 entries, every edge three times in both orientations.
+        let mut large: Vec<Edge> = Vec::new();
+        for &e in &chain {
+            large.push(e);
+            large.push(Edge::new(e.v(), e.u()));
+            large.push(e);
+        }
+        assert!(large.len() > 16);
+        assert_eq!(s.subgraph_estimate(&large), s.subgraph_estimate(&chain));
+        // A large query containing an unsampled edge is still 0.
+        large.push(Edge::new(100, 101));
+        assert_eq!(s.subgraph_estimate(&large), 0.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! allocates nothing.
 
 use gps_graph::types::Edge;
+use gps_graph::EdgeHints;
 
 /// Index of an edge's slot in the slab (also carried in the heap and the
 /// adjacency map).
@@ -25,6 +26,9 @@ pub struct EdgeRecord {
     pub cov_tri: f64,
     /// In-stream wedge covariance accumulator `C̃_k(Λ)` (Alg 3).
     pub cov_wedge: f64,
+    /// Adjacency endpoint hints captured at insertion; hand back to
+    /// `remove_hinted` at eviction for hash-free node lookups.
+    pub hints: EdgeHints,
 }
 
 impl EdgeRecord {
@@ -37,6 +41,7 @@ impl EdgeRecord {
             priority,
             cov_tri: 0.0,
             cov_wedge: 0.0,
+            hints: EdgeHints::NONE,
         }
     }
 }

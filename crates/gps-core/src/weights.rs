@@ -20,6 +20,17 @@ pub trait EdgeWeight {
     /// Weight for the arriving `edge` given the current sample view.
     /// Must return a finite value `> 0`.
     fn weight(&self, edge: Edge, sample: &SampleView<'_>) -> f64;
+
+    /// Weight plus "is `edge` already sampled" in one call — the sampler's
+    /// per-arrival fast path. The default composes [`EdgeWeight::weight`]
+    /// with a separate membership test; topology-driven weights override it
+    /// to reuse the endpoint resolutions their weight walk performs anyway
+    /// (see [`TriangleWeight`]). Implementations must return exactly
+    /// `(self.weight(edge, sample), sample.contains(edge))`.
+    #[inline]
+    fn weight_and_presence(&self, edge: Edge, sample: &SampleView<'_>) -> (f64, bool) {
+        (self.weight(edge, sample), sample.contains(edge))
+    }
 }
 
 /// Uniform weights: `W ≡ 1`. GPS degenerates to classic uniform reservoir
@@ -66,6 +77,12 @@ impl EdgeWeight for TriangleWeight {
     fn weight(&self, edge: Edge, sample: &SampleView<'_>) -> f64 {
         self.coefficient * sample.triangles_closed_by(edge) as f64 + self.floor
     }
+
+    #[inline]
+    fn weight_and_presence(&self, edge: Edge, sample: &SampleView<'_>) -> (f64, bool) {
+        let (triangles, present) = sample.triangle_closure_raw(edge);
+        (self.coefficient * triangles as f64 + self.floor, present)
+    }
 }
 
 /// Wedge-targeted weights: `W(k, K̂) = coefficient · |Λ̂(k)| + floor` where
@@ -96,6 +113,13 @@ impl EdgeWeight for WedgeWeight {
     fn weight(&self, edge: Edge, sample: &SampleView<'_>) -> f64 {
         self.coefficient * sample.wedges_closed_by(edge) as f64 + self.floor
     }
+
+    #[inline]
+    fn weight_and_presence(&self, edge: Edge, sample: &SampleView<'_>) -> (f64, bool) {
+        let (deg_sum, present) = sample.wedge_closure_raw(edge);
+        let wedges = deg_sum - if present { 2 } else { 0 };
+        (self.coefficient * wedges as f64 + self.floor, present)
+    }
 }
 
 /// Combined triangle + wedge weights, for samples that must serve both
@@ -124,9 +148,20 @@ impl Default for TriadWeight {
 impl EdgeWeight for TriadWeight {
     #[inline]
     fn weight(&self, edge: Edge, sample: &SampleView<'_>) -> f64 {
-        self.triangle_coefficient * sample.triangles_closed_by(edge) as f64
-            + self.wedge_coefficient * sample.wedges_closed_by(edge) as f64
+        let (triangles, wedges) = sample.triad_closed_by(edge);
+        self.triangle_coefficient * triangles as f64
+            + self.wedge_coefficient * wedges as f64
             + self.floor
+    }
+
+    #[inline]
+    fn weight_and_presence(&self, edge: Edge, sample: &SampleView<'_>) -> (f64, bool) {
+        let (triangles, deg_sum, present) = sample.triad_counts_raw(edge);
+        let wedges = deg_sum - if present { 2 } else { 0 };
+        let w = self.triangle_coefficient * triangles as f64
+            + self.wedge_coefficient * wedges as f64
+            + self.floor;
+        (w, present)
     }
 }
 

@@ -1,0 +1,113 @@
+//! Same-seed sample equivalence across adjacency backends.
+//!
+//! `GpsSampler` consumes exactly one uniform draw per non-duplicate arrival,
+//! and weight functions observe the sample only through topology counts
+//! (triangles / wedges closed, degrees). Both adjacency backends agree on
+//! those counts, so with equal seeds the samplers must produce the
+//! *bit-identical* reservoir — same edges, same weights, same priorities —
+//! and the identical threshold trajectory. This is the contract that lets
+//! `bench_baseline` compare backends as a pure performance experiment.
+
+use gps_core::weights::{EdgeWeight, TriadWeight, TriangleWeight, UniformWeight, WedgeWeight};
+use gps_core::GpsSampler;
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+use gps_stream::{gen, permuted};
+use proptest::prelude::*;
+
+/// Random edge stream (duplicates intentionally allowed: the duplicate-skip
+/// path must also behave identically on both backends).
+fn arb_stream(max_n: u32, max_m: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..max_n, 0..max_n), 1..max_m).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(a, b)| Edge::try_new(a, b))
+            .collect()
+    })
+}
+
+/// Runs the same stream through both backends and asserts bit-identical
+/// reservoirs and thresholds.
+fn assert_same_sample<W: EdgeWeight + Clone>(
+    stream: &[Edge],
+    capacity: usize,
+    weight_fn: W,
+    seed: u64,
+) {
+    let mut compact =
+        GpsSampler::with_backend(capacity, weight_fn.clone(), seed, BackendKind::Compact);
+    let mut hashmap = GpsSampler::with_backend(capacity, weight_fn, seed, BackendKind::HashMap);
+    assert_eq!(compact.backend(), BackendKind::Compact);
+    assert_eq!(hashmap.backend(), BackendKind::HashMap);
+    for (i, &e) in stream.iter().enumerate() {
+        let a = compact.process(e);
+        let b = hashmap.process(e);
+        assert_eq!(a, b, "arrival {i} ({e}) diverged");
+        assert_eq!(
+            compact.threshold(),
+            hashmap.threshold(),
+            "threshold diverged at arrival {i}"
+        );
+    }
+    assert_eq!(compact.len(), hashmap.len());
+    assert_eq!(compact.arrivals(), hashmap.arrivals());
+    assert_eq!(compact.duplicates(), hashmap.duplicates());
+    let mut ea: Vec<_> = compact
+        .edges()
+        .map(|s| (s.edge, s.weight.to_bits(), s.priority.to_bits()))
+        .collect();
+    let mut eb: Vec<_> = hashmap
+        .edges()
+        .map(|s| (s.edge, s.weight.to_bits(), s.priority.to_bits()))
+        .collect();
+    ea.sort();
+    eb.sort();
+    assert_eq!(ea, eb, "reservoir contents diverged");
+}
+
+proptest! {
+    #[test]
+    fn triangle_weight_samples_identically(
+        stream in arb_stream(24, 400),
+        capacity in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        assert_same_sample(&stream, capacity, TriangleWeight::default(), seed);
+    }
+
+    #[test]
+    fn triad_weight_samples_identically(
+        stream in arb_stream(16, 250),
+        capacity in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        assert_same_sample(&stream, capacity, TriadWeight::default(), seed);
+    }
+
+    #[test]
+    fn uniform_and_wedge_weights_sample_identically(
+        stream in arb_stream(32, 300),
+        capacity in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        assert_same_sample(&stream, capacity, UniformWeight, seed);
+        assert_same_sample(&stream, capacity, WedgeWeight::default(), seed);
+    }
+}
+
+#[test]
+fn holme_kim_stream_samples_identically_at_scale() {
+    // A realistic clustered stream large enough to force evictions, node
+    // slot reuse, spill-block churn and the hash-probe intersection arm.
+    let edges = permuted(&gen::holme_kim(3_000, 4, 0.6, 11), 5);
+    assert!(edges.len() > 10_000);
+    assert_same_sample(&edges, 1_500, TriangleWeight::default(), 42);
+}
+
+#[test]
+fn rmat_stream_samples_identically_with_hubs() {
+    // R-MAT's skewed degrees produce hubs whose sampled degree blows past
+    // every inline/linear-probe threshold.
+    let edges = permuted(&gen::rmat(12, 20_000, gen::RmatParams::social(), 3), 9);
+    assert_same_sample(&edges, 2_000, TriangleWeight::default(), 7);
+}

@@ -1,9 +1,16 @@
 //! Dynamic undirected adjacency structure with per-edge values.
 //!
-//! [`AdjacencyMap<V>`] is the representation backing the GPS reservoir: it
-//! supports O(1) expected-time edge insertion, deletion and membership tests,
-//! and neighbor iteration, while storing an arbitrary value `V` per edge
-//! (the sampler stores reservoir slot ids; plain graph uses store `()`).
+//! [`AdjacencyMap<V>`] supports O(1) expected-time edge insertion, deletion
+//! and membership tests, and neighbor iteration, while storing an arbitrary
+//! value `V` per edge (the sampler stores reservoir slot ids; plain graph
+//! uses store `()`).
+//!
+//! As of the compact-backend refactor the GPS reservoir runs on
+//! [`crate::CompactAdjacency`] by default; this map remains the simple
+//! reference implementation — the oracle for the differential property
+//! tests and the "before" arm of the `bench_baseline` perf harness — and
+//! still backs callers without hot-path pressure (generators, baselines,
+//! incremental counters).
 //!
 //! Common-neighbor enumeration — the inner loop of both the triangle-count
 //! weight function `W(k, K̂) = 9|△̂(k)| + 1` and the post-stream estimator —
@@ -198,6 +205,37 @@ impl<V: Copy> AdjacencyMap<V> {
         let mut count = 0;
         self.for_each_common_neighbor(u, v, |_, _, _| count += 1);
         count
+    }
+
+    /// Fused per-edge topology query (API parity with
+    /// `CompactAdjacency::triad_counts`): `(common_neighbors,
+    /// degree(u) + degree(v), edge_present)`.
+    pub fn triad_counts(&self, u: NodeId, v: NodeId) -> (usize, usize, bool) {
+        (
+            self.common_neighbor_count(u, v),
+            self.degree(u) + self.degree(v),
+            self.contains(Edge::new(u, v)),
+        )
+    }
+
+    /// Fused `(common_neighbors, edge_present)` query (API parity with
+    /// `CompactAdjacency::triangle_closure_counts`). Composes the two
+    /// original lookups — deliberately no extra degree probes, so this map
+    /// stays a faithful pre-refactor cost model when benchmarked.
+    pub fn triangle_closure_counts(&self, u: NodeId, v: NodeId) -> (usize, bool) {
+        (
+            self.common_neighbor_count(u, v),
+            self.contains(Edge::new(u, v)),
+        )
+    }
+
+    /// Fused degree-sum + presence query (API parity with
+    /// `CompactAdjacency::wedge_closure_counts`).
+    pub fn wedge_closure_counts(&self, u: NodeId, v: NodeId) -> (usize, bool) {
+        (
+            self.degree(u) + self.degree(v),
+            self.contains(Edge::new(u, v)),
+        )
     }
 
     /// Removes all edges and nodes.

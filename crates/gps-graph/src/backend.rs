@@ -1,0 +1,303 @@
+//! Runtime-selectable adjacency backend for the sampling layers.
+//!
+//! [`AdjacencyBackend`] wraps the two adjacency representations behind one
+//! API: the cache-friendly [`CompactAdjacency`] (the default, and the one
+//! production code should use) and the original nested-hash
+//! [`AdjacencyMap`], kept as a behavioral oracle for differential tests and
+//! as the baseline arm of `bench_baseline`-style before/after measurements.
+//!
+//! A two-variant enum — rather than a generic parameter — keeps
+//! `gps-core`'s `SampleView` non-generic, which matters because weight
+//! functions and motif detectors close over `&SampleView<'_>` in plain
+//! (non-generic) closures throughout the workspace. The per-call `match` on
+//! the discriminant is perfectly predicted and disappears next to the work
+//! each method does.
+
+use crate::adjacency::AdjacencyMap;
+use crate::compact::{CompactAdjacency, EdgeHints};
+use crate::hash::FxHashSet;
+use crate::types::{Edge, NodeId};
+
+/// Which adjacency representation an [`AdjacencyBackend`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Interned, slab-backed [`CompactAdjacency`] (default; fast path).
+    Compact,
+    /// Nested-hash [`AdjacencyMap`] (differential oracle / perf baseline).
+    HashMap,
+}
+
+/// An adjacency store that is either compact or hash-map backed.
+///
+/// The variants differ in inline size (the compact store carries its free
+/// lists and filter headers by value), but exactly one store exists per
+/// sampler, so boxing the large variant would only add a pointer chase to
+/// every hot-path call.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum AdjacencyBackend<V: Copy> {
+    /// Cache-friendly interned backend.
+    Compact(CompactAdjacency<V>),
+    /// Original nested-hash backend.
+    Map(AdjacencyMap<V>),
+}
+
+impl<V: Copy> Default for AdjacencyBackend<V> {
+    fn default() -> Self {
+        AdjacencyBackend::Compact(CompactAdjacency::new())
+    }
+}
+
+impl<V: Copy> AdjacencyBackend<V> {
+    /// Creates an empty store of the given kind. The compact store is
+    /// pre-sized for roughly `nodes` distinct nodes and `edges` edges; the
+    /// hash-map store is deliberately constructed **unsized**, exactly as
+    /// the pre-refactor sampler built it (pre-sizing is part of the
+    /// refactor this baseline exists to measure — see `bench_baseline`).
+    /// Callers who want a pre-sized map can build one with
+    /// [`AdjacencyMap::with_node_capacity`] directly.
+    pub fn with_capacity(kind: BackendKind, nodes: usize, edges: usize) -> Self {
+        match kind {
+            BackendKind::Compact => {
+                AdjacencyBackend::Compact(CompactAdjacency::with_capacity(nodes, edges))
+            }
+            BackendKind::HashMap => AdjacencyBackend::Map(AdjacencyMap::new()),
+        }
+    }
+
+    /// Which representation this store uses.
+    #[inline]
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            AdjacencyBackend::Compact(_) => BackendKind::Compact,
+            AdjacencyBackend::Map(_) => BackendKind::HashMap,
+        }
+    }
+
+    /// Number of edges currently present.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        match self {
+            AdjacencyBackend::Compact(a) => a.num_edges(),
+            AdjacencyBackend::Map(a) => a.num_edges(),
+        }
+    }
+
+    /// Number of nodes with at least one incident edge.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            AdjacencyBackend::Compact(a) => a.num_nodes(),
+            AdjacencyBackend::Map(a) => a.num_nodes(),
+        }
+    }
+
+    /// Returns `true` if no edges are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_edges() == 0
+    }
+
+    /// Inserts `edge` with `value`, returning the replaced previous value.
+    #[inline]
+    pub fn insert(&mut self, edge: Edge, value: V) -> Option<V> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.insert(edge, value),
+            AdjacencyBackend::Map(a) => a.insert(edge, value),
+        }
+    }
+
+    /// Like [`AdjacencyBackend::insert`], additionally returning endpoint
+    /// [`EdgeHints`] (meaningful on the compact backend, [`EdgeHints::NONE`]
+    /// on the hash map) that [`AdjacencyBackend::remove_hinted`] can use to
+    /// skip node lookups.
+    #[inline]
+    pub fn insert_with_hints(&mut self, edge: Edge, value: V) -> (Option<V>, EdgeHints) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.insert_with_hints(edge, value),
+            AdjacencyBackend::Map(a) => (a.insert(edge, value), EdgeHints::NONE),
+        }
+    }
+
+    /// Removes `edge`, returning its value if it was present.
+    #[inline]
+    pub fn remove(&mut self, edge: Edge) -> Option<V> {
+        self.remove_hinted(edge, EdgeHints::NONE)
+    }
+
+    /// Removes `edge` using hints captured at insertion (hash-free node
+    /// lookups on the compact backend; plain removal on the hash map).
+    #[inline]
+    pub fn remove_hinted(&mut self, edge: Edge, hints: EdgeHints) -> Option<V> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.remove_hinted(edge, hints),
+            AdjacencyBackend::Map(a) => a.remove(edge),
+        }
+    }
+
+    /// Returns `true` if `edge` is present.
+    #[inline]
+    pub fn contains(&self, edge: Edge) -> bool {
+        match self {
+            AdjacencyBackend::Compact(a) => a.contains(edge),
+            AdjacencyBackend::Map(a) => a.contains(edge),
+        }
+    }
+
+    /// Returns the value stored on `edge`, if present.
+    #[inline]
+    pub fn get(&self, edge: Edge) -> Option<V> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.get(edge),
+            AdjacencyBackend::Map(a) => a.get(edge),
+        }
+    }
+
+    /// Replaces the value on an existing edge; `false` if absent.
+    #[inline]
+    pub fn set(&mut self, edge: Edge, value: V) -> bool {
+        match self {
+            AdjacencyBackend::Compact(a) => a.set(edge, value),
+            AdjacencyBackend::Map(a) => a.set(edge, value),
+        }
+    }
+
+    /// Degree of `node` (0 if unknown).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        match self {
+            AdjacencyBackend::Compact(a) => a.degree(node),
+            AdjacencyBackend::Map(a) => a.degree(node),
+        }
+    }
+
+    /// Calls `f(neighbor, value)` for every edge incident to `node`.
+    #[inline]
+    pub fn for_each_neighbor<F: FnMut(NodeId, V)>(&self, node: NodeId, mut f: F) {
+        match self {
+            AdjacencyBackend::Compact(a) => {
+                for &(n, v) in a.neighbor_slice(node) {
+                    f(n, v);
+                }
+            }
+            AdjacencyBackend::Map(a) => {
+                for (n, v) in a.neighbors(node) {
+                    f(n, v);
+                }
+            }
+        }
+    }
+
+    /// Calls `f(w, value_uw, value_vw)` for every common neighbor `w` of
+    /// `u` and `v` (see [`CompactAdjacency::for_each_common_neighbor`]).
+    #[inline]
+    pub fn for_each_common_neighbor<F: FnMut(NodeId, V, V)>(&self, u: NodeId, v: NodeId, f: F) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.for_each_common_neighbor(u, v, f),
+            AdjacencyBackend::Map(a) => a.for_each_common_neighbor(u, v, f),
+        }
+    }
+
+    /// Number of common neighbors of `u` and `v`.
+    #[inline]
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        match self {
+            AdjacencyBackend::Compact(a) => a.common_neighbor_count(u, v),
+            AdjacencyBackend::Map(a) => a.common_neighbor_count(u, v),
+        }
+    }
+
+    /// Fused `(common_neighbors, degree(u) + degree(v), edge_present)`.
+    #[inline]
+    pub fn triad_counts(&self, u: NodeId, v: NodeId) -> (usize, usize, bool) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.triad_counts(u, v),
+            AdjacencyBackend::Map(a) => a.triad_counts(u, v),
+        }
+    }
+
+    /// Fused `(common_neighbors, edge_present)`.
+    #[inline]
+    pub fn triangle_closure_counts(&self, u: NodeId, v: NodeId) -> (usize, bool) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.triangle_closure_counts(u, v),
+            AdjacencyBackend::Map(a) => a.triangle_closure_counts(u, v),
+        }
+    }
+
+    /// Fused `(degree(u) + degree(v), edge_present)`.
+    #[inline]
+    pub fn wedge_closure_counts(&self, u: NodeId, v: NodeId) -> (usize, bool) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.wedge_closure_counts(u, v),
+            AdjacencyBackend::Map(a) => a.wedge_closure_counts(u, v),
+        }
+    }
+
+    /// Collects every edge with its value (diagnostics / persistence).
+    pub fn edge_vec(&self) -> Vec<(Edge, V)> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.edges().collect(),
+            AdjacencyBackend::Map(a) => a.edges().collect(),
+        }
+    }
+
+    /// Collects the node set (diagnostics).
+    pub fn node_set(&self) -> FxHashSet<NodeId> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.node_set(),
+            AdjacencyBackend::Map(a) => a.node_set(),
+        }
+    }
+
+    /// Removes all edges and nodes.
+    pub fn clear(&mut self) {
+        match self {
+            AdjacencyBackend::Compact(a) => a.clear(),
+            AdjacencyBackend::Map(a) => a.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kinds_agree_on_a_small_graph() {
+        for kind in [BackendKind::Compact, BackendKind::HashMap] {
+            let mut b: AdjacencyBackend<u32> = AdjacencyBackend::with_capacity(kind, 8, 8);
+            assert_eq!(b.kind(), kind);
+            assert!(b.is_empty());
+            assert_eq!(b.insert(Edge::new(1, 2), 10), None);
+            assert_eq!(b.insert(Edge::new(2, 3), 20), None);
+            assert_eq!(b.insert(Edge::new(1, 3), 30), None);
+            assert_eq!(b.num_edges(), 3);
+            assert_eq!(b.num_nodes(), 3);
+            assert!(b.contains(Edge::new(3, 1)));
+            assert_eq!(b.get(Edge::new(2, 3)), Some(20));
+            assert!(b.set(Edge::new(2, 3), 21));
+            assert_eq!(b.get(Edge::new(2, 3)), Some(21));
+            assert_eq!(b.degree(2), 2);
+            assert_eq!(b.common_neighbor_count(1, 2), 1);
+            let mut seen = vec![];
+            b.for_each_common_neighbor(1, 2, |w, vu, vv| seen.push((w, vu, vv)));
+            assert_eq!(seen, vec![(3, 30, 21)]);
+            let mut incident = vec![];
+            b.for_each_neighbor(3, |n, v| incident.push((n, v)));
+            incident.sort_unstable();
+            assert_eq!(incident, vec![(1, 30), (2, 21)]);
+            assert_eq!(b.edge_vec().len(), 3);
+            assert_eq!(b.node_set().len(), 3);
+            assert_eq!(b.remove(Edge::new(1, 2)), Some(10));
+            b.clear();
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn default_is_compact() {
+        let b: AdjacencyBackend<u32> = AdjacencyBackend::default();
+        assert_eq!(b.kind(), BackendKind::Compact);
+    }
+}
