@@ -2,7 +2,7 @@
 
 use gps_graph::hash::FxHashMap;
 use gps_graph::types::{Edge, EdgeKey};
-use gps_graph::AdjacencyMap;
+use gps_graph::{AdjacencyBackend, BackendKind};
 
 /// A streaming triangle-count estimator: the minimal interface the
 /// experiment harness needs to drive GPS and every baseline uniformly.
@@ -23,20 +23,51 @@ pub trait TriangleEstimator {
 }
 
 /// An edge sample supporting O(1) uniform eviction *and* O(1) adjacency
-/// queries — the store both TRIEST variants and the uniform reservoir are
-/// built on. (Uniform eviction needs an indexable vector; triangle counting
-/// needs neighbor sets; this keeps the two views in sync.)
-#[derive(Clone, Debug, Default)]
+/// queries — the store both TRIEST variants, MASCOT, JHA and the uniform
+/// reservoir are built on. (Uniform eviction needs an indexable vector;
+/// triangle counting needs neighbor sets; this keeps the two views in sync.)
+///
+/// The adjacency view is an [`AdjacencyBackend`], defaulting to the same
+/// cache-friendly `CompactAdjacency` that backs `GpsSampler` — so Table 2/3
+/// comparisons measure *algorithms*, not data structures. The nested-hash
+/// representation stays selectable via
+/// [`EdgeSampleStore::with_backend`] for differential tests and
+/// before/after benchmarks. Every query a baseline makes through this store
+/// is order-oblivious (counts, degrees, membership), so the two backends
+/// are observationally identical and same-seed runs produce bit-identical
+/// estimates on either (see `tests/backend_equivalence.rs`).
+#[derive(Clone, Debug)]
 pub struct EdgeSampleStore {
     edges: Vec<Edge>,
     positions: FxHashMap<EdgeKey, usize>,
-    adj: AdjacencyMap<()>,
+    adj: AdjacencyBackend<()>,
+}
+
+impl Default for EdgeSampleStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EdgeSampleStore {
-    /// Empty store.
+    /// Empty store on the default compact backend.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(BackendKind::Compact)
+    }
+
+    /// Empty store on an explicit adjacency backend.
+    pub fn with_backend(kind: BackendKind) -> Self {
+        EdgeSampleStore {
+            edges: Vec::new(),
+            positions: FxHashMap::default(),
+            adj: AdjacencyBackend::new_of_kind(kind),
+        }
+    }
+
+    /// Which adjacency representation this store uses.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.adj.kind()
     }
 
     /// Number of stored edges.
@@ -110,9 +141,64 @@ impl EdgeSampleStore {
 
     /// Read access to the adjacency view.
     #[inline]
-    pub fn adjacency(&self) -> &AdjacencyMap<()> {
+    pub fn adjacency(&self) -> &AdjacencyBackend<()> {
         &self.adj
     }
+}
+
+/// One NSAMP neighborhood estimator (Pavan et al., VLDB 2013): a uniform
+/// stream edge `e1`, a uniform later edge `e2` adjacent to it, the count
+/// `c = |N_t(e1)|` of adjacent successors seen, and whether the wedge's
+/// closing edge has arrived. Shared by the naive and bulk-processed NSAMP
+/// drivers, which differ only in how they *schedule* updates over a vector
+/// of these.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeighborhoodEstimator {
+    /// Level-1 sample: a uniform edge of the stream.
+    pub e1: Option<Edge>,
+    /// Level-2 sample: a uniform edge among those adjacent to `e1` that
+    /// arrived after it.
+    pub e2: Option<Edge>,
+    /// `|N_t(e1)|` so far: adjacent edges arriving after `e1`.
+    pub c: u64,
+    /// Closing edge of the wedge `(e1, e2)` has arrived while the pair held.
+    pub closed: bool,
+}
+
+impl NeighborhoodEstimator {
+    /// Resets the estimator around a fresh level-1 edge.
+    pub fn reset_with(&mut self, e1: Edge) {
+        *self = NeighborhoodEstimator {
+            e1: Some(e1),
+            ..Default::default()
+        };
+    }
+
+    /// The wedge-completing edge, if `e1`/`e2` currently form a wedge.
+    pub fn closing_edge(&self) -> Option<Edge> {
+        let (e1, e2) = (self.e1?, self.e2?);
+        let shared = e1.shared_endpoint(&e2)?;
+        let a = e1.other(shared).expect("shared endpoint is on e1");
+        let b = e2.other(shared).expect("shared endpoint is on e2");
+        Edge::try_new(a, b)
+    }
+
+    /// Edges currently held (0–2): the memory-footprint contribution.
+    #[inline]
+    pub fn stored_edges(&self) -> usize {
+        self.e1.is_some() as usize + self.e2.is_some() as usize
+    }
+}
+
+/// `Σ c·1{closed} · t / r` — the unbiased NSAMP triangle estimate over a
+/// pool of estimators at stream position `t` (shared by both drivers).
+pub(crate) fn nsamp_estimate(estimators: &[NeighborhoodEstimator], t: u64) -> f64 {
+    let sum: f64 = estimators
+        .iter()
+        .filter(|e| e.closed)
+        .map(|e| e.c as f64)
+        .sum();
+    sum * t as f64 / estimators.len() as f64
 }
 
 #[cfg(test)]
@@ -121,18 +207,26 @@ mod tests {
 
     #[test]
     fn insert_remove_keep_views_consistent() {
-        let mut s = EdgeSampleStore::new();
-        assert!(s.insert(Edge::new(0, 1)));
-        assert!(s.insert(Edge::new(1, 2)));
-        assert!(s.insert(Edge::new(0, 2)));
-        assert!(!s.insert(Edge::new(2, 0)), "duplicate rejected");
-        assert_eq!(s.len(), 3);
-        assert_eq!(s.common_neighbors(Edge::new(0, 1)), 1);
-        assert!(s.remove(Edge::new(1, 2)));
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.common_neighbors(Edge::new(0, 1)), 0);
-        assert!(!s.remove(Edge::new(1, 2)));
-        assert_eq!(s.degree(0), 2);
+        for kind in [BackendKind::Compact, BackendKind::HashMap] {
+            let mut s = EdgeSampleStore::with_backend(kind);
+            assert_eq!(s.backend(), kind);
+            assert!(s.insert(Edge::new(0, 1)));
+            assert!(s.insert(Edge::new(1, 2)));
+            assert!(s.insert(Edge::new(0, 2)));
+            assert!(!s.insert(Edge::new(2, 0)), "duplicate rejected");
+            assert_eq!(s.len(), 3);
+            assert_eq!(s.common_neighbors(Edge::new(0, 1)), 1);
+            assert!(s.remove(Edge::new(1, 2)));
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.common_neighbors(Edge::new(0, 1)), 0);
+            assert!(!s.remove(Edge::new(1, 2)));
+            assert_eq!(s.degree(0), 2);
+        }
+    }
+
+    #[test]
+    fn default_store_is_compact() {
+        assert_eq!(EdgeSampleStore::new().backend(), BackendKind::Compact);
     }
 
     #[test]
@@ -156,5 +250,26 @@ mod tests {
         let e = s.remove_at(0);
         assert_eq!(e, Edge::new(3, 4));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn neighborhood_estimator_closing_edge_geometry() {
+        let mut est = NeighborhoodEstimator {
+            e1: Some(Edge::new(1, 2)),
+            e2: Some(Edge::new(2, 3)),
+            ..Default::default()
+        };
+        assert_eq!(est.closing_edge(), Some(Edge::new(1, 3)));
+        assert_eq!(est.stored_edges(), 2);
+        est.e2 = Some(Edge::new(4, 5));
+        assert_eq!(
+            est.closing_edge(),
+            None,
+            "non-adjacent pair has no closing edge"
+        );
+        est.reset_with(Edge::new(7, 8));
+        assert_eq!(est.stored_edges(), 1);
+        assert_eq!(est.c, 0);
+        assert!(!est.closed);
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::common::{EdgeSampleStore, TriangleEstimator};
 use gps_graph::types::Edge;
+use gps_graph::BackendKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,13 +53,27 @@ pub struct JhaWedgeSampler {
 
 impl JhaWedgeSampler {
     /// Creates a sampler with `edge_capacity` reservoir edges and
-    /// `wedge_capacity` wedge slots.
+    /// `wedge_capacity` wedge slots, on the default compact adjacency
+    /// backend.
     pub fn new(edge_capacity: usize, wedge_capacity: usize, seed: u64) -> Self {
+        Self::with_backend(edge_capacity, wedge_capacity, seed, BackendKind::Compact)
+    }
+
+    /// [`JhaWedgeSampler::new`] on an explicit adjacency backend. The new
+    /// wedges formed by an admitted edge are canonically sorted before the
+    /// uniform slot draw, so same-seed runs are bit-identical on either
+    /// backend despite their differing neighbor-iteration orders.
+    pub fn with_backend(
+        edge_capacity: usize,
+        wedge_capacity: usize,
+        seed: u64,
+        backend: BackendKind,
+    ) -> Self {
         assert!(edge_capacity >= 2, "need at least two reservoir edges");
         assert!(wedge_capacity >= 1, "need at least one wedge slot");
         JhaWedgeSampler {
             edge_capacity,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             wedges: vec![None; wedge_capacity],
             tot_wedges: 0,
             t: 0,
@@ -101,16 +116,20 @@ impl JhaWedgeSampler {
     fn admit(&mut self, edge: Edge) {
         // Wedges the new edge forms with the current reservoir.
         self.new_wedges.clear();
-        for (nbr, _) in self.store.adjacency().neighbors(edge.u()) {
-            if nbr != edge.v() {
-                self.new_wedges.push(Edge::new(edge.u(), nbr));
+        let (u, v) = (edge.u(), edge.v());
+        self.store.adjacency().for_each_neighbor(u, |nbr, ()| {
+            if nbr != v {
+                self.new_wedges.push(Edge::new(u, nbr));
             }
-        }
-        for (nbr, _) in self.store.adjacency().neighbors(edge.v()) {
-            if nbr != edge.u() {
-                self.new_wedges.push(Edge::new(edge.v(), nbr));
+        });
+        self.store.adjacency().for_each_neighbor(v, |nbr, ()| {
+            if nbr != u {
+                self.new_wedges.push(Edge::new(v, nbr));
             }
-        }
+        });
+        // Canonical order: the uniform index draw below must select the
+        // same wedge whatever neighbor-iteration order the backend has.
+        self.new_wedges.sort_unstable();
         self.store.insert(edge);
         self.tot_wedges += self.new_wedges.len() as u64;
         if self.tot_wedges == 0 || self.new_wedges.is_empty() {

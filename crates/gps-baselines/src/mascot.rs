@@ -14,6 +14,7 @@
 
 use crate::common::{EdgeSampleStore, TriangleEstimator};
 use gps_graph::types::Edge;
+use gps_graph::BackendKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,18 +27,28 @@ pub struct Mascot {
 }
 
 impl Mascot {
-    /// Creates a MASCOT estimator sampling edges with probability `p`.
+    /// Creates a MASCOT estimator sampling edges with probability `p`, on
+    /// the default compact adjacency backend.
     ///
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64, seed: u64) -> Self {
+        Self::with_backend(p, seed, BackendKind::Compact)
+    }
+
+    /// [`Mascot::new`] on an explicit adjacency backend (same-seed runs are
+    /// bit-identical on either backend).
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn with_backend(p: f64, seed: u64, backend: BackendKind) -> Self {
         assert!(
             p > 0.0 && p <= 1.0,
             "sampling probability must be in (0, 1]"
         );
         Mascot {
             p,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             estimate: 0.0,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -85,18 +96,27 @@ pub struct MascotC {
 }
 
 impl MascotC {
-    /// Creates a MASCOT-C estimator sampling edges with probability `p`.
+    /// Creates a MASCOT-C estimator sampling edges with probability `p`, on
+    /// the default compact adjacency backend.
     ///
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64, seed: u64) -> Self {
+        Self::with_backend(p, seed, BackendKind::Compact)
+    }
+
+    /// [`MascotC::new`] on an explicit adjacency backend.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn with_backend(p: f64, seed: u64, backend: BackendKind) -> Self {
         assert!(
             p > 0.0 && p <= 1.0,
             "sampling probability must be in (0, 1]"
         );
         MascotC {
             p,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             estimate: 0.0,
             rng: SmallRng::seed_from_u64(seed),
         }

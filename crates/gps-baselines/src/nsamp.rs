@@ -16,43 +16,20 @@
 //! cost is `O(r)` — the paper's observation that NSAMP is slow without bulk
 //! processing is reproduced by the benchmarks.
 
-use crate::common::TriangleEstimator;
+use crate::common::{nsamp_estimate, NeighborhoodEstimator, TriangleEstimator};
 use gps_graph::types::{Edge, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Estimator {
-    e1: Option<Edge>,
-    e2: Option<Edge>,
-    /// |N(e1)| so far: adjacent edges arriving after e1.
-    c: u64,
-    /// Closing edge of the wedge (e1, e2) has arrived while the pair held.
-    closed: bool,
-}
-
-impl Estimator {
-    fn reset_with(&mut self, e1: Edge) {
-        *self = Estimator {
-            e1: Some(e1),
-            ..Default::default()
-        };
-    }
-
-    /// The node-completing edge of the wedge, if `e1`/`e2` currently form
-    /// one.
-    fn closing_edge(&self) -> Option<Edge> {
-        let (e1, e2) = (self.e1?, self.e2?);
-        let shared = e1.shared_endpoint(&e2)?;
-        let a = e1.other(shared).expect("shared endpoint is on e1");
-        let b = e2.other(shared).expect("shared endpoint is on e2");
-        Edge::try_new(a, b)
-    }
-}
-
 /// NSAMP with `r` parallel neighborhood estimators.
+///
+/// NSAMP keeps **no adjacency structure** — each
+/// [`NeighborhoodEstimator`] holds at most two concrete edges — so unlike
+/// the store-based baselines there is no adjacency-backend axis to select;
+/// the estimator state is shared with [`crate::nsamp_bulk::NSampBulk`]
+/// via `common`.
 pub struct NSamp {
-    estimators: Vec<Estimator>,
+    estimators: Vec<NeighborhoodEstimator>,
     t: u64,
     rng: SmallRng,
 }
@@ -65,7 +42,7 @@ impl NSamp {
     pub fn new(r: usize, seed: u64) -> Self {
         assert!(r > 0, "need at least one estimator");
         NSamp {
-            estimators: vec![Estimator::default(); r],
+            estimators: vec![NeighborhoodEstimator::default(); r],
             t: 0,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -112,22 +89,12 @@ impl TriangleEstimator for NSamp {
     }
 
     fn triangle_estimate(&self) -> f64 {
-        let t = self.t as f64;
-        let sum: f64 = self
-            .estimators
-            .iter()
-            .filter(|e| e.closed)
-            .map(|e| e.c as f64)
-            .sum();
-        sum * t / self.estimators.len() as f64
+        nsamp_estimate(&self.estimators, self.t)
     }
 
     fn stored_edges(&self) -> usize {
         // Each estimator stores at most two edges.
-        self.estimators
-            .iter()
-            .map(|e| e.e1.is_some() as usize + e.e2.is_some() as usize)
-            .sum()
+        self.estimators.iter().map(|e| e.stored_edges()).sum()
     }
 
     fn name(&self) -> &'static str {
@@ -210,19 +177,6 @@ mod tests {
         assert!(n.stored_edges() >= 32, "every estimator holds an e1 by now");
     }
 
-    #[test]
-    fn closing_edge_geometry() {
-        let mut est = Estimator {
-            e1: Some(Edge::new(1, 2)),
-            e2: Some(Edge::new(2, 3)),
-            ..Default::default()
-        };
-        assert_eq!(est.closing_edge(), Some(Edge::new(1, 3)));
-        est.e2 = Some(Edge::new(4, 5));
-        assert_eq!(
-            est.closing_edge(),
-            None,
-            "non-adjacent pair has no closing edge"
-        );
-    }
+    // closing_edge geometry is covered by the NeighborhoodEstimator unit
+    // tests in `common`, where the shared state now lives.
 }

@@ -20,34 +20,22 @@
 //! distribution to the naive [`crate::nsamp::NSamp`]; only the schedule of
 //! RNG draws differs.
 
-use crate::common::TriangleEstimator;
+use crate::common::{nsamp_estimate, NeighborhoodEstimator, TriangleEstimator};
 use gps_graph::types::{Edge, NodeId};
 use gps_graph::FxHashMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Estimator {
-    e1: Option<Edge>,
-    e2: Option<Edge>,
-    c: u64,
-    closed: bool,
-}
-
-impl Estimator {
-    fn closing_edge(&self) -> Option<Edge> {
-        let (e1, e2) = (self.e1?, self.e2?);
-        let shared = e1.shared_endpoint(&e2)?;
-        let a = e1.other(shared).expect("shared endpoint is on e1");
-        let b = e2.other(shared).expect("shared endpoint is on e2");
-        Edge::try_new(a, b)
-    }
-}
-
 /// NSAMP with bulk processing: statistically equivalent to
 /// [`crate::nsamp::NSamp`] at a fraction of the per-edge cost.
+///
+/// Like the naive variant, the per-estimator state
+/// ([`NeighborhoodEstimator`], shared via `common`) holds at most two
+/// concrete edges and no adjacency structure; the `node → estimators`
+/// inverted index below maps nodes to *estimator ids*, not edges, so there
+/// is no adjacency-backend axis here either.
 pub struct NSampBulk {
-    estimators: Vec<Estimator>,
+    estimators: Vec<NeighborhoodEstimator>,
     /// node → ids of estimators whose current `e1` touches the node.
     /// Entries go stale when `e1` changes; consumers re-validate.
     index: FxHashMap<NodeId, Vec<u32>>,
@@ -60,7 +48,7 @@ impl NSampBulk {
     pub fn new(r: usize, seed: u64) -> Self {
         assert!(r > 0, "need at least one estimator");
         NSampBulk {
-            estimators: vec![Estimator::default(); r],
+            estimators: vec![NeighborhoodEstimator::default(); r],
             index: FxHashMap::default(),
             t: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -73,7 +61,7 @@ impl NSampBulk {
     }
 
     fn assign_e1(&mut self, id: u32, edge: Edge) {
-        self.estimators[id as usize] = Estimator {
+        self.estimators[id as usize] = NeighborhoodEstimator {
             e1: Some(edge),
             ..Default::default()
         };
@@ -159,21 +147,11 @@ impl TriangleEstimator for NSampBulk {
     }
 
     fn triangle_estimate(&self) -> f64 {
-        let t = self.t as f64;
-        let sum: f64 = self
-            .estimators
-            .iter()
-            .filter(|e| e.closed)
-            .map(|e| e.c as f64)
-            .sum();
-        sum * t / self.estimators.len() as f64
+        nsamp_estimate(&self.estimators, self.t)
     }
 
     fn stored_edges(&self) -> usize {
-        self.estimators
-            .iter()
-            .map(|e| e.e1.is_some() as usize + e.e2.is_some() as usize)
-            .sum()
+        self.estimators.iter().map(|e| e.stored_edges()).sum()
     }
 
     fn name(&self) -> &'static str {

@@ -4,6 +4,7 @@
 
 use crate::common::{EdgeSampleStore, TriangleEstimator};
 use gps_graph::types::Edge;
+use gps_graph::BackendKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,6 +12,22 @@ use rand::{Rng, SeedableRng};
 /// *inside the sample* and rescales by the inverse probability that all
 /// three edges of a triangle are jointly sampled,
 /// `ξ(t) = t(t−1)(t−2) / (M(M−1)(M−2))`.
+///
+/// ```
+/// use gps_baselines::{TriangleEstimator, TriestBase};
+/// use gps_graph::Edge;
+///
+/// // A reservoir big enough to hold the whole stream is exact: K4 has
+/// // C(4,3) = 4 triangles.
+/// let mut est = TriestBase::new(100, 7);
+/// for a in 0..4u32 {
+///     for b in (a + 1)..4 {
+///         est.process(Edge::new(a, b));
+///     }
+/// }
+/// assert_eq!(est.triangle_estimate(), 4.0);
+/// assert_eq!(est.stored_edges(), 6);
+/// ```
 pub struct TriestBase {
     capacity: usize,
     store: EdgeSampleStore,
@@ -21,12 +38,20 @@ pub struct TriestBase {
 
 impl TriestBase {
     /// Creates a TRIEST-BASE estimator with reservoir capacity `capacity`
-    /// (must be ≥ 3 so the scaling factor is defined).
+    /// (must be ≥ 3 so the scaling factor is defined), on the default
+    /// compact adjacency backend.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_backend(capacity, seed, BackendKind::Compact)
+    }
+
+    /// [`TriestBase::new`] on an explicit adjacency backend. Same-seed runs
+    /// produce bit-identical estimates on either backend: the estimator
+    /// only queries order-oblivious topology counts.
+    pub fn with_backend(capacity: usize, seed: u64, backend: BackendKind) -> Self {
         assert!(capacity >= 3, "TRIEST needs capacity ≥ 3");
         TriestBase {
             capacity,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             sample_triangles: 0.0,
             t: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -89,12 +114,19 @@ pub struct TriestImpr {
 }
 
 impl TriestImpr {
-    /// Creates a TRIEST-IMPR estimator with reservoir capacity `capacity`.
+    /// Creates a TRIEST-IMPR estimator with reservoir capacity `capacity`,
+    /// on the default compact adjacency backend.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_backend(capacity, seed, BackendKind::Compact)
+    }
+
+    /// [`TriestImpr::new`] on an explicit adjacency backend (same-seed
+    /// backend-independence as [`TriestBase::with_backend`]).
+    pub fn with_backend(capacity: usize, seed: u64, backend: BackendKind) -> Self {
         assert!(capacity >= 2, "TRIEST-IMPR needs capacity ≥ 2");
         TriestImpr {
             capacity,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             counter: 0.0,
             t: 0,
             rng: SmallRng::seed_from_u64(seed),

@@ -15,6 +15,7 @@ use crate::common::{EdgeSampleStore, TriangleEstimator};
 use gps_graph::csr::CsrGraph;
 use gps_graph::exact;
 use gps_graph::types::Edge;
+use gps_graph::BackendKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,12 +28,18 @@ pub struct UniformReservoir {
 }
 
 impl UniformReservoir {
-    /// Creates a uniform reservoir of `capacity` edges.
+    /// Creates a uniform reservoir of `capacity` edges on the default
+    /// compact adjacency backend.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_backend(capacity, seed, BackendKind::Compact)
+    }
+
+    /// [`UniformReservoir::new`] on an explicit adjacency backend.
+    pub fn with_backend(capacity: usize, seed: u64, backend: BackendKind) -> Self {
         assert!(capacity >= 3, "need capacity ≥ 3 for triangle scaling");
         UniformReservoir {
             capacity,
-            store: EdgeSampleStore::new(),
+            store: EdgeSampleStore::with_backend(backend),
             t: 0,
             rng: SmallRng::seed_from_u64(seed),
         }

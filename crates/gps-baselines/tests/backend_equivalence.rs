@@ -1,0 +1,182 @@
+//! Same-seed equivalence of every ported baseline across adjacency
+//! backends, mirroring `gps-core/tests/backend_equivalence.rs`.
+//!
+//! Each store-based baseline observes its sample only through
+//! order-oblivious queries — common-neighbor counts, degrees, membership —
+//! and consumes RNG draws on a schedule that does not depend on the
+//! adjacency representation (JHA additionally sorts its candidate wedges
+//! into a canonical order before the uniform slot draw). Both backends
+//! agree on every such query, so with equal seeds a baseline must produce
+//! the *bit-identical* estimate trajectory and stored sample on either —
+//! the contract that makes the Table 2/3 backend axis a pure performance
+//! experiment rather than a change of algorithm.
+
+use gps_baselines::common::TriangleEstimator;
+use gps_baselines::{JhaWedgeSampler, Mascot, MascotC, TriestBase, TriestImpr, UniformReservoir};
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+use gps_stream::{gen, permuted};
+use proptest::prelude::*;
+
+/// Random edge stream, duplicates intentionally allowed: the duplicate-skip
+/// paths must also behave identically on both backends.
+fn arb_stream(max_n: u32, max_m: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..max_n, 0..max_n), 1..max_m).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(a, b)| Edge::try_new(a, b))
+            .collect()
+    })
+}
+
+/// Drives a compact-backed and a hashmap-backed instance of one baseline
+/// through the same stream, asserting identical estimates every `stride`
+/// arrivals (plus at the end) and an identical footprint throughout.
+/// `stride > 1` exists only for [`UniformReservoir`], whose estimate is a
+/// deliberate O(M^{3/2}) query-time recount.
+fn assert_same_run_strided(
+    stream: &[Edge],
+    mut compact: impl TriangleEstimator,
+    mut hashmap: impl TriangleEstimator,
+    stride: usize,
+) {
+    for (i, &e) in stream.iter().enumerate() {
+        compact.process(e);
+        hashmap.process(e);
+        if i % stride == 0 || i + 1 == stream.len() {
+            assert_eq!(
+                compact.triangle_estimate().to_bits(),
+                hashmap.triangle_estimate().to_bits(),
+                "{} estimate diverged at arrival {i} ({e})",
+                compact.name(),
+            );
+        }
+        assert_eq!(
+            compact.stored_edges(),
+            hashmap.stored_edges(),
+            "{} footprint diverged at arrival {i} ({e})",
+            compact.name(),
+        );
+    }
+}
+
+/// [`assert_same_run_strided`] with the estimate checked on every arrival.
+fn assert_same_run(
+    stream: &[Edge],
+    compact: impl TriangleEstimator,
+    hashmap: impl TriangleEstimator,
+) {
+    assert_same_run_strided(stream, compact, hashmap, 1);
+}
+
+const C: BackendKind = BackendKind::Compact;
+const H: BackendKind = BackendKind::HashMap;
+
+proptest! {
+    #[test]
+    fn triest_base_is_backend_independent(
+        stream in arb_stream(24, 300),
+        capacity in 3usize..48,
+        seed in any::<u64>(),
+    ) {
+        assert_same_run(
+            &stream,
+            TriestBase::with_backend(capacity, seed, C),
+            TriestBase::with_backend(capacity, seed, H),
+        );
+    }
+
+    #[test]
+    fn triest_impr_is_backend_independent(
+        stream in arb_stream(24, 300),
+        capacity in 2usize..48,
+        seed in any::<u64>(),
+    ) {
+        assert_same_run(
+            &stream,
+            TriestImpr::with_backend(capacity, seed, C),
+            TriestImpr::with_backend(capacity, seed, H),
+        );
+    }
+
+    #[test]
+    fn mascot_variants_are_backend_independent(
+        stream in arb_stream(24, 300),
+        p in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        assert_same_run(
+            &stream,
+            Mascot::with_backend(p, seed, C),
+            Mascot::with_backend(p, seed, H),
+        );
+        assert_same_run(
+            &stream,
+            MascotC::with_backend(p, seed, C),
+            MascotC::with_backend(p, seed, H),
+        );
+    }
+
+    #[test]
+    fn jha_is_backend_independent(
+        stream in arb_stream(20, 250),
+        edge_capacity in 2usize..32,
+        wedge_capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        assert_same_run(
+            &stream,
+            JhaWedgeSampler::with_backend(edge_capacity, wedge_capacity, seed, C),
+            JhaWedgeSampler::with_backend(edge_capacity, wedge_capacity, seed, H),
+        );
+    }
+
+    #[test]
+    fn uniform_reservoir_is_backend_independent(
+        stream in arb_stream(24, 300),
+        capacity in 3usize..48,
+        seed in any::<u64>(),
+    ) {
+        assert_same_run(
+            &stream,
+            UniformReservoir::with_backend(capacity, seed, C),
+            UniformReservoir::with_backend(capacity, seed, H),
+        );
+    }
+}
+
+#[test]
+fn all_baselines_agree_on_a_clustered_stream_at_scale() {
+    // A realistic Holme–Kim stream large enough to force evictions, spill
+    // blocks and node churn in the compact store — the regimes where a
+    // representation bug would show as an estimate divergence.
+    let edges = permuted(&gen::holme_kim(1_500, 4, 0.6, 11), 5);
+    assert!(edges.len() > 5_000);
+    let m = edges.len() / 5;
+    assert_same_run(
+        &edges,
+        TriestBase::with_backend(m, 42, C),
+        TriestBase::with_backend(m, 42, H),
+    );
+    assert_same_run(
+        &edges,
+        TriestImpr::with_backend(m, 42, C),
+        TriestImpr::with_backend(m, 42, H),
+    );
+    assert_same_run(
+        &edges,
+        Mascot::with_backend(0.2, 42, C),
+        Mascot::with_backend(0.2, 42, H),
+    );
+    assert_same_run(
+        &edges,
+        JhaWedgeSampler::with_backend(m, 200, 42, C),
+        JhaWedgeSampler::with_backend(m, 200, 42, H),
+    );
+    assert_same_run_strided(
+        &edges,
+        UniformReservoir::with_backend(m, 42, C),
+        UniformReservoir::with_backend(m, 42, H),
+        1_000,
+    );
+}

@@ -5,6 +5,7 @@ use gps_baselines::TriangleEstimator;
 use gps_core::weights::TriangleWeight;
 use gps_core::{post_stream, GpsSampler, InStreamEstimator};
 use gps_graph::types::Edge;
+use gps_graph::BackendKind;
 
 /// GPS with post-stream estimation (paper "GPS POST"): samples with the
 /// triangle-optimized weights and answers queries from the reservoir.
@@ -15,8 +16,14 @@ pub struct GpsPost {
 impl GpsPost {
     /// Creates the adapter with reservoir capacity `m`.
     pub fn new(m: usize, seed: u64) -> Self {
+        Self::with_backend(m, seed, BackendKind::Compact)
+    }
+
+    /// [`GpsPost::new`] on an explicit adjacency backend (the experiment
+    /// harness threads `Config::backend` through here).
+    pub fn with_backend(m: usize, seed: u64, backend: BackendKind) -> Self {
         GpsPost {
-            sampler: GpsSampler::new(m, TriangleWeight::default(), seed),
+            sampler: GpsSampler::with_backend(m, TriangleWeight::default(), seed, backend),
         }
     }
 
@@ -52,8 +59,13 @@ pub struct GpsInStream {
 impl GpsInStream {
     /// Creates the adapter with reservoir capacity `m`.
     pub fn new(m: usize, seed: u64) -> Self {
+        Self::with_backend(m, seed, BackendKind::Compact)
+    }
+
+    /// [`GpsInStream::new`] on an explicit adjacency backend.
+    pub fn with_backend(m: usize, seed: u64, backend: BackendKind) -> Self {
         GpsInStream {
-            est: InStreamEstimator::new(m, TriangleWeight::default(), seed),
+            est: InStreamEstimator::with_backend(m, TriangleWeight::default(), seed, backend),
         }
     }
 

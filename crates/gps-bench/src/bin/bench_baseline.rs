@@ -7,11 +7,14 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
-//!                [--check PATH [--min-ratio R]]
+//!                [--baselines] [--check PATH [--min-ratio R]]
 //! ```
 //!
 //! - `--quick`: reduced streams and capacities (CI smoke scale).
 //! - `--out PATH`: where to write the baseline (default `BENCH_PR2.json`).
+//! - `--baselines`: additionally measure the ported `gps-baselines`
+//!   samplers on both adjacency backends and include the grid in the
+//!   output document (`baseline_samplers` section; see docs/benchmarks.md).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -19,7 +22,7 @@
 //!   >2× regression trips it).
 
 use gps_bench::json::{self, Value};
-use gps_bench::perf::{self, PerfConfig, ScenarioResult};
+use gps_bench::perf::{self, BaselineResult, PerfConfig, ScenarioResult};
 use std::process::{Command, ExitCode};
 
 struct Args {
@@ -27,6 +30,7 @@ struct Args {
     out: String,
     check: Option<String>,
     min_ratio: f64,
+    baselines: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,12 +39,14 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_PR2.json".to_owned(),
         check: None,
         min_ratio: 0.5,
+        baselines: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--quick" => args.cfg.quick = true,
+            "--baselines" => args.baselines = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -61,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
-                     [--check PATH [--min-ratio R]]"
+                     [--baselines] [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +92,19 @@ fn print_result(r: &ScenarioResult) {
     println!(
         "{:<28} {:>9} edges  compact {:>8.1} ns/e ({:>7.3} Me/s)  hashmap {:>8.1} ns/e ({:>7.3} Me/s)  speedup {:>5.2}x",
         r.scenario.name(),
+        r.edges,
+        r.compact.ns_per_edge,
+        r.compact.edges_per_sec / 1e6,
+        r.hashmap.ns_per_edge,
+        r.hashmap.edges_per_sec / 1e6,
+        r.speedup(),
+    );
+}
+
+fn print_baseline(r: &BaselineResult) {
+    println!(
+        "{:<28} {:>9} edges  compact {:>8.1} ns/e ({:>7.3} Me/s)  hashmap {:>8.1} ns/e ({:>7.3} Me/s)  speedup {:>5.2}x",
+        r.scenario,
         r.edges,
         r.compact.ns_per_edge,
         r.compact.edges_per_sec / 1e6,
@@ -186,6 +205,13 @@ fn main() -> ExitCode {
         None => None,
     };
     let results = perf::run_all(&args.cfg, print_result);
+    // The check gate only reads the GPS grid; don't burn minutes measuring
+    // the baseline-sampler grid just to discard it.
+    let baselines = if args.baselines && args.check.is_none() {
+        perf::run_baselines(&args.cfg, print_baseline)
+    } else {
+        Vec::new()
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -203,7 +229,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = perf::results_json(&args.cfg, &git_rev(), &results);
+    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines);
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
         eprintln!("bench_baseline: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -1,16 +1,23 @@
 //! Harness configuration from CLI flags / environment variables.
 
+use gps_graph::BackendKind;
 use std::path::PathBuf;
 
 /// Shared experiment configuration.
 ///
 /// Flags (all optional): `--scale <f64>`, `--seed <u64>`, `--out <dir>`,
-/// `--threads <n>`. Environment fallbacks: `GPS_SCALE`, `GPS_SEED`,
-/// `GPS_OUT`, `GPS_THREADS`.
+/// `--threads <n>`, `--backend compact|hashmap`. Environment fallbacks:
+/// `GPS_SCALE`, `GPS_SEED`, `GPS_OUT`, `GPS_THREADS`, `GPS_BACKEND`.
 ///
 /// `scale` multiplies every workload's size knobs; 1.0 builds graphs of
 /// roughly 2–3 × 10⁵ edges each (laptop-friendly stand-ins for the paper's
 /// 10⁶–10⁸-edge datasets; see DESIGN.md §5).
+///
+/// `backend` selects the adjacency substrate that *every* estimator in an
+/// experiment runs on — GPS and the ported baselines alike — so accuracy
+/// tables can be re-run on the nested-hash oracle to confirm the numbers
+/// are backend-independent (they are, bit-for-bit; the flag exists to make
+/// that claim checkable and to time the substrate difference).
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Workload scale multiplier.
@@ -21,6 +28,8 @@ pub struct Config {
     pub out_dir: Option<PathBuf>,
     /// Worker threads for parallel estimation.
     pub threads: usize,
+    /// Adjacency backend every sampler in the experiment runs on.
+    pub backend: BackendKind,
 }
 
 impl Default for Config {
@@ -30,7 +39,17 @@ impl Default for Config {
             seed: 42,
             out_dir: Some(PathBuf::from("results")),
             threads: 4,
+            backend: BackendKind::Compact,
         }
+    }
+}
+
+/// Parses a backend name as accepted by `--backend` / `GPS_BACKEND`.
+pub fn parse_backend(name: &str) -> Option<BackendKind> {
+    match name {
+        "compact" => Some(BackendKind::Compact),
+        "hashmap" | "hash-map" | "map" => Some(BackendKind::HashMap),
+        _ => None,
     }
 }
 
@@ -54,6 +73,11 @@ impl Config {
         if let Ok(v) = std::env::var("GPS_THREADS") {
             if let Ok(x) = v.parse() {
                 cfg.threads = x;
+            }
+        }
+        if let Ok(v) = std::env::var("GPS_BACKEND") {
+            if let Some(kind) = parse_backend(&v) {
+                cfg.backend = kind;
             }
         }
         let args: Vec<String> = std::env::args().collect();
@@ -86,6 +110,12 @@ impl Config {
                 "--threads" => {
                     if let Ok(x) = args[i + 1].parse() {
                         self.threads = x;
+                    }
+                    i += 2;
+                }
+                "--backend" => {
+                    if let Some(kind) = parse_backend(&args[i + 1]) {
+                        self.backend = kind;
                     }
                     i += 2;
                 }
@@ -135,6 +165,8 @@ mod tests {
             "2",
             "--out",
             "/tmp/x",
+            "--backend",
+            "hashmap",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -144,6 +176,16 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(cfg.backend, BackendKind::HashMap);
+    }
+
+    #[test]
+    fn backend_names_parse() {
+        assert_eq!(parse_backend("compact"), Some(BackendKind::Compact));
+        assert_eq!(parse_backend("hashmap"), Some(BackendKind::HashMap));
+        assert_eq!(parse_backend("hash-map"), Some(BackendKind::HashMap));
+        assert_eq!(parse_backend("bogus"), None);
+        assert_eq!(Config::default().backend, BackendKind::Compact);
     }
 
     #[test]

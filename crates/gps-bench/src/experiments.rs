@@ -12,7 +12,7 @@ use gps_baselines::{Mascot, NSampBulk, TriangleEstimator, TriestBase, TriestImpr
 use gps_core::weights::{TriadWeight, TriangleWeight, UniformWeight, WedgeWeight};
 use gps_core::{post_stream, EdgeWeight, InStreamEstimator, TriadEstimates};
 use gps_graph::types::Edge;
-use gps_graph::IncrementalCounter;
+use gps_graph::{BackendKind, IncrementalCounter};
 use gps_stats::{format, metrics, ErrorSeries, Running, Table};
 use gps_stream::corpus::{self, WorkloadSpec};
 use gps_stream::{permuted, Checkpoints};
@@ -50,9 +50,16 @@ fn build(spec: &WorkloadSpec, cfg: &Config) -> Vec<Edge> {
 
 /// One full GPS pass over a stream: in-stream estimates plus post-stream
 /// estimates from the *same* sample (the paper's paired comparison).
-fn run_gps_pair(edges: &[Edge], m: usize, stream_seed: u64, sampler_seed: u64) -> GpsPair {
+fn run_gps_pair(
+    edges: &[Edge],
+    m: usize,
+    stream_seed: u64,
+    sampler_seed: u64,
+    backend: BackendKind,
+) -> GpsPair {
     let stream = permuted(edges, stream_seed);
-    let mut in_est = InStreamEstimator::new(m, TriangleWeight::default(), sampler_seed);
+    let mut in_est =
+        InStreamEstimator::with_backend(m, TriangleWeight::default(), sampler_seed, backend);
     in_est.process_stream(stream);
     let post = post_stream::estimate(in_est.sampler());
     GpsPair {
@@ -97,6 +104,7 @@ pub fn table1(cfg: &Config, runs: u64) -> Table {
                 m,
                 cfg.sub_seed(&format!("t1-stream-{}-{r}", spec.name)),
                 cfg.sub_seed(&format!("t1-sampler-{}-{r}", spec.name)),
+                cfg.backend,
             );
             for (idx, (est_in, est_post)) in [
                 (pair.in_stream.triangles, pair.post.triangles),
@@ -161,16 +169,19 @@ pub fn table2(cfg: &Config, runs: u64) -> Table {
         // budget: each estimator holds up to two edges.
         let r_nsamp = (m / 2).max(8);
 
-        // One factory per method so each run gets fresh state.
+        // One factory per method so each run gets fresh state; every
+        // store-based method runs on the configured adjacency backend
+        // (NSAMP-BULK keeps no adjacency, so it has no backend axis).
+        let backend = cfg.backend;
         type Factory<'a> = Box<dyn Fn(u64) -> Box<dyn TriangleEstimator> + 'a>;
         let factories: Vec<Factory> = vec![
             Box::new(move |seed| Box::new(NSampBulk::new(r_nsamp, seed))),
-            Box::new(move |seed| Box::new(TriestBase::new(m, seed))),
-            Box::new(move |seed| Box::new(Mascot::new(p_mascot, seed))),
-            Box::new(move |seed| Box::new(GpsPost::new(m, seed))),
+            Box::new(move |seed| Box::new(TriestBase::with_backend(m, seed, backend))),
+            Box::new(move |seed| Box::new(Mascot::with_backend(p_mascot, seed, backend))),
+            Box::new(move |seed| Box::new(GpsPost::with_backend(m, seed, backend))),
             // Not in the paper's Table 2; added for the apples-to-apples
             // arrival-counting comparison against MASCOT.
-            Box::new(move |seed| Box::new(GpsInStream::new(m, seed))),
+            Box::new(move |seed| Box::new(GpsInStream::with_backend(m, seed, backend))),
         ];
         for factory in &factories {
             let mut err = Running::new();
@@ -224,10 +235,10 @@ pub fn table3(cfg: &Config, runs: u64, checkpoints: usize) -> Table {
             );
             let seed = cfg.sub_seed(&format!("t3-est-{}-{r}", spec.name));
             let mut methods: Vec<Box<dyn TriangleEstimator>> = vec![
-                Box::new(TriestBase::new(m, seed)),
-                Box::new(TriestImpr::new(m, seed)),
-                Box::new(GpsPost::new(m, seed)),
-                Box::new(GpsInStream::new(m, seed)),
+                Box::new(TriestBase::with_backend(m, seed, cfg.backend)),
+                Box::new(TriestImpr::with_backend(m, seed, cfg.backend)),
+                Box::new(GpsPost::with_backend(m, seed, cfg.backend)),
+                Box::new(GpsInStream::with_backend(m, seed, cfg.backend)),
             ];
             let actual = std::cell::RefCell::new(IncrementalCounter::new());
             let cps = Checkpoints::linear(stream.len(), checkpoints);
@@ -283,6 +294,7 @@ pub fn fig1(cfg: &Config, runs: u64) -> Table {
                 m,
                 cfg.sub_seed(&format!("f1-stream-{}-{r}", spec.name)),
                 cfg.sub_seed(&format!("f1-sampler-{}-{r}", spec.name)),
+                cfg.backend,
             );
             tri.push(pair.in_stream.triangles.value / truth.triangles.max(1.0));
             wedge.push(pair.in_stream.wedges.value / truth.wedges.max(1.0));
@@ -315,6 +327,7 @@ pub fn fig2(cfg: &Config) -> Table {
                 m,
                 cfg.sub_seed(&format!("f2-stream-{}-{frac}", spec.name)),
                 cfg.sub_seed(&format!("f2-sampler-{}-{frac}", spec.name)),
+                cfg.backend,
             );
             let est = pair.in_stream.triangles;
             let (lb, ub) = est.ci95();
@@ -352,10 +365,11 @@ pub fn fig3(cfg: &Config, checkpoints: usize) -> Table {
         let spec = corpus::by_name(name).expect("known workload");
         let edges = build(&spec, cfg);
         let stream = permuted(&edges, cfg.sub_seed(&format!("f3-stream-{name}")));
-        let mut est = InStreamEstimator::new(
+        let mut est = InStreamEstimator::with_backend(
             m,
             TriangleWeight::default(),
             cfg.sub_seed(&format!("f3-{name}")),
+            cfg.backend,
         );
         let mut actual = IncrementalCounter::new();
         let cps = Checkpoints::linear(stream.len(), checkpoints);
@@ -417,8 +431,12 @@ pub fn ablation(cfg: &Config, runs: u64) -> Table {
             let (mut ti, mut wi, mut tp, mut wp) = (0.0, 0.0, 0.0, 0.0);
             for r in 0..runs {
                 let stream = permuted(edges, cfg.sub_seed(&format!("ab-stream-{label}-{r}")));
-                let mut est =
-                    InStreamEstimator::new(m, w, cfg.sub_seed(&format!("ab-est-{label}-{r}")));
+                let mut est = InStreamEstimator::with_backend(
+                    m,
+                    w,
+                    cfg.sub_seed(&format!("ab-est-{label}-{r}")),
+                    cfg.backend,
+                );
                 est.process_stream(stream);
                 let e_in = est.estimates();
                 let e_post = post_stream::estimate(est.sampler());
@@ -526,6 +544,7 @@ mod tests {
             seed: 7,
             out_dir: None,
             threads: 2,
+            backend: BackendKind::Compact,
         }
     }
 
@@ -543,6 +562,31 @@ mod tests {
         for m in ["NSAMP", "TRIEST", "MASCOT", "GPS POST", "GPS IN-STREAM"] {
             assert!(tsv.contains(m), "missing method {m}");
         }
+    }
+
+    #[test]
+    fn table2_is_backend_independent_up_to_timing() {
+        // Same seeds, same streams: every estimate — and hence every ARE
+        // and stored-edge cell — must be bit-identical across adjacency
+        // backends; only the us/edge timing column may differ.
+        let compact = table2(&tiny_cfg(), 1);
+        let hashmap = table2(
+            &Config {
+                backend: BackendKind::HashMap,
+                ..tiny_cfg()
+            },
+            1,
+        );
+        let strip_timing = |t: &Table| -> Vec<String> {
+            t.to_tsv()
+                .lines()
+                .map(|l| {
+                    let cells: Vec<&str> = l.split('\t').collect();
+                    cells[..cells.len() - 1].join("\t")
+                })
+                .collect()
+        };
+        assert_eq!(strip_timing(&compact), strip_timing(&hashmap));
     }
 
     #[test]

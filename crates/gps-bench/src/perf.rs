@@ -9,8 +9,16 @@
 //! Timing takes the best of `iters` runs (minimum wall time — the standard
 //! way to suppress scheduler noise for CPU-bound loops); stream generation
 //! and sampler construction are untimed.
+//!
+//! Since the baselines port, the same both-backends protocol extends to the
+//! ported `gps-baselines` samplers ([`run_baselines`]): each store-based
+//! baseline is timed on its compact and nested-hash substrate, keeping the
+//! paper's Table 2 update-cost comparison a pure algorithm measurement.
 
 use crate::json::Value;
+use gps_baselines::{
+    JhaWedgeSampler, Mascot, TriangleEstimator, TriestBase, TriestImpr, UniformReservoir,
+};
 use gps_core::weights::{TriadWeight, TriangleWeight, UniformWeight};
 use gps_core::GpsSampler;
 use gps_graph::types::Edge;
@@ -278,6 +286,99 @@ pub fn run_all(cfg: &PerfConfig, mut progress: impl FnMut(&ScenarioResult)) -> V
     results
 }
 
+/// A ported baseline sampler timed on both adjacency backends over one
+/// full stream (same best-of-iters, interleaved protocol as the GPS grid).
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Estimator display name (e.g. `TRIEST`).
+    pub name: &'static str,
+    /// Stable machine-readable scenario name, e.g. `baseline/triest/m8000`.
+    pub scenario: String,
+    /// Stored-edge budget the estimator was configured for.
+    pub capacity: usize,
+    /// Edges in the stream (arrivals processed per run).
+    pub edges: usize,
+    /// Compact-backend numbers.
+    pub compact: Measurement,
+    /// Hash-map-backend numbers.
+    pub hashmap: Measurement,
+}
+
+impl BaselineResult {
+    /// Compact-over-hashmap throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.compact.edges_per_sec / self.hashmap.edges_per_sec
+    }
+}
+
+fn time_estimator(edges: &[Edge], mut est: Box<dyn TriangleEstimator>) -> u128 {
+    let start = Instant::now();
+    for &e in edges {
+        est.process(e);
+    }
+    let elapsed = start.elapsed().as_nanos();
+    std::hint::black_box(est.stored_edges());
+    elapsed
+}
+
+/// Times the ported `gps-baselines` samplers on both adjacency backends:
+/// the update-cost half of the paper's Table 2, with the data structure
+/// held as an explicit axis. NSAMP is excluded — it keeps no adjacency, so
+/// it has no backend axis (its cost is covered by the criterion
+/// `baselines` bench).
+pub fn run_baselines(
+    cfg: &PerfConfig,
+    mut progress: impl FnMut(&BaselineResult),
+) -> Vec<BaselineResult> {
+    let edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    let m = if cfg.quick { 500 } else { 8_000 };
+    let p = (m as f64 / edges.len() as f64).min(1.0);
+    let seed = cfg.seed;
+    type Factory<'a> = Box<dyn Fn(BackendKind) -> Box<dyn TriangleEstimator> + 'a>;
+    let factories: Vec<(&'static str, Factory)> = vec![
+        (
+            "triest",
+            Box::new(move |b| Box::new(TriestBase::with_backend(m, seed, b))),
+        ),
+        (
+            "triest_impr",
+            Box::new(move |b| Box::new(TriestImpr::with_backend(m, seed, b))),
+        ),
+        (
+            "mascot",
+            Box::new(move |b| Box::new(Mascot::with_backend(p, seed, b))),
+        ),
+        (
+            "jha",
+            Box::new(move |b| Box::new(JhaWedgeSampler::with_backend(m, (m / 8).max(16), seed, b))),
+        ),
+        (
+            "uniform_reservoir",
+            Box::new(move |b| Box::new(UniformReservoir::with_backend(m, seed, b))),
+        ),
+    ];
+    let mut results = Vec::new();
+    for (name, factory) in &factories {
+        let mut best_compact = u128::MAX;
+        let mut best_hashmap = u128::MAX;
+        for _ in 0..cfg.iters.max(1) {
+            best_compact = best_compact.min(time_estimator(&edges, factory(BackendKind::Compact)));
+            best_hashmap = best_hashmap.min(time_estimator(&edges, factory(BackendKind::HashMap)));
+        }
+        let result = BaselineResult {
+            name: factory(BackendKind::Compact).name(),
+            scenario: format!("baseline/{name}/m{m}"),
+            capacity: m,
+            edges: edges.len(),
+            compact: to_measurement(best_compact, edges.len()),
+            hashmap: to_measurement(best_hashmap, edges.len()),
+        };
+        progress(&result);
+        results.push(result);
+    }
+    results
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -293,9 +394,17 @@ fn round2(x: f64) -> f64 {
 /// Schema tag checked by the CI smoke run.
 pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
 
-/// Builds the machine-readable baseline document.
-pub fn results_json(cfg: &PerfConfig, git_rev: &str, results: &[ScenarioResult]) -> Value {
-    Value::object(vec![
+/// Builds the machine-readable baseline document. `baselines` (the ported
+/// `gps-baselines` grid from [`run_baselines`]) is optional: when empty the
+/// `baseline_samplers` key is omitted, keeping documents produced before
+/// the baselines port valid under the same schema.
+pub fn results_json(
+    cfg: &PerfConfig,
+    git_rev: &str,
+    results: &[ScenarioResult],
+    baselines: &[BaselineResult],
+) -> Value {
+    let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
         ("git_rev", Value::String(git_rev.into())),
         (
@@ -324,7 +433,29 @@ pub fn results_json(cfg: &PerfConfig, git_rev: &str, results: &[ScenarioResult])
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if !baselines.is_empty() {
+        fields.push((
+            "baseline_samplers",
+            Value::Array(
+                baselines
+                    .iter()
+                    .map(|r| {
+                        Value::object(vec![
+                            ("name", Value::String(r.scenario.clone())),
+                            ("method", Value::String(r.name.into())),
+                            ("capacity", Value::Number(r.capacity as f64)),
+                            ("edges", Value::Number(r.edges as f64)),
+                            ("compact", measurement_json(&r.compact)),
+                            ("hashmap", measurement_json(&r.hashmap)),
+                            ("speedup", Value::Number(round2(r.speedup()))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::object(fields)
 }
 
 /// Fields every scenario entry of a baseline document must carry.
@@ -359,21 +490,36 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
                 problems.push(format!("scenario {i} missing '{field}'"));
             }
         }
-        for backend in ["compact", "hashmap"] {
-            if let Some(m) = s.get(backend) {
-                for field in ["elapsed_ns", "ns_per_edge", "edges_per_sec"] {
-                    match m.get_f64(field) {
-                        Some(x) if x > 0.0 => {}
-                        Some(_) => {
-                            problems.push(format!("scenario {i} {backend}.{field} is not positive"))
-                        }
-                        None => problems.push(format!("scenario {i} {backend} missing '{field}'")),
-                    }
+        validate_measurements(s, &format!("scenario {i}"), &mut problems);
+    }
+    // Optional section (absent in documents predating the baselines port):
+    // the ported gps-baselines grid, same per-backend measurement shape.
+    if let Some(baselines) = doc.get("baseline_samplers").and_then(Value::as_array) {
+        for (i, s) in baselines.iter().enumerate() {
+            for field in ["name", "method", "capacity", "edges", "compact", "hashmap"] {
+                if s.get(field).is_none() {
+                    problems.push(format!("baseline {i} missing '{field}'"));
+                }
+            }
+            validate_measurements(s, &format!("baseline {i}"), &mut problems);
+        }
+    }
+    problems
+}
+
+/// Checks the `compact`/`hashmap` measurement objects of one entry.
+fn validate_measurements(entry: &Value, what: &str, problems: &mut Vec<String>) {
+    for backend in ["compact", "hashmap"] {
+        if let Some(m) = entry.get(backend) {
+            for field in ["elapsed_ns", "ns_per_edge", "edges_per_sec"] {
+                match m.get_f64(field) {
+                    Some(x) if x > 0.0 => {}
+                    Some(_) => problems.push(format!("{what} {backend}.{field} is not positive")),
+                    None => problems.push(format!("{what} {backend} missing '{field}'")),
                 }
             }
         }
     }
-    problems
 }
 
 #[cfg(test)]
@@ -426,10 +572,40 @@ mod tests {
             compact,
             hashmap,
         };
-        let doc = results_json(&cfg, "deadbeef", &[result]);
+        // Without the optional baseline section (the committed-file shape)…
+        let doc = results_json(&cfg, "deadbeef", std::slice::from_ref(&result), &[]);
+        assert!(doc.get("baseline_samplers").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
+        // …and with it.
+        let baseline = BaselineResult {
+            name: "TRIEST",
+            scenario: "baseline/triest/m128".into(),
+            capacity: 128,
+            edges: edges.len(),
+            compact,
+            hashmap,
+        };
+        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline]);
+        let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
+        assert_eq!(parsed, doc);
+        assert!(validate_baseline(&parsed).is_empty());
+    }
+
+    #[test]
+    fn ported_baseline_grid_measures_both_backends() {
+        let cfg = tiny_cfg();
+        let mut seen = 0;
+        let results = run_baselines(&cfg, |_| seen += 1);
+        assert_eq!(results.len(), 5);
+        assert_eq!(seen, 5);
+        for r in &results {
+            assert!(r.compact.edges_per_sec > 0.0);
+            assert!(r.hashmap.edges_per_sec > 0.0);
+            assert!(r.speedup() > 0.0);
+            assert!(r.scenario.starts_with("baseline/"));
+        }
     }
 
     #[test]
@@ -447,5 +623,16 @@ mod tests {
         let problems = validate_baseline(&doc);
         assert!(problems.iter().any(|p| p.contains("missing 'hashmap'")));
         assert!(problems.iter().any(|p| p.contains("not positive")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [],
+                "baseline_samplers": [{"name": "baseline/triest/m8"}]}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("baseline 0 missing 'method'")));
     }
 }

@@ -254,6 +254,19 @@ impl<W: EdgeWeight> GpsSampler<W> {
     /// Creates a sampler with reservoir capacity `m`, a weight function and
     /// a deterministic RNG seed, on the default compact adjacency backend.
     ///
+    /// ```
+    /// use gps_core::{GpsSampler, TriangleWeight};
+    /// use gps_graph::{BackendKind, Edge};
+    ///
+    /// let mut sampler = GpsSampler::new(100, TriangleWeight::default(), 42);
+    /// sampler.process_stream([Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+    /// assert_eq!(sampler.len(), 3);
+    /// assert_eq!(sampler.backend(), BackendKind::Compact);
+    /// // Capacity exceeds the stream, so nothing was discarded and every
+    /// // sampled edge still has inclusion probability 1.
+    /// assert_eq!(sampler.inclusion_prob(Edge::new(0, 2)), Some(1.0));
+    /// ```
+    ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, weight_fn: W, seed: u64) -> Self {
@@ -268,6 +281,25 @@ impl<W: EdgeWeight> GpsSampler<W> {
     /// functions observe only topology counts, which the backends agree on.
     /// [`BackendKind::HashMap`] exists for differential tests and for
     /// measuring the compact backend's speedup (`bench_baseline`).
+    ///
+    /// ```
+    /// use gps_core::{GpsSampler, TriangleWeight};
+    /// use gps_graph::{BackendKind, Edge};
+    ///
+    /// let stream: Vec<Edge> = (0..200).map(|i| Edge::new(i, i + 1)).collect();
+    /// let mut compact =
+    ///     GpsSampler::with_backend(16, TriangleWeight::default(), 7, BackendKind::Compact);
+    /// let mut hashmap =
+    ///     GpsSampler::with_backend(16, TriangleWeight::default(), 7, BackendKind::HashMap);
+    /// compact.process_stream(stream.iter().copied());
+    /// hashmap.process_stream(stream.iter().copied());
+    /// assert_eq!(compact.threshold(), hashmap.threshold());
+    /// let mut a: Vec<Edge> = compact.edges().map(|s| s.edge).collect();
+    /// let mut b: Vec<Edge> = hashmap.edges().map(|s| s.edge).collect();
+    /// a.sort();
+    /// b.sort();
+    /// assert_eq!(a, b);
+    /// ```
     ///
     /// # Panics
     /// Panics if `capacity == 0`.

@@ -6,6 +6,15 @@
 //! [`AdjacencyMap`], kept as a behavioral oracle for differential tests and
 //! as the baseline arm of `bench_baseline`-style before/after measurements.
 //!
+//! The API is deliberately **sampler-agnostic**: besides the hinted
+//! insert/evict path `GpsSampler` uses, it exposes plain insert/remove,
+//! neighbor iteration ([`AdjacencyBackend::for_each_neighbor`],
+//! [`AdjacencyBackend::neighbor_at`]) and the common-neighbor kernel, so
+//! the `gps-baselines` estimators (TRIEST, MASCOT, JHA, uniform reservoir)
+//! and the `gps-stream` generators run on the same substrate as GPS and
+//! backend choice stays a pure performance axis (see
+//! `gps-baselines/tests/backend_equivalence.rs`).
+//!
 //! A two-variant enum — rather than a generic parameter — keeps
 //! `gps-core`'s `SampleView` non-generic, which matters because weight
 //! functions and motif detectors close over `&SampleView<'_>` in plain
@@ -61,6 +70,16 @@ impl<V: Copy> AdjacencyBackend<V> {
             BackendKind::Compact => {
                 AdjacencyBackend::Compact(CompactAdjacency::with_capacity(nodes, edges))
             }
+            BackendKind::HashMap => AdjacencyBackend::Map(AdjacencyMap::new()),
+        }
+    }
+
+    /// Creates an empty, unsized store of the given kind — the constructor
+    /// for callers without a capacity estimate (baseline samplers whose
+    /// stored-edge budget is probabilistic, generators that grow freely).
+    pub fn new_of_kind(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Compact => AdjacencyBackend::Compact(CompactAdjacency::new()),
             BackendKind::HashMap => AdjacencyBackend::Map(AdjacencyMap::new()),
         }
     }
@@ -188,6 +207,24 @@ impl<V: Copy> AdjacencyBackend<V> {
         }
     }
 
+    /// The `index`-th neighbor of `node` (with the value on the connecting
+    /// edge), or `None` if `index >= degree(node)`.
+    ///
+    /// Which neighbor occupies a given index is representation-defined
+    /// (compact lists are arrival-ordered inline / id-sorted once spilled;
+    /// the hash map iterates in hash order), so this is only meaningful for
+    /// order-oblivious uses — e.g. drawing a *uniform* random neighbor, the
+    /// triad-formation step of the Holme–Kim generator. On the compact
+    /// backend the access is O(1) slice indexing; on the hash map it is
+    /// O(index) iteration.
+    #[inline]
+    pub fn neighbor_at(&self, node: NodeId, index: usize) -> Option<(NodeId, V)> {
+        match self {
+            AdjacencyBackend::Compact(a) => a.neighbor_slice(node).get(index).copied(),
+            AdjacencyBackend::Map(a) => a.neighbors(node).nth(index),
+        }
+    }
+
     /// Calls `f(w, value_uw, value_vw)` for every common neighbor `w` of
     /// `u` and `v` (see [`CompactAdjacency::for_each_common_neighbor`]).
     #[inline]
@@ -299,5 +336,31 @@ mod tests {
     fn default_is_compact() {
         let b: AdjacencyBackend<u32> = AdjacencyBackend::default();
         assert_eq!(b.kind(), BackendKind::Compact);
+    }
+
+    #[test]
+    fn new_of_kind_builds_the_requested_representation() {
+        for kind in [BackendKind::Compact, BackendKind::HashMap] {
+            let b: AdjacencyBackend<()> = AdjacencyBackend::new_of_kind(kind);
+            assert_eq!(b.kind(), kind);
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn neighbor_at_covers_each_neighbor_exactly_once() {
+        for kind in [BackendKind::Compact, BackendKind::HashMap] {
+            let mut b: AdjacencyBackend<u32> = AdjacencyBackend::new_of_kind(kind);
+            for i in 0..10u32 {
+                b.insert(Edge::new(100, i), i);
+            }
+            let mut seen: Vec<(NodeId, u32)> = (0..b.degree(100))
+                .map(|i| b.neighbor_at(100, i).expect("index < degree"))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10u32).map(|i| (i, i)).collect::<Vec<_>>());
+            assert_eq!(b.neighbor_at(100, 10), None);
+            assert_eq!(b.neighbor_at(999, 0), None, "unknown node has no neighbors");
+        }
     }
 }

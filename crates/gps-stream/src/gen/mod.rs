@@ -23,7 +23,7 @@ pub use ba::barabasi_albert;
 pub use chung_lu::chung_lu;
 pub use cliques::collaboration;
 pub use er::erdos_renyi;
-pub use holme_kim::holme_kim;
+pub use holme_kim::{holme_kim, holme_kim_with_backend};
 pub use lattice::grid;
 pub use rmat::{rmat, RmatParams};
 pub use ws::watts_strogatz;

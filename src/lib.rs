@@ -25,8 +25,11 @@
 //! | [`core`] | `GpsSampler` (Alg 1), weight functions, post-stream (Alg 2) & in-stream (Alg 3) estimation, generic motif snapshots, subset sums |
 //! | [`graph`] | node/edge types, adjacency & CSR storage, exact triangle/wedge counting, incremental counters, edge-list I/O |
 //! | [`stream`] | seeded permutations, checkpoint scheduling, synthetic workload generators, the evaluation corpus |
-//! | [`baselines`] | TRIEST / TRIEST-IMPR, MASCOT, NSAMP, uniform reservoir |
+//! | [`baselines`] | TRIEST / TRIEST-IMPR, MASCOT(-C), NSAMP(+bulk), JHA wedge sampling, uniform reservoir — store-based ones on the shared adjacency-backend substrate |
 //! | [`stats`] | running moments, ARE/MARE metrics, table rendering |
+//!
+//! `docs/paper-map.md` in the repository maps the paper's algorithms and
+//! estimator equations to the concrete modules and functions above.
 //!
 //! ## Quick start
 //!
