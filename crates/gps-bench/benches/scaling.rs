@@ -1,0 +1,68 @@
+//! Sharded-ingest scaling: `gps-engine`'s `ShardedGps` against the bare
+//! single-threaded sampler, at a fixed *total* reservoir budget.
+//!
+//! The shard axis isolates the engine design: per-shard reservoirs shrink
+//! as `m/S` (smaller heaps, smaller sampled adjacencies — cheaper
+//! per-edge updates even on one core) and the `S` workers ingest in
+//! parallel on multi-core hardware. `bare_sampler` vs `engine/s1`
+//! additionally measures the pure batching/channel overhead of the engine
+//! plumbing.
+//!
+//! Configuration: the shard axis is `S ∈ {1, 2, 4, 8}`; `GPS_SHARDS` (or
+//! `--shards` via `gps_bench::Config`) appends one extra shard count when
+//! it is not already on the axis; `GPS_SEED` reseeds the stream.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gps_bench::config::Config;
+use gps_core::weights::TriangleWeight;
+use gps_core::GpsSampler;
+use gps_engine::ShardedGps;
+use gps_stream::{gen, permuted};
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = Config::from_env();
+    let edges = permuted(&gen::holme_kim(20_000, 3, 0.5, cfg.seed), 1);
+    let m = 8_000; // total budget, split m/S across shards
+
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("bare_sampler", |b| {
+        b.iter_batched(
+            || GpsSampler::new(m, TriangleWeight::default(), cfg.seed),
+            |mut s| {
+                for &e in &edges {
+                    s.process(e);
+                }
+                s.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut axis = vec![1usize, 2, 4, 8];
+    if !axis.contains(&cfg.shards) {
+        axis.push(cfg.shards);
+        axis.sort_unstable();
+    }
+    for shards in axis {
+        group.bench_function(format!("engine/s{shards}"), |b| {
+            b.iter_batched(
+                || ShardedGps::new(m, TriangleWeight::default(), cfg.seed, shards),
+                |mut engine| {
+                    for &e in &edges {
+                        engine.push(e);
+                    }
+                    engine.finish();
+                    engine.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
-//!                [--baselines] [--check PATH [--min-ratio R]]
+//!                [--baselines] [--engine] [--check PATH [--min-ratio R]]
 //! ```
 //!
 //! - `--quick`: reduced streams and capacities (CI smoke scale).
@@ -15,6 +15,9 @@
 //! - `--baselines`: additionally measure the ported `gps-baselines`
 //!   samplers on both adjacency backends and include the grid in the
 //!   output document (`baseline_samplers` section; see docs/benchmarks.md).
+//! - `--engine`: additionally measure the `gps-engine` sharded ingest at
+//!   S ∈ {1, 2, 4, 8} shards and include the scaling grid in the output
+//!   document (`engine` section; schema stays v1-compatible).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -22,7 +25,7 @@
 //!   >2× regression trips it).
 
 use gps_bench::json::{self, Value};
-use gps_bench::perf::{self, BaselineResult, PerfConfig, ScenarioResult};
+use gps_bench::perf::{self, BaselineResult, EngineResult, PerfConfig, ScenarioResult};
 use std::process::{Command, ExitCode};
 
 struct Args {
@@ -31,6 +34,7 @@ struct Args {
     check: Option<String>,
     min_ratio: f64,
     baselines: bool,
+    engine: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         check: None,
         min_ratio: 0.5,
         baselines: false,
+        engine: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.cfg.quick = true,
             "--baselines" => args.baselines = true,
+            "--engine" => args.engine = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -67,7 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
-                     [--baselines] [--check PATH [--min-ratio R]]"
+                     [--baselines] [--engine] [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -98,6 +104,18 @@ fn print_result(r: &ScenarioResult) {
         r.hashmap.ns_per_edge,
         r.hashmap.edges_per_sec / 1e6,
         r.speedup(),
+    );
+}
+
+fn print_engine(r: &EngineResult) {
+    println!(
+        "{:<28} {:>9} edges  ingest  {:>8.1} ns/e ({:>7.3} Me/s)  [{} shard{}]",
+        r.scenario,
+        r.edges,
+        r.measurement.ns_per_edge,
+        r.measurement.edges_per_sec / 1e6,
+        r.shards,
+        if r.shards == 1 { "" } else { "s" },
     );
 }
 
@@ -206,9 +224,14 @@ fn main() -> ExitCode {
     };
     let results = perf::run_all(&args.cfg, print_result);
     // The check gate only reads the GPS grid; don't burn minutes measuring
-    // the baseline-sampler grid just to discard it.
+    // the baseline-sampler or engine grids just to discard them.
     let baselines = if args.baselines && args.check.is_none() {
         perf::run_baselines(&args.cfg, print_baseline)
+    } else {
+        Vec::new()
+    };
+    let engine = if args.engine && args.check.is_none() {
+        perf::run_engine(&args.cfg, print_engine)
     } else {
         Vec::new()
     };
@@ -229,7 +252,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines);
+    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines, &engine);
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
         eprintln!("bench_baseline: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -6,8 +6,9 @@ use std::path::PathBuf;
 /// Shared experiment configuration.
 ///
 /// Flags (all optional): `--scale <f64>`, `--seed <u64>`, `--out <dir>`,
-/// `--threads <n>`, `--backend compact|hashmap`. Environment fallbacks:
-/// `GPS_SCALE`, `GPS_SEED`, `GPS_OUT`, `GPS_THREADS`, `GPS_BACKEND`.
+/// `--threads <n>`, `--backend compact|hashmap`, `--shards <n>`.
+/// Environment fallbacks: `GPS_SCALE`, `GPS_SEED`, `GPS_OUT`,
+/// `GPS_THREADS`, `GPS_BACKEND`, `GPS_SHARDS`.
 ///
 /// `scale` multiplies every workload's size knobs; 1.0 builds graphs of
 /// roughly 2–3 × 10⁵ edges each (laptop-friendly stand-ins for the paper's
@@ -30,6 +31,9 @@ pub struct Config {
     pub threads: usize,
     /// Adjacency backend every sampler in the experiment runs on.
     pub backend: BackendKind,
+    /// Shard count for `gps-engine` workloads (the `scaling` bench and the
+    /// sharded-ingest example read this as the top of their shard axis).
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -40,6 +44,7 @@ impl Default for Config {
             out_dir: Some(PathBuf::from("results")),
             threads: 4,
             backend: BackendKind::Compact,
+            shards: 4,
         }
     }
 }
@@ -78,6 +83,11 @@ impl Config {
         if let Ok(v) = std::env::var("GPS_BACKEND") {
             if let Some(kind) = parse_backend(&v) {
                 cfg.backend = kind;
+            }
+        }
+        if let Ok(v) = std::env::var("GPS_SHARDS") {
+            if let Ok(x) = v.parse() {
+                cfg.shards = x;
             }
         }
         let args: Vec<String> = std::env::args().collect();
@@ -119,10 +129,17 @@ impl Config {
                     }
                     i += 2;
                 }
+                "--shards" => {
+                    if let Ok(x) = args[i + 1].parse() {
+                        self.shards = x;
+                    }
+                    i += 2;
+                }
                 _ => i += 1,
             }
         }
         assert!(self.scale > 0.0, "--scale must be positive");
+        assert!(self.shards > 0, "--shards must be positive");
     }
 
     /// A sub-seed derived from the base seed and a label (keeps independent
@@ -167,6 +184,8 @@ mod tests {
             "/tmp/x",
             "--backend",
             "hashmap",
+            "--shards",
+            "8",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -177,6 +196,7 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(cfg.backend, BackendKind::HashMap);
+        assert_eq!(cfg.shards, 8);
     }
 
     #[test]

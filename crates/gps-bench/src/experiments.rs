@@ -545,6 +545,7 @@ mod tests {
             out_dir: None,
             threads: 2,
             backend: BackendKind::Compact,
+            shards: 2,
         }
     }
 

@@ -14,6 +14,11 @@
 //! ported `gps-baselines` samplers ([`run_baselines`]): each store-based
 //! baseline is timed on its compact and nested-hash substrate, keeping the
 //! paper's Table 2 update-cost comparison a pure algorithm measurement.
+//!
+//! [`run_engine`] adds the sharded-ingest scaling grid: the `gps-engine`
+//! `ShardedGps` at `S ∈ {1, 2, 4, 8}` shards over a fixed total budget on
+//! the triangle-weight Holme–Kim scenario (optional `engine` section of
+//! the JSON document; schema unchanged).
 
 use crate::json::Value;
 use gps_baselines::{
@@ -21,6 +26,7 @@ use gps_baselines::{
 };
 use gps_core::weights::{TriadWeight, TriangleWeight, UniformWeight};
 use gps_core::GpsSampler;
+use gps_engine::ShardedGps;
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
 use gps_stream::{gen, permuted};
@@ -379,6 +385,77 @@ pub fn run_baselines(
     results
 }
 
+/// Shard counts measured by the engine scaling grid.
+pub const ENGINE_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Total reservoir budget of the engine scaling scenario. Full mode uses
+/// the grid's largest single-reservoir capacity so the `S = 1` arm is
+/// directly comparable to the `holme_kim/triangle/m16000` scenario.
+pub fn engine_capacity(quick: bool) -> usize {
+    if quick {
+        2_000
+    } else {
+        16_000
+    }
+}
+
+/// One shard count of the engine scaling scenario: full-stream sharded
+/// ingest (push + finish) at total budget `m/S` per shard.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Shard / worker count `S`.
+    pub shards: usize,
+    /// Stable machine-readable name, e.g. `engine/holme_kim/triangle/m16000/s4`.
+    pub scenario: String,
+    /// Total reservoir budget `m` (split across shards).
+    pub capacity: usize,
+    /// Edges in the stream (arrivals pushed per run).
+    pub edges: usize,
+    /// Best-of-iters ingest numbers (includes batching, channel transfer
+    /// and the final drain/join — everything between first push and owning
+    /// the samplers).
+    pub measurement: Measurement,
+}
+
+fn time_engine_once(edges: &[Edge], capacity: usize, shards: usize, seed: u64) -> u128 {
+    let mut engine = ShardedGps::new(capacity, TriangleWeight::default(), seed, shards);
+    let start = Instant::now();
+    for &e in edges {
+        engine.push(e);
+    }
+    engine.finish();
+    let elapsed = start.elapsed().as_nanos();
+    std::hint::black_box(engine.len());
+    elapsed
+}
+
+/// Measures the sharded engine's ingest throughput at `S ∈` [`ENGINE_SHARDS`]
+/// on the triangle-weight Holme–Kim scenario (fixed *total* budget, so the
+/// axis isolates sharding: per-shard reservoirs shrink as `m/S` and workers
+/// run in parallel). The `S = 1` arm doubles as the engine-overhead
+/// measurement against the bare-sampler scenario grid.
+pub fn run_engine(cfg: &PerfConfig, mut progress: impl FnMut(&EngineResult)) -> Vec<EngineResult> {
+    let edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    let m = engine_capacity(cfg.quick);
+    let mut results = Vec::new();
+    for shards in ENGINE_SHARDS {
+        let mut best = u128::MAX;
+        for _ in 0..cfg.iters.max(1) {
+            best = best.min(time_engine_once(&edges, m, shards, cfg.seed));
+        }
+        let result = EngineResult {
+            shards,
+            scenario: format!("engine/holme_kim/triangle/m{m}/s{shards}"),
+            capacity: m,
+            edges: edges.len(),
+            measurement: to_measurement(best, edges.len()),
+        };
+        progress(&result);
+        results.push(result);
+    }
+    results
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -395,14 +472,16 @@ fn round2(x: f64) -> f64 {
 pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
 
 /// Builds the machine-readable baseline document. `baselines` (the ported
-/// `gps-baselines` grid from [`run_baselines`]) is optional: when empty the
-/// `baseline_samplers` key is omitted, keeping documents produced before
-/// the baselines port valid under the same schema.
+/// `gps-baselines` grid from [`run_baselines`]) and `engine` (the sharded
+/// scaling grid from [`run_engine`]) are optional: when empty the
+/// `baseline_samplers` / `engine` keys are omitted, keeping documents
+/// produced before those grids valid under the same schema.
 pub fn results_json(
     cfg: &PerfConfig,
     git_rev: &str,
     results: &[ScenarioResult],
     baselines: &[BaselineResult],
+    engine: &[EngineResult],
 ) -> Value {
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
@@ -455,6 +534,51 @@ pub fn results_json(
             ),
         ));
     }
+    if !engine.is_empty() {
+        let s1_rate = engine
+            .iter()
+            .find(|r| r.shards == 1)
+            .map(|r| r.measurement.edges_per_sec);
+        fields.push((
+            "engine",
+            Value::object(vec![
+                ("stream", Value::String("holme_kim".into())),
+                ("weight", Value::String("triangle".into())),
+                ("capacity", Value::Number(engine[0].capacity as f64)),
+                ("edges", Value::Number(engine[0].edges as f64)),
+                (
+                    "shards",
+                    Value::Array(
+                        engine
+                            .iter()
+                            .map(|r| {
+                                let mut entry = vec![
+                                    ("name", Value::String(r.scenario.clone())),
+                                    ("shards", Value::Number(r.shards as f64)),
+                                    ("elapsed_ns", Value::Number(r.measurement.elapsed_ns as f64)),
+                                    (
+                                        "ns_per_edge",
+                                        Value::Number(round2(r.measurement.ns_per_edge)),
+                                    ),
+                                    (
+                                        "edges_per_sec",
+                                        Value::Number(round2(r.measurement.edges_per_sec)),
+                                    ),
+                                ];
+                                if let Some(s1) = s1_rate {
+                                    entry.push((
+                                        "speedup_vs_s1",
+                                        Value::Number(round2(r.measurement.edges_per_sec / s1)),
+                                    ));
+                                }
+                                Value::object(entry)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     Value::object(fields)
 }
 
@@ -502,6 +626,39 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
                 }
             }
             validate_measurements(s, &format!("baseline {i}"), &mut problems);
+        }
+    }
+    // Optional section (absent in documents predating gps-engine): the
+    // sharded-ingest scaling grid.
+    if let Some(engine) = doc.get("engine") {
+        for field in ["stream", "weight", "capacity", "edges"] {
+            if engine.get(field).is_none() {
+                problems.push(format!("engine section missing '{field}'"));
+            }
+        }
+        match engine.get("shards").and_then(Value::as_array) {
+            Some(entries) if !entries.is_empty() => {
+                for (i, entry) in entries.iter().enumerate() {
+                    match entry.get_f64("shards") {
+                        Some(s) if s >= 1.0 => {}
+                        _ => problems.push(format!("engine entry {i} has invalid 'shards'")),
+                    }
+                    for field in ["name", "elapsed_ns", "ns_per_edge", "edges_per_sec"] {
+                        match (field, entry.get(field)) {
+                            (_, None) => {
+                                problems.push(format!("engine entry {i} missing '{field}'"))
+                            }
+                            ("name", Some(_)) => {}
+                            (_, Some(v)) => match v.as_f64() {
+                                Some(x) if x > 0.0 => {}
+                                _ => problems
+                                    .push(format!("engine entry {i} {field} is not positive")),
+                            },
+                        }
+                    }
+                }
+            }
+            _ => problems.push("engine section missing 'shards' entries".into()),
         }
     }
     problems
@@ -572,13 +729,14 @@ mod tests {
             compact,
             hashmap,
         };
-        // Without the optional baseline section (the committed-file shape)…
-        let doc = results_json(&cfg, "deadbeef", std::slice::from_ref(&result), &[]);
+        // Without the optional sections (the committed-file shape)…
+        let doc = results_json(&cfg, "deadbeef", std::slice::from_ref(&result), &[], &[]);
         assert!(doc.get("baseline_samplers").is_none());
+        assert!(doc.get("engine").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
-        // …and with it.
+        // …and with both of them.
         let baseline = BaselineResult {
             name: "TRIEST",
             scenario: "baseline/triest/m128".into(),
@@ -587,10 +745,40 @@ mod tests {
             compact,
             hashmap,
         };
-        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline]);
+        let engine = [1usize, 2]
+            .map(|shards| EngineResult {
+                shards,
+                scenario: format!("engine/holme_kim/triangle/m128/s{shards}"),
+                capacity: 128,
+                edges: edges.len(),
+                measurement: compact,
+            })
+            .to_vec();
+        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline], &engine);
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
+        let entries = parsed
+            .get("engine")
+            .and_then(|e| e.get("shards"))
+            .and_then(Value::as_array)
+            .expect("engine section present");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get_f64("speedup_vs_s1"), Some(1.0));
+    }
+
+    #[test]
+    fn engine_grid_measures_every_shard_count() {
+        let cfg = tiny_cfg();
+        let mut seen = 0;
+        let results = run_engine(&cfg, |_| seen += 1);
+        assert_eq!(results.len(), ENGINE_SHARDS.len());
+        assert_eq!(seen, ENGINE_SHARDS.len());
+        for (r, s) in results.iter().zip(ENGINE_SHARDS) {
+            assert_eq!(r.shards, s);
+            assert!(r.measurement.edges_per_sec > 0.0);
+            assert!(r.scenario.starts_with("engine/"));
+        }
     }
 
     #[test]
@@ -634,5 +822,26 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("baseline 0 missing 'method'")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [],
+                "engine": {"stream": "holme_kim",
+                           "shards": [{"shards": 0, "elapsed_ns": -1}]}}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("engine section missing 'weight'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("engine entry 0 has invalid 'shards'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("engine entry 0 elapsed_ns is not positive")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("engine entry 0 missing 'edges_per_sec'")));
     }
 }

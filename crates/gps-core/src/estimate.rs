@@ -44,6 +44,27 @@ impl Estimate {
         self.ci(1.96)
     }
 
+    /// The estimate of `c·X` given this estimate of `X`: value scales by
+    /// `c`, variance by `c²`. Used by `gps-engine` to undo the known
+    /// subsampling factor a sharded partition applies to subgraph counts.
+    pub fn scaled(&self, c: f64) -> Estimate {
+        Estimate {
+            value: self.value * c,
+            variance: self.variance * c * c,
+        }
+    }
+
+    /// The estimate of `X + Y` from *independent* estimates of `X` and `Y`:
+    /// values and variances sum. This is the stratified-estimation identity
+    /// behind cross-shard merging — Horvitz–Thompson estimates over
+    /// disjoint, independently sampled strata add unbiasedly.
+    pub fn add_independent(&self, other: &Estimate) -> Estimate {
+        Estimate {
+            value: self.value + other.value,
+            variance: self.variance + other.variance,
+        }
+    }
+
     /// Absolute relative error against ground truth `actual`
     /// (`|X̂ - X| / X`, the paper's ARE; 0 when both are 0).
     pub fn are(&self, actual: f64) -> f64 {
@@ -84,6 +105,34 @@ impl TriadEstimates {
             tri_wedge_cov,
             clustering,
         }
+    }
+
+    /// Merges estimates over disjoint, **independently sampled** strata
+    /// (e.g. one per `gps-engine` shard): triangle and wedge values,
+    /// variances, and within-stratum covariances all sum — cross-stratum
+    /// covariances vanish by independence — and the clustering coefficient
+    /// is re-derived from the merged counts.
+    ///
+    /// The merged triangle (wedge) estimate is unbiased for the total count
+    /// of triangles (wedges) that lie *within* a stratum. When strata
+    /// partition the edges of one graph, multi-edge subgraphs spanning
+    /// strata are invisible to every stratum; undoing that known
+    /// subsampling factor is the caller's job (see
+    /// `gps_engine::ShardedGps::estimate`, which rescales via
+    /// [`Estimate::scaled`]).
+    pub fn merged_strata<I: IntoIterator<Item = TriadEstimates>>(parts: I) -> TriadEstimates {
+        let zero = Estimate::exact(0.0);
+        let (triangles, wedges, cov) =
+            parts
+                .into_iter()
+                .fold((zero, zero, 0.0), |(tri, wedge, cov), part| {
+                    (
+                        tri.add_independent(&part.triangles),
+                        wedge.add_independent(&part.wedges),
+                        cov + part.tri_wedge_cov,
+                    )
+                });
+        TriadEstimates::from_parts(triangles, wedges, cov)
     }
 }
 
@@ -203,6 +252,70 @@ mod tests {
         let loose = clustering_estimate(&t, &w, 0.0);
         let tight = clustering_estimate(&t, &w, 20.0);
         assert!(tight.variance < loose.variance);
+    }
+
+    #[test]
+    fn scaling_transforms_value_linearly_and_variance_quadratically() {
+        let e = Estimate {
+            value: 10.0,
+            variance: 4.0,
+        };
+        let s = e.scaled(3.0);
+        assert_eq!(s.value, 30.0);
+        assert_eq!(s.variance, 36.0);
+        assert_eq!(e.scaled(1.0), e);
+    }
+
+    #[test]
+    fn independent_sums_add_values_and_variances() {
+        let a = Estimate {
+            value: 5.0,
+            variance: 2.0,
+        };
+        let b = Estimate {
+            value: 7.0,
+            variance: 3.0,
+        };
+        let s = a.add_independent(&b);
+        assert_eq!(s.value, 12.0);
+        assert_eq!(s.variance, 5.0);
+    }
+
+    #[test]
+    fn merged_strata_sums_parts_and_rederives_clustering() {
+        let a = TriadEstimates::from_parts(
+            Estimate {
+                value: 4.0,
+                variance: 1.0,
+            },
+            Estimate {
+                value: 24.0,
+                variance: 2.0,
+            },
+            0.5,
+        );
+        let b = TriadEstimates::from_parts(
+            Estimate {
+                value: 6.0,
+                variance: 3.0,
+            },
+            Estimate {
+                value: 36.0,
+                variance: 4.0,
+            },
+            1.5,
+        );
+        let m = TriadEstimates::merged_strata([a, b]);
+        assert_eq!(m.triangles.value, 10.0);
+        assert_eq!(m.triangles.variance, 4.0);
+        assert_eq!(m.wedges.value, 60.0);
+        assert_eq!(m.wedges.variance, 6.0);
+        assert_eq!(m.tri_wedge_cov, 2.0);
+        assert!((m.clustering.value - 0.5).abs() < 1e-12);
+        // Merging nothing is the empty estimate.
+        let empty = TriadEstimates::merged_strata([]);
+        assert_eq!(empty.triangles.value, 0.0);
+        assert_eq!(empty.clustering.value, 0.0);
     }
 
     #[test]

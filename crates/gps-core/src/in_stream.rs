@@ -93,24 +93,21 @@ impl<W: EdgeWeight> InStreamEstimator<W> {
     fn snapshot_completions(&mut self, edge: Edge) {
         let (v1, v2) = edge.endpoints();
         // Phase 1 (immutable): enumerate completed subgraphs from the
-        // adjacency into scratch buffers.
+        // adjacency into scratch buffers. The fused walk resolves each
+        // endpoint once for both the triangle and wedge enumerations,
+        // instead of once per phase (ROADMAP "walker fusion" item).
         {
             let view = self.sampler.view();
             self.tri_buf.clear();
             self.wedge_buf.clear();
             let tri_buf = &mut self.tri_buf;
-            view.for_each_common_slot(v1, v2, |_, s1, s2| tri_buf.push((s1, s2)));
             let wedge_buf = &mut self.wedge_buf;
-            view.for_each_incident_slot(v1, |nbr, slot| {
-                if nbr != v2 {
-                    wedge_buf.push(slot);
-                }
-            });
-            view.for_each_incident_slot(v2, |nbr, slot| {
-                if nbr != v1 {
-                    wedge_buf.push(slot);
-                }
-            });
+            view.for_each_completion_slots(
+                v1,
+                v2,
+                |_, s1, s2| tri_buf.push((s1, s2)),
+                |slot| wedge_buf.push(slot),
+            );
         }
         // Phase 2 (mutable): fold the snapshots into the global accumulators
         // and update the per-edge covariance accumulators.

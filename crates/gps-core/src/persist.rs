@@ -150,12 +150,43 @@ pub fn save_file<W: EdgeWeight, P: AsRef<std::path::Path>>(
     save(sampler, std::fs::File::create(path)?)
 }
 
-/// Reads a saved sample from `reader`.
+/// Reads a saved sample from `reader`. The input must contain exactly one
+/// sample section: trailing non-blank content (e.g. more body lines than
+/// the header declared, or a second concatenated section — use
+/// [`load_section`] for those) is a [`PersistError::Parse`] pointing at
+/// the first offending line.
 pub fn load<R: Read>(reader: R) -> Result<SavedSample, PersistError> {
     let mut r = BufReader::new(reader);
+    let sample = load_section(&mut r)?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        if !line.trim().is_empty() {
+            return Err(PersistError::Parse {
+                line: 0,
+                content: format!(
+                    "trailing content after the declared records: {}",
+                    line.trim_end().chars().take(60).collect::<String>()
+                ),
+            });
+        }
+    }
+    Ok(sample)
+}
+
+/// Reads one `gps-sample v1` section from `reader`, consuming exactly the
+/// header plus the declared number of body records (interspersed blank
+/// lines allowed) and leaving the reader positioned immediately after —
+/// so container formats can concatenate sections (`gps-engine`'s sharded
+/// snapshot stores one section per shard). Line numbers in errors are
+/// relative to the start of the section.
+pub fn load_section<R: BufRead>(r: &mut R) -> Result<SavedSample, PersistError> {
     let mut line = String::new();
     let mut lineno = 0usize;
-    let mut read_line = |r: &mut BufReader<R>, line: &mut String| -> Result<bool, PersistError> {
+    let mut read_line = |r: &mut R, line: &mut String| -> Result<bool, PersistError> {
         line.clear();
         lineno += 1;
         Ok(r.read_line(line)? != 0)
@@ -165,41 +196,47 @@ pub fn load<R: Read>(reader: R) -> Result<SavedSample, PersistError> {
         content: line.trim_end().chars().take(80).collect(),
     };
 
-    if !read_line(&mut r, &mut line)? || line.trim_end() != MAGIC {
+    if !read_line(r, &mut line)? || line.trim_end() != MAGIC {
         return Err(PersistError::BadHeader(line.trim_end().to_string()));
     }
 
-    let mut header =
-        |r: &mut BufReader<R>, line: &mut String, key: &str| -> Result<String, PersistError> {
-            if !read_line(r, line)? {
-                return Err(parse_err(0, ""));
-            }
-            let trimmed = line.trim_end();
-            match trimmed.strip_prefix(key).and_then(|v| v.strip_prefix(' ')) {
-                Some(v) => Ok(v.to_string()),
-                None => Err(parse_err(0, trimmed)),
-            }
-        };
+    let mut header = |r: &mut R, line: &mut String, key: &str| -> Result<String, PersistError> {
+        if !read_line(r, line)? {
+            return Err(parse_err(0, ""));
+        }
+        let trimmed = line.trim_end();
+        match trimmed.strip_prefix(key).and_then(|v| v.strip_prefix(' ')) {
+            Some(v) => Ok(v.to_string()),
+            None => Err(parse_err(0, trimmed)),
+        }
+    };
 
-    let capacity: usize = header(&mut r, &mut line, "capacity")?
+    let capacity: usize = header(r, &mut line, "capacity")?
         .parse()
         .map_err(|_| parse_err(2, &line))?;
-    let arrivals: u64 = header(&mut r, &mut line, "arrivals")?
+    let arrivals: u64 = header(r, &mut line, "arrivals")?
         .parse()
         .map_err(|_| parse_err(3, &line))?;
-    let threshold: f64 = header(&mut r, &mut line, "threshold")?
+    let threshold: f64 = header(r, &mut line, "threshold")?
         .parse()
         .map_err(|_| parse_err(4, &line))?;
-    let count: usize = header(&mut r, &mut line, "edges")?
+    let count: usize = header(r, &mut line, "edges")?
         .parse()
         .map_err(|_| parse_err(5, &line))?;
 
-    let mut records = Vec::with_capacity(count);
+    // Cap the pre-allocation: `count` comes from the file, and a corrupt
+    // header must surface as CountMismatch (EOF before `count` records),
+    // not a capacity-overflow panic. The vector still grows to any honest
+    // count.
+    let mut records = Vec::with_capacity(count.min(1 << 20));
     let mut body_line = 5usize;
-    loop {
+    while records.len() < count {
         line.clear();
         if r.read_line(&mut line)? == 0 {
-            break;
+            return Err(PersistError::CountMismatch {
+                declared: count,
+                found: records.len(),
+            });
         }
         body_line += 1;
         let trimmed = line.trim();
@@ -214,12 +251,6 @@ pub fn load<R: Read>(reader: R) -> Result<SavedSample, PersistError> {
         let priority: f64 = next()?.parse().map_err(|_| parse_err(body_line, trimmed))?;
         let edge = Edge::try_new(u, v).ok_or_else(|| parse_err(body_line, trimmed))?;
         records.push((edge, weight, priority));
-    }
-    if records.len() != count {
-        return Err(PersistError::CountMismatch {
-            declared: count,
-            found: records.len(),
-        });
     }
     Ok(SavedSample {
         capacity,
@@ -298,6 +329,39 @@ mod tests {
     }
 
     #[test]
+    fn sections_compose_on_one_reader() {
+        // Two samples written back to back load as two sections — the
+        // container contract gps-engine's sharded snapshot relies on.
+        let a = loaded_sampler();
+        let mut b = GpsSampler::new(6, TriangleWeight::default(), 9);
+        b.process_stream((0..30u32).map(|i| Edge::new(i, i + 1)));
+        let mut buf = Vec::new();
+        save(&a, &mut buf).unwrap();
+        save(&b, &mut buf).unwrap();
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        let sa = load_section(&mut r).unwrap();
+        let sb = load_section(&mut r).unwrap();
+        assert_eq!(sa.records.len(), a.len());
+        assert_eq!(sa.threshold, a.threshold());
+        assert_eq!(sb.records.len(), b.len());
+        assert_eq!(sb.capacity, 6);
+        // The reader is exhausted: a third section is a BadHeader (EOF).
+        assert!(matches!(
+            load_section(&mut r),
+            Err(PersistError::BadHeader(_))
+        ));
+        // But the strict single-sample entry point rejects the same input,
+        // pointing at the first trailing line (the second section's magic).
+        match load(buf.as_slice()) {
+            Err(PersistError::Parse { content, .. }) => {
+                assert!(content.contains("trailing content"), "{content}");
+                assert!(content.contains("gps-sample"), "{content}");
+            }
+            other => panic!("expected trailing-content Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_garbage_input() {
         assert!(matches!(
             load("nonsense".as_bytes()),
@@ -312,6 +376,16 @@ mod tests {
             "gps-sample v1\ncapacity 4\narrivals 9\nthreshold 1.5\nedges 2\n0 1 1.0 2.0\n";
         assert!(matches!(
             load(bad_count.as_bytes()),
+            Err(PersistError::CountMismatch { .. })
+        ));
+        // A corrupt (absurd) declared count must error, not panic on
+        // pre-allocation.
+        let huge_count = format!(
+            "gps-sample v1\ncapacity 4\narrivals 9\nthreshold 1.5\nedges {}\n0 1 1.0 2.0\n",
+            u64::MAX
+        );
+        assert!(matches!(
+            load(huge_count.as_bytes()),
             Err(PersistError::CountMismatch { .. })
         ));
         let self_loop =

@@ -59,56 +59,65 @@ impl Contribution {
 }
 
 /// One sampled edge's contribution (paper Alg 2 lines 3–30).
+///
+/// The triangle and wedge enumerations share one fused adjacency walk
+/// ([`SampleView::for_each_completion_slots`]), so each endpoint of `k` is
+/// resolved once per contribution instead of once per phase. The two
+/// callbacks write disjoint local accumulators (merged below) because they
+/// are borrowed simultaneously by the fused walk.
 fn edge_contribution(view: &SampleView<'_>, record: &EdgeRecord) -> Contribution {
     let (v1, v2) = record.edge.endpoints();
     let z = view.threshold();
     let qi = 1.0 / prob(record.weight, z);
-    let mut c = Contribution::default();
     // Running sums over subgraphs at this edge, used to accumulate the
     // pairwise covariance products incrementally (c△ / cΛ in Alg 2).
     let mut c_tri = 0.0;
     let mut c_wedge = 0.0;
+    let (mut n_tri, mut v_tri, mut c_tri_pairs) = (0.0, 0.0, 0.0);
+    let (mut n_wedge, mut v_wedge, mut c_wedge_pairs) = (0.0, 0.0, 0.0);
 
-    // Triangles (k1, k2, k) closed by k: common sampled neighbors of v1, v2.
-    view.for_each_common_slot(v1, v2, |_, s1, s2| {
-        let q1 = prob(view.record(s1).weight, z);
-        let q2 = prob(view.record(s2).weight, z);
-        let inv12 = 1.0 / (q1 * q2);
-        let inv = qi * inv12;
-        c.n_tri += inv;
-        c.v_tri += inv * (inv - 1.0);
-        c.c_tri_pairs += c_tri * inv12;
-        c_tri += inv12;
-    });
-
-    // Wedges (k1, k) sharing endpoint v1, then (k2, k) sharing v2. The
-    // pairwise accumulator spans both loops: any two wedges containing k
-    // intersect in exactly {k}, regardless of which endpoint they pivot on.
-    let mut wedge_arm = |pivot, other| {
-        view.for_each_incident_slot(pivot, |nbr, slot| {
-            if nbr == other {
-                return; // that's k itself, not a wedge partner
-            }
+    view.for_each_completion_slots(
+        v1,
+        v2,
+        // Triangles (k1, k2, k) closed by k: sampled common neighbors.
+        |_, s1, s2| {
+            let q1 = prob(view.record(s1).weight, z);
+            let q2 = prob(view.record(s2).weight, z);
+            let inv12 = 1.0 / (q1 * q2);
+            let inv = qi * inv12;
+            n_tri += inv;
+            v_tri += inv * (inv - 1.0);
+            c_tri_pairs += c_tri * inv12;
+            c_tri += inv12;
+        },
+        // Wedges (k1, k) sharing endpoint v1, then (k2, k) sharing v2 —
+        // the walk excludes k itself. The pairwise accumulator spans both
+        // arms: any two wedges containing k intersect in exactly {k},
+        // regardless of which endpoint they pivot on.
+        |slot| {
             let q1 = prob(view.record(slot).weight, z);
             let inv1 = 1.0 / q1;
             let inv = qi * inv1;
-            c.n_wedge += inv;
-            c.v_wedge += inv * (inv - 1.0);
-            c.c_wedge_pairs += c_wedge * inv1;
+            n_wedge += inv;
+            v_wedge += inv * (inv - 1.0);
+            c_wedge_pairs += c_wedge * inv1;
             c_wedge += inv1;
-        });
-    };
-    wedge_arm(v1, v2);
-    wedge_arm(v2, v1);
+        },
+    );
 
     // Close the covariance accumulators (Alg 2 lines 29–30) and the
     // triangle–wedge cross term feeding the clustering CI (Eq. 12 restricted
     // to single-edge overlaps, matching the per-edge accumulators of Alg 3).
     let factor = qi * (qi - 1.0);
-    c.c_tri_pairs *= 2.0 * factor;
-    c.c_wedge_pairs *= 2.0 * factor;
-    c.tri_wedge_cov = c_tri * c_wedge * factor;
-    c
+    Contribution {
+        n_tri,
+        v_tri,
+        c_tri_pairs: c_tri_pairs * 2.0 * factor,
+        n_wedge,
+        v_wedge,
+        c_wedge_pairs: c_wedge_pairs * 2.0 * factor,
+        tri_wedge_cov: c_tri * c_wedge * factor,
+    }
 }
 
 /// Runs Algorithm 2 serially over the current sample.
@@ -169,20 +178,21 @@ pub fn estimate_counts<W: EdgeWeight>(sampler: &GpsSampler<W>) -> (f64, f64) {
     for (_, record) in view.records() {
         let (v1, v2) = record.edge.endpoints();
         let qi = 1.0 / prob(record.weight, z);
-        view.for_each_common_slot(v1, v2, |_, s1, s2| {
-            let q1 = prob(view.record(s1).weight, z);
-            let q2 = prob(view.record(s2).weight, z);
-            tri += qi / (q1 * q2);
-        });
-        let mut arm = |pivot, other| {
-            view.for_each_incident_slot(pivot, |nbr, slot| {
-                if nbr != other {
-                    wedge += qi / prob(view.record(slot).weight, z);
-                }
-            });
-        };
-        arm(v1, v2);
-        arm(v2, v1);
+        let (mut tri_k, mut wedge_k) = (0.0, 0.0);
+        view.for_each_completion_slots(
+            v1,
+            v2,
+            |_, s1, s2| {
+                let q1 = prob(view.record(s1).weight, z);
+                let q2 = prob(view.record(s2).weight, z);
+                tri_k += qi / (q1 * q2);
+            },
+            |slot| {
+                wedge_k += qi / prob(view.record(slot).weight, z);
+            },
+        );
+        tri += tri_k;
+        wedge += wedge_k;
     }
     (tri / 3.0, wedge / 2.0)
 }

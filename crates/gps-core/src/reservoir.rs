@@ -183,10 +183,21 @@ impl<'a> SampleView<'a> {
         self.adj.for_each_common_neighbor(u, v, f);
     }
 
-    /// Calls `f(neighbor, slot)` for each sampled edge incident to `node`.
+    /// Fused completion walk (the estimator inner loop of Algorithms 2/3):
+    /// one endpoint resolution answers both the triangle enumeration —
+    /// `tri(w, slot_uw, slot_vw)` per sampled common neighbor, as
+    /// [`SampleView::for_each_common_slot`] — and the wedge enumeration —
+    /// `wedge(slot)` per sampled edge incident to `u` excluding `(u, v)`
+    /// itself, then per sampled edge incident to `v` likewise, in each
+    /// node's incident-list order (it subsumes the separate incident walks
+    /// the estimators performed before the fusion).
     #[inline]
-    pub(crate) fn for_each_incident_slot<F: FnMut(NodeId, SlotId)>(&self, node: NodeId, f: F) {
-        self.adj.for_each_neighbor(node, f);
+    pub(crate) fn for_each_completion_slots<FT, FW>(&self, u: NodeId, v: NodeId, tri: FT, wedge: FW)
+    where
+        FT: FnMut(NodeId, SlotId, SlotId),
+        FW: FnMut(SlotId),
+    {
+        self.adj.for_each_completion(u, v, tri, wedge);
     }
 
     /// Iterates the sampled edges themselves — for weight functions that

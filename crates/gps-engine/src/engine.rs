@@ -1,0 +1,469 @@
+//! The sharded streaming engine: [`ShardedGps`].
+//!
+//! Threading model: each shard is one worker thread owning an independent
+//! `GpsSampler` (per-shard budget `m/S` of the engine's total budget `m`).
+//! The ingest thread routes every arrival to its shard's pending batch
+//! buffer and ships full batches over a bounded `sync_channel` — the same
+//! chunking idea as `post_stream::estimate_with_threads`, turned around to
+//! parallelize `GPSUpdate` itself. Bounded queues give natural
+//! backpressure: a producer outrunning the workers blocks on `send`
+//! instead of buffering the stream.
+//!
+//! Edges are routed by the seeded [`EdgePartitioner`], so a duplicate
+//! arrival always lands on the shard that holds (or rejected) its first
+//! occurrence — the per-shard duplicate skip is exactly the global one.
+
+use crate::partition::{shard_seed, EdgePartitioner};
+use gps_core::weights::EdgeWeight;
+use gps_core::{post_stream, GpsSampler, TriadEstimates};
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Total reservoir budget `m`, split across shards (shard `i` gets
+    /// `m/S`, the first `m mod S` shards one more).
+    pub capacity: usize,
+    /// Number of shards / worker threads `S`.
+    pub shards: usize,
+    /// Engine seed: drives every shard RNG and the edge partition.
+    pub seed: u64,
+    /// Edges per channel batch (amortizes one `send` over this many
+    /// arrivals).
+    pub batch: usize,
+    /// Bounded channel depth, in batches per shard.
+    pub queue: usize,
+    /// Adjacency backend every shard's sampler runs on.
+    pub backend: BackendKind,
+}
+
+impl EngineConfig {
+    /// A config with the tuned defaults: 1024-edge batches, 4-batch queues,
+    /// compact backend.
+    pub fn new(capacity: usize, shards: usize, seed: u64) -> Self {
+        EngineConfig {
+            capacity,
+            shards,
+            seed,
+            batch: 1024,
+            queue: 4,
+            backend: BackendKind::Compact,
+        }
+    }
+}
+
+/// One shard: its feed channel and the thread that will hand the sampler
+/// back at shutdown.
+struct Worker<W> {
+    tx: SyncSender<Vec<Edge>>,
+    handle: JoinHandle<GpsSampler<W>>,
+}
+
+/// Sharded `GPS(m)`: `S` independent reservoirs over a hash-partitioned
+/// stream, with unbiased cross-shard estimate merging (see the crate docs
+/// for the stratification + monochromacy-correction argument).
+///
+/// Lifecycle: [`ShardedGps::push`] while streaming, then
+/// [`ShardedGps::finish`] (or any estimation call, which finishes
+/// implicitly) to drain the channels and join the workers; after that the
+/// per-shard samplers are owned by the engine and estimation/persistence
+/// are available. `finish` is idempotent; pushing after it panics.
+///
+/// ```
+/// use gps_core::TriangleWeight;
+/// use gps_engine::ShardedGps;
+/// use gps_graph::Edge;
+///
+/// let mut engine = ShardedGps::new(64, TriangleWeight::default(), 42, 2);
+/// engine.push_stream([Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+/// let est = engine.estimate();
+/// // Capacity exceeds the stream: every shard retained everything, so the
+/// // merged estimate counts each shard's monochromatic triangles exactly —
+/// // unbiased (not exact) for the global count under the random coloring.
+/// assert!(est.triangles.value >= 0.0);
+/// assert_eq!(engine.pushed(), 3);
+/// ```
+pub struct ShardedGps<W> {
+    cfg: EngineConfig,
+    partitioner: EdgePartitioner,
+    /// Per-shard pending batch buffers (ingest side).
+    pending: Vec<Vec<Edge>>,
+    /// Live workers; empty once finished.
+    workers: Vec<Worker<W>>,
+    /// Collected samplers; filled by `finish`.
+    samplers: Vec<GpsSampler<W>>,
+    pushed: u64,
+}
+
+impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
+    /// Creates an engine with total budget `capacity` split across
+    /// `shards` workers, on the default config (see [`EngineConfig::new`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `capacity < shards` (every shard needs a
+    /// positive reservoir).
+    pub fn new(capacity: usize, weight_fn: W, seed: u64, shards: usize) -> Self {
+        Self::with_config(EngineConfig::new(capacity, shards, seed), weight_fn)
+    }
+
+    /// Creates an engine from an explicit [`EngineConfig`].
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::new`], plus `batch == 0` or
+    /// `queue == 0`.
+    pub fn with_config(cfg: EngineConfig, weight_fn: W) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(
+            cfg.capacity >= cfg.shards,
+            "capacity {} cannot give {} shards a positive budget",
+            cfg.capacity,
+            cfg.shards
+        );
+        let samplers = (0..cfg.shards)
+            .map(|i| {
+                GpsSampler::with_backend(
+                    Self::shard_capacity(cfg.capacity, cfg.shards, i),
+                    weight_fn.clone(),
+                    shard_seed(cfg.seed, i),
+                    cfg.backend,
+                )
+            })
+            .collect();
+        Self::launch(cfg, samplers)
+    }
+
+    /// Budget of shard `i`: `m/S`, first `m mod S` shards get one more.
+    pub(crate) fn shard_capacity(capacity: usize, shards: usize, i: usize) -> usize {
+        capacity / shards + usize::from(i < capacity % shards)
+    }
+
+    /// Spawns one worker per sampler (also the restore path — see
+    /// `snapshot::SavedEngine::into_engine`).
+    pub(crate) fn launch(cfg: EngineConfig, samplers: Vec<GpsSampler<W>>) -> Self {
+        assert!(cfg.batch > 0, "batch size must be positive");
+        assert!(cfg.queue > 0, "queue depth must be positive");
+        let workers = samplers
+            .into_iter()
+            .map(|mut sampler| {
+                let (tx, rx) = sync_channel::<Vec<Edge>>(cfg.queue);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        for e in batch {
+                            sampler.process(e);
+                        }
+                    }
+                    sampler
+                });
+                Worker { tx, handle }
+            })
+            .collect();
+        ShardedGps {
+            partitioner: EdgePartitioner::new(cfg.seed, cfg.shards),
+            pending: (0..cfg.shards)
+                .map(|_| Vec::with_capacity(cfg.batch))
+                .collect(),
+            workers,
+            samplers: Vec::with_capacity(cfg.shards),
+            pushed: 0,
+            cfg,
+        }
+    }
+
+    /// Offers one stream arrival to the engine (routes it to its shard;
+    /// ships a batch when that shard's buffer fills).
+    ///
+    /// # Panics
+    /// Panics if called after [`ShardedGps::finish`], or if a shard worker
+    /// has panicked.
+    pub fn push(&mut self, edge: Edge) {
+        assert!(
+            !self.workers.is_empty(),
+            "push on a finished ShardedGps engine"
+        );
+        self.pushed += 1;
+        let s = self.partitioner.shard_of(edge);
+        self.pending[s].push(edge);
+        if self.pending[s].len() == self.cfg.batch {
+            self.ship(s);
+        }
+    }
+
+    /// Feeds a pre-batched chunk (e.g. from `gps_stream::batched`); exactly
+    /// equivalent to pushing each edge.
+    pub fn push_batch(&mut self, batch: &[Edge]) {
+        for &e in batch {
+            self.push(e);
+        }
+    }
+
+    /// Feeds every edge of an iterator through [`ShardedGps::push`].
+    pub fn push_stream<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.push(e);
+        }
+    }
+
+    /// Sends shard `s`'s pending buffer (blocking if its queue is full).
+    fn ship(&mut self, s: usize) {
+        let batch = std::mem::replace(&mut self.pending[s], Vec::with_capacity(self.cfg.batch));
+        self.workers[s]
+            .tx
+            .send(batch)
+            .expect("shard worker hung up early (worker panicked?)");
+    }
+
+    /// Drains all pending batches, shuts the channels and joins the
+    /// workers, taking ownership of the per-shard samplers. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked.
+    pub fn finish(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        for s in 0..self.cfg.shards {
+            if !self.pending[s].is_empty() {
+                self.ship(s);
+            }
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.tx); // hang up: the worker's recv loop ends
+            self.samplers
+                .push(worker.handle.join().expect("shard worker panicked"));
+        }
+    }
+
+    /// Whether [`ShardedGps::finish`] has run (workers are constructed
+    /// alive, so "no live workers" is exactly "finished").
+    #[inline]
+    pub fn is_finished(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Merged triangle/wedge/clustering estimates over all shards
+    /// (finishing the engine first if needed): per-shard post-stream
+    /// estimates are summed as independent strata and rescaled by the
+    /// monochromacy factors `S²` (triangles), `S` (wedges), `S³`
+    /// (triangle–wedge covariance) — see the crate docs.
+    pub fn estimate(&mut self) -> TriadEstimates {
+        self.finish();
+        let merged = TriadEstimates::merged_strata(self.samplers.iter().map(post_stream::estimate));
+        let s = self.cfg.shards as f64;
+        TriadEstimates::from_parts(
+            merged.triangles.scaled(s * s),
+            merged.wedges.scaled(s),
+            merged.tri_wedge_cov * s * s * s,
+        )
+    }
+
+    /// Merged point estimates only — `(triangles, wedges)`, rescaled like
+    /// [`ShardedGps::estimate`] but skipping variance bookkeeping.
+    pub fn estimate_counts(&mut self) -> (f64, f64) {
+        self.finish();
+        let (mut tri, mut wedge) = (0.0, 0.0);
+        for sampler in &self.samplers {
+            let (t, w) = post_stream::estimate_counts(sampler);
+            tri += t;
+            wedge += w;
+        }
+        let s = self.cfg.shards as f64;
+        (tri * s * s, wedge * s)
+    }
+
+    /// The per-shard samplers (available once finished).
+    ///
+    /// # Panics
+    /// Panics if the engine has not been finished.
+    pub fn samplers(&self) -> &[GpsSampler<W>] {
+        assert!(
+            !self.samplers.is_empty(),
+            "samplers are owned by the workers until finish()"
+        );
+        &self.samplers
+    }
+
+    /// Consumes the engine, returning the per-shard samplers (finishing
+    /// first if needed).
+    pub fn into_samplers(mut self) -> Vec<GpsSampler<W>> {
+        self.finish();
+        std::mem::take(&mut self.samplers)
+    }
+}
+
+impl<W: EdgeWeight> ShardedGps<W> {
+    /// Number of shards `S`.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Total reservoir budget `m` (sum of per-shard budgets).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// Engine seed (drives shard RNGs and the partition).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Arrivals pushed so far (stream position `t`).
+    #[inline]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The edge → shard assignment this engine routes with.
+    #[inline]
+    pub fn partitioner(&self) -> &EdgePartitioner {
+        &self.partitioner
+    }
+
+    /// Sum of per-shard sample sizes `Σ|K̂_i|` (available once finished).
+    pub fn len(&self) -> usize {
+        self.samplers.iter().map(GpsSampler::len).sum()
+    }
+
+    /// True when no shard holds any edge (trivially true before finish).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Restore-path internals for `snapshot`: the config and collected
+    /// samplers of a finished engine.
+    pub(crate) fn parts(&self) -> (&EngineConfig, &[GpsSampler<W>], u64) {
+        (&self.cfg, &self.samplers, self.pushed)
+    }
+
+    /// Sets the stream position on a restored engine (see `snapshot`).
+    pub(crate) fn set_pushed(&mut self, pushed: u64) {
+        self.pushed = pushed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::weights::{TriangleWeight, UniformWeight};
+
+    fn clique_chunks(n: u32) -> Vec<Edge> {
+        let mut edges = vec![];
+        for base in (0..n).step_by(5) {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    edges.push(Edge::new(base + a, base + b));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn shard_budgets_partition_the_total() {
+        for (m, s) in [(10, 3), (16, 4), (7, 7), (100, 8), (5, 1)] {
+            let budgets: Vec<usize> = (0..s)
+                .map(|i| ShardedGps::<UniformWeight>::shard_capacity(m, s, i))
+                .collect();
+            assert_eq!(budgets.iter().sum::<usize>(), m, "m={m} S={s}");
+            assert!(budgets.iter().all(|&b| b > 0));
+            assert!(budgets.iter().max().unwrap() - budgets.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_estimation_finishes_implicitly() {
+        let mut engine = ShardedGps::new(32, TriangleWeight::default(), 7, 4);
+        engine.push_stream(clique_chunks(50));
+        let est = engine.estimate(); // implicit finish
+        assert!(engine.is_finished());
+        engine.finish();
+        engine.finish();
+        let again = engine.estimate();
+        assert_eq!(est.triangles.value, again.triangles.value);
+        assert_eq!(
+            engine.len(),
+            engine.samplers().iter().map(|s| s.len()).sum()
+        );
+    }
+
+    #[test]
+    fn every_arrival_reaches_exactly_one_shard() {
+        let edges = clique_chunks(100);
+        let mut engine = ShardedGps::new(1000, UniformWeight, 3, 4);
+        engine.push_stream(edges.iter().copied());
+        engine.finish();
+        let total: u64 = engine.samplers().iter().map(|s| s.arrivals()).sum();
+        assert_eq!(total, edges.len() as u64);
+        assert_eq!(engine.pushed(), edges.len() as u64);
+        // Capacity exceeds the stream: nothing dropped, so the union of the
+        // shard reservoirs is the whole (deduplicated) stream.
+        assert_eq!(engine.len(), edges.len());
+    }
+
+    #[test]
+    fn duplicates_are_skipped_exactly_once_globally() {
+        let mut engine = ShardedGps::new(100, UniformWeight, 5, 4);
+        let edges = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+        engine.push_stream(edges);
+        engine.push_stream(edges); // all duplicates
+        engine.finish();
+        let dups: u64 = engine.samplers().iter().map(|s| s.duplicates()).sum();
+        assert_eq!(dups, 3, "same edge must route to the same shard");
+        assert_eq!(engine.len(), 3);
+    }
+
+    #[test]
+    fn push_batch_matches_per_edge_push() {
+        let edges = clique_chunks(60);
+        let mut a = ShardedGps::new(40, TriangleWeight::default(), 11, 3);
+        a.push_stream(edges.iter().copied());
+        let ea = a.estimate();
+        let mut b = ShardedGps::new(40, TriangleWeight::default(), 11, 3);
+        for chunk in edges.chunks(17) {
+            b.push_batch(chunk);
+        }
+        let eb = b.estimate();
+        assert_eq!(ea.triangles.value.to_bits(), eb.triangles.value.to_bits());
+        assert_eq!(ea.wedges.value.to_bits(), eb.wedges.value.to_bits());
+    }
+
+    #[test]
+    fn small_batches_and_deep_queues_agree_with_defaults() {
+        // Batch boundaries must not affect results, only throughput.
+        let edges = clique_chunks(80);
+        let mut defaults = ShardedGps::new(50, TriangleWeight::default(), 2, 2);
+        defaults.push_stream(edges.iter().copied());
+        let a = defaults.estimate();
+        let mut tiny = ShardedGps::with_config(
+            EngineConfig {
+                batch: 3,
+                queue: 1,
+                ..EngineConfig::new(50, 2, 2)
+            },
+            TriangleWeight::default(),
+        );
+        tiny.push_stream(edges.iter().copied());
+        let b = tiny.estimate();
+        assert_eq!(a.triangles.value.to_bits(), b.triangles.value.to_bits());
+        assert_eq!(a.wedges.variance.to_bits(), b.wedges.variance.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "push on a finished")]
+    fn pushing_after_finish_panics() {
+        let mut engine = ShardedGps::new(8, UniformWeight, 0, 2);
+        engine.finish();
+        engine.push(Edge::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive budget")]
+    fn rejects_capacity_below_shard_count() {
+        let _ = ShardedGps::new(3, UniformWeight, 0, 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gps-engine — sharded multi-threaded GPS streaming
+//!
+//! A single [`gps_core::GpsSampler`] is fed by one thread, so ingest
+//! throughput is capped by one core even though the estimation side "has
+//! abundant parallelism" (paper §4; exploited by
+//! `post_stream::estimate_with_threads`). This crate scales the *ingest*
+//! side: [`ShardedGps`] hash-partitions arriving edges across `S` worker
+//! threads, each owning an independent `GPS(m/S)` reservoir on the compact
+//! adjacency backend, fed through bounded batch channels.
+//!
+//! ## Why the merge is unbiased
+//!
+//! The partition assigns every edge one of `S` "colors" by a seeded hash of
+//! its canonical endpoint pair ([`partition::EdgePartitioner`]), so each
+//! shard runs ordinary GPS over the substream of its color and its
+//! Horvitz–Thompson estimates are unbiased *for subgraph counts within that
+//! substream*. Two facts turn the per-shard estimates into unbiased global
+//! estimates:
+//!
+//! 1. **Strata sum.** The substreams are disjoint and sampled
+//!    independently, so values, variance estimates and within-shard
+//!    covariances add ([`gps_core::TriadEstimates::merged_strata`]) —
+//!    the stratification argument Tiered Sampling (De Stefani et al.)
+//!    uses to split a budget across tiers.
+//! 2. **Monochromacy correction.** A subgraph with `j` edges is visible to
+//!    a shard only if all `j` edges share its color, which happens with
+//!    probability `S^{-(j-1)}` under the seeded uniform coloring — the
+//!    "colorful counting" argument of Pagh–Tsourakakis. The merged sums
+//!    are therefore rescaled by `S²` for triangles (3 edges) and `S` for
+//!    wedges (2 edges); [`ShardedGps::estimate`] applies exactly this.
+//!
+//! With `S = 1` the engine degenerates to a single reservoir on the engine
+//! seed, and the output is **bit-identical** to a bare `GpsSampler` fed the
+//! same stream (pinned by a property test).
+//!
+//! Reported variances are the summed per-shard (within-coloring) variance
+//! estimates, rescaled; the additional variance contributed by the random
+//! coloring itself is *not* estimated, so confidence intervals from a
+//! sharded run are conditional on the partition and anti-conservative for
+//! `S > 1`. The statistical test suite verifies unbiasedness over both
+//! sources of randomness empirically.
+//!
+//! ## Snapshots
+//!
+//! [`ShardedGps::save`] composes the existing `gps_core::persist` format
+//! per shard — an engine header followed by one `gps-sample v1` section per
+//! shard — so sharded reference samples outlive the process like
+//! single-reservoir ones do ([`snapshot`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod partition;
+pub mod snapshot;
+
+pub use engine::{EngineConfig, ShardedGps};
+pub use partition::EdgePartitioner;
+pub use snapshot::{load_engine, load_engine_file, SavedEngine};

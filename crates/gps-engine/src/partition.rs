@@ -1,0 +1,136 @@
+//! Seeded edge → shard assignment.
+//!
+//! The partition is the "coloring" of the unbiasedness argument (see the
+//! crate docs): every edge must map to exactly one shard, the map must be
+//! reproducible from the engine seed (so duplicate arrivals reach the same
+//! shard and a restored engine keeps routing identically), and distinct
+//! edges' colors must behave like independent uniform draws — that last
+//! property is what makes the `S^{j-1}` monochromacy correction exact in
+//! expectation. A `splitmix64` finalizer over the canonical endpoint-pair
+//! key, XOR-seeded per engine, provides all three.
+
+use gps_graph::types::Edge;
+
+/// `splitmix64` finalizer: a full-avalanche 64-bit mix (the classic
+/// Stafford/`SplitMix64` constants).
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// RNG seed of shard `shard` under engine seed `engine_seed`. Shard 0 runs
+/// on the engine seed itself, which is what makes an `S = 1` engine
+/// bit-identical to a bare `GpsSampler` on the same seed; the other shards
+/// get mixed, effectively independent streams.
+#[inline]
+pub(crate) fn shard_seed(engine_seed: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        engine_seed
+    } else {
+        splitmix64(engine_seed ^ (shard as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+/// Deterministic, seeded assignment of edges to `shards` buckets.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgePartitioner {
+    mix_seed: u64,
+    shards: usize,
+}
+
+impl EdgePartitioner {
+    /// A partitioner over `shards` buckets, keyed by the engine seed.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(engine_seed: u64, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        EdgePartitioner {
+            // Decorrelate from the shard RNG seeds (which also derive from
+            // the engine seed).
+            mix_seed: splitmix64(engine_seed ^ 0xC010_4F5E_ED5E_ED01),
+            shards,
+        }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `edge`. Uses a multiply-shift range reduction of
+    /// the mixed canonical pair key — no modulo bias, and `shards = 1`
+    /// short-circuits to 0 (the `S = 1` bit-compatibility path does not
+    /// even hash).
+    #[inline]
+    pub fn shard_of(&self, edge: Edge) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let h = splitmix64(edge.key() ^ self.mix_seed);
+        (((h as u128) * (self.shards as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_orientation_free() {
+        let p = EdgePartitioner::new(42, 8);
+        for i in 0..500u32 {
+            let a = p.shard_of(Edge::new(i, i + 7));
+            assert_eq!(a, p.shard_of(Edge::new(i + 7, i)), "orientation");
+            assert_eq!(a, p.shard_of(Edge::new(i, i + 7)), "repeatability");
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let p = EdgePartitioner::new(7, 1);
+        for i in 0..100u32 {
+            assert_eq!(p.shard_of(Edge::new(i, i + 1)), 0);
+        }
+    }
+
+    #[test]
+    fn buckets_are_roughly_balanced() {
+        let shards = 4;
+        let p = EdgePartitioner::new(3, shards);
+        let mut counts = vec![0usize; shards];
+        let n = 40_000u32;
+        for i in 0..n {
+            counts[p.shard_of(Edge::new(i, i + 1 + (i % 13)))] += 1;
+        }
+        let expect = n as usize / shards;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < 0.05 * expect as f64,
+                "shard {s} holds {c} of ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_colorings() {
+        let a = EdgePartitioner::new(1, 4);
+        let b = EdgePartitioner::new(2, 4);
+        let differing = (0..1000u32)
+            .filter(|&i| a.shard_of(Edge::new(i, i + 1)) != b.shard_of(Edge::new(i, i + 1)))
+            .count();
+        // Two independent 4-colorings disagree on ~3/4 of edges.
+        assert!(differing > 600, "only {differing}/1000 edges recolored");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = EdgePartitioner::new(0, 0);
+    }
+}

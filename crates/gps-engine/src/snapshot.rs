@@ -1,0 +1,325 @@
+//! Saving and restoring sharded reference samples.
+//!
+//! A sharded engine's estimation state is its per-shard samples plus the
+//! routing parameters needed to keep consuming the stream consistently
+//! (the engine seed drives the edge partition, so a restored engine sends
+//! every future arrival — including duplicates of already-sampled edges —
+//! to the shard that owns it). The format composes the existing
+//! single-reservoir machinery: an engine header followed by one
+//! `gps-sample v1` section per shard, in shard order, parsed back with
+//! `gps_core::persist::load_section`:
+//!
+//! ```text
+//! gps-engine v1
+//! seed 42
+//! shards 4
+//! capacity 16000
+//! <gps-sample v1 section of shard 0>
+//! ...
+//! <gps-sample v1 section of shard 3>
+//! ```
+//!
+//! Like `GpsSampler::restore`, a restored engine estimates identically to
+//! the original (up to float summation order from adjacency rebuild) and
+//! may keep consuming the stream with fresh — statistically equivalent —
+//! RNG draws.
+
+use crate::engine::{EngineConfig, ShardedGps};
+use crate::partition::shard_seed;
+use gps_core::persist::{self, PersistError, SavedSample};
+use gps_core::weights::EdgeWeight;
+use gps_core::GpsSampler;
+use gps_graph::BackendKind;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic first line of the engine container format.
+const MAGIC: &str = "gps-engine v1";
+
+/// A sharded sample loaded from disk, ready to become an engine again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SavedEngine {
+    /// Engine seed (drives the edge partition and shard RNG seeds).
+    pub seed: u64,
+    /// Total reservoir budget `m`.
+    pub capacity: usize,
+    /// Per-shard samples, in shard order.
+    pub shards: Vec<SavedSample>,
+}
+
+impl SavedEngine {
+    /// Stream position when saved (sum of per-shard arrivals — every
+    /// arrival reaches exactly one shard).
+    pub fn pushed(&self) -> u64 {
+        self.shards.iter().map(|s| s.arrivals).sum()
+    }
+
+    /// Rebuilds a running engine (workers spawned, ready for more stream)
+    /// from the saved state, on the given adjacency backend. The weight
+    /// function matters only if the engine keeps consuming the stream —
+    /// stored weights are what estimation reads.
+    ///
+    /// # Panics
+    /// Panics if the saved state is inconsistent (no shards, shard budgets
+    /// not summing to `capacity`, or invalid per-shard records — see
+    /// `GpsSampler::restore`).
+    pub fn into_engine<W: EdgeWeight + Clone + Send + 'static>(
+        self,
+        weight_fn: W,
+        backend: BackendKind,
+    ) -> ShardedGps<W> {
+        assert!(!self.shards.is_empty(), "engine snapshot has no shards");
+        let total: usize = self.shards.iter().map(|s| s.capacity).sum();
+        assert_eq!(
+            total, self.capacity,
+            "shard budgets sum to {total}, header declares {}",
+            self.capacity
+        );
+        let pushed = self.pushed();
+        let mut cfg = EngineConfig::new(self.capacity, self.shards.len(), self.seed);
+        cfg.backend = backend;
+        let samplers = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                GpsSampler::restore_with_backend(
+                    shard.capacity,
+                    weight_fn.clone(),
+                    shard_seed(cfg.seed, i),
+                    shard.threshold,
+                    shard.arrivals,
+                    shard.records,
+                    backend,
+                )
+            })
+            .collect();
+        let mut engine = ShardedGps::launch(cfg, samplers);
+        engine.set_pushed(pushed);
+        engine
+    }
+}
+
+impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
+    /// Writes the engine's estimation state to `writer` (finishing the
+    /// engine first if needed): the engine header, then one persisted
+    /// sample section per shard.
+    pub fn save<Out: Write>(&mut self, writer: Out) -> Result<(), PersistError> {
+        self.finish();
+        let (cfg, samplers, _) = self.parts();
+        let mut w = BufWriter::new(writer);
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "seed {}", cfg.seed)?;
+        writeln!(w, "shards {}", cfg.shards)?;
+        writeln!(w, "capacity {}", cfg.capacity)?;
+        for sampler in samplers {
+            persist::save(sampler, &mut w)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Saves to a file path. See [`ShardedGps::save`].
+    pub fn save_file<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<(), PersistError> {
+        self.save(std::fs::File::create(path)?)
+    }
+}
+
+/// Reads a saved engine from `reader`.
+pub fn load_engine<R: Read>(reader: R) -> Result<SavedEngine, PersistError> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let read_header =
+        |r: &mut BufReader<R>, line: &mut String, key: &str| -> Result<String, PersistError> {
+            line.clear();
+            r.read_line(line)?;
+            let trimmed = line.trim_end();
+            match trimmed.strip_prefix(key).and_then(|v| v.strip_prefix(' ')) {
+                Some(v) => Ok(v.to_string()),
+                None => Err(PersistError::Parse {
+                    line: 0,
+                    content: trimmed.chars().take(80).collect(),
+                }),
+            }
+        };
+
+    line.clear();
+    r.read_line(&mut line)?;
+    if line.trim_end() != MAGIC {
+        return Err(PersistError::BadHeader(line.trim_end().to_string()));
+    }
+    let parse_err = |line: &str| PersistError::Parse {
+        line: 0,
+        content: line.trim_end().chars().take(80).collect(),
+    };
+    let seed: u64 = read_header(&mut r, &mut line, "seed")?
+        .parse()
+        .map_err(|_| parse_err(&line))?;
+    let num_shards: usize = read_header(&mut r, &mut line, "shards")?
+        .parse()
+        .map_err(|_| parse_err(&line))?;
+    let capacity: usize = read_header(&mut r, &mut line, "capacity")?
+        .parse()
+        .map_err(|_| parse_err(&line))?;
+    // Sanity-bound before allocating: a corrupt header must surface as a
+    // PersistError, not a capacity-overflow panic. Every shard costs at
+    // least one OS thread on restore, so the bound loses nothing real.
+    const MAX_SHARDS: usize = 1 << 16;
+    if num_shards == 0 || num_shards > MAX_SHARDS {
+        return Err(parse_err(&format!("shards {num_shards}")));
+    }
+    let mut shards = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        shards.push(persist::load_section(&mut r)?);
+    }
+    // Validate the header/body consistency here, so corrupt files error at
+    // load time instead of panicking later in `into_engine`.
+    let total: usize = shards.iter().map(|s| s.capacity).sum();
+    if total != capacity {
+        return Err(parse_err(&format!(
+            "capacity {capacity} (shard budgets sum to {total})"
+        )));
+    }
+    Ok(SavedEngine {
+        seed,
+        capacity,
+        shards,
+    })
+}
+
+/// Loads from a file path. See [`load_engine`].
+pub fn load_engine_file<P: AsRef<std::path::Path>>(path: P) -> Result<SavedEngine, PersistError> {
+    load_engine(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::weights::{TriangleWeight, UniformWeight};
+    use gps_graph::types::Edge;
+
+    fn loaded_engine() -> ShardedGps<TriangleWeight> {
+        let mut engine = ShardedGps::new(24, TriangleWeight::default(), 9, 3);
+        let mut edges = vec![];
+        for base in 0..40u32 {
+            edges.push(Edge::new(base, base + 1));
+            edges.push(Edge::new(base, base + 2));
+            edges.push(Edge::new(base + 1, base + 2));
+        }
+        engine.push_stream(edges);
+        engine.finish();
+        engine
+    }
+
+    #[test]
+    fn round_trip_preserves_every_shard() {
+        let mut engine = loaded_engine();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let saved = load_engine(buf.as_slice()).unwrap();
+        assert_eq!(saved.seed, engine.seed());
+        assert_eq!(saved.capacity, engine.capacity());
+        assert_eq!(saved.shards.len(), engine.num_shards());
+        assert_eq!(saved.pushed(), engine.pushed());
+        for (section, sampler) in saved.shards.iter().zip(engine.samplers()) {
+            assert_eq!(section.records.len(), sampler.len());
+            assert_eq!(section.threshold, sampler.threshold());
+            assert_eq!(section.arrivals, sampler.arrivals());
+        }
+    }
+
+    #[test]
+    fn restored_engine_estimates_identically() {
+        let mut engine = loaded_engine();
+        let original = engine.estimate();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let mut restored = load_engine(buf.as_slice())
+            .unwrap()
+            .into_engine(UniformWeight, BackendKind::Compact);
+        let again = restored.estimate();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()));
+        assert!(close(original.triangles.value, again.triangles.value));
+        assert!(close(original.triangles.variance, again.triangles.variance));
+        assert!(close(original.wedges.value, again.wedges.value));
+        assert!(close(original.tri_wedge_cov, again.tri_wedge_cov));
+    }
+
+    #[test]
+    fn restored_engine_keeps_routing_consistently() {
+        let mut engine = loaded_engine();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let mut restored = load_engine(buf.as_slice())
+            .unwrap()
+            .into_engine(TriangleWeight::default(), BackendKind::Compact);
+        assert_eq!(restored.pushed(), engine.pushed());
+        // Re-push every edge the original engine sampled: all must be
+        // recognized as duplicates, which requires the rebuilt partition
+        // to route each edge back to the shard that holds it.
+        let sampled: Vec<Edge> = engine
+            .samplers()
+            .iter()
+            .flat_map(|s| s.edges().map(|se| se.edge).collect::<Vec<_>>())
+            .collect();
+        let expect = sampled.len() as u64;
+        restored.push_stream(sampled);
+        restored.finish();
+        let dups: u64 = restored.samplers().iter().map(|s| s.duplicates()).sum();
+        assert_eq!(dups, expect, "restored partition must match the original");
+    }
+
+    #[test]
+    fn rejects_garbage_input() {
+        assert!(matches!(
+            load_engine("nonsense".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+        assert!(matches!(
+            load_engine("gps-engine v1\nseed x\n".as_bytes()),
+            Err(PersistError::Parse { .. })
+        ));
+        // A corrupt shard count must error, not panic on pre-allocation.
+        let huge = format!("gps-engine v1\nseed 1\nshards {}\ncapacity 1\n", u64::MAX);
+        assert!(matches!(
+            load_engine(huge.as_bytes()),
+            Err(PersistError::Parse { .. })
+        ));
+        // Declares 2 shards but contains 1 section.
+        let mut engine = ShardedGps::new(4, UniformWeight, 1, 1);
+        engine.push(Edge::new(0, 1));
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("shards 1", "shards 2");
+        assert!(load_engine(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_capacity_inconsistent_with_shard_budgets() {
+        let mut engine = loaded_engine(); // total capacity 24
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        // The engine header is the first "capacity" line; the per-shard
+        // sections declare their own. Corrupt the header only.
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replacen("capacity 24", "capacity 99", 1);
+        match load_engine(text.as_bytes()) {
+            Err(PersistError::Parse { content, .. }) => {
+                assert!(content.contains("capacity 99"), "{content}");
+            }
+            other => panic!("expected capacity-mismatch Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut engine = loaded_engine();
+        let path = std::env::temp_dir().join("gps-engine-snapshot-test.sample");
+        engine.save_file(&path).unwrap();
+        let saved = load_engine_file(&path).unwrap();
+        assert_eq!(saved.shards.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,148 @@
+//! Statistical validation of cross-shard merging.
+//!
+//! The engine's estimate composes two layers of randomness: the seeded
+//! edge coloring (which subgraphs are monochromatic) and per-shard GPS
+//! sampling. Unbiasedness must hold over both jointly:
+//! `E[S²·Σ_shards N̂_i(△)] = N(△)` and `E[S·Σ_shards N̂_i(Λ)] = N(Λ)`.
+//! These tests drive the full engine — threads, batching, partition,
+//! merge — over many independent seeds on streams with exact ground
+//! truth, and compare the empirical mean to the truth. Tolerances follow
+//! the existing `gps-core` statistical suites: loose enough to keep flake
+//! probability negligible, tight enough to catch any wrong rescaling
+//! factor (the smallest wrong factor, S = 2 on wedges, is a 2× error).
+
+use gps_core::weights::TriangleWeight;
+use gps_engine::ShardedGps;
+use gps_graph::csr::CsrGraph;
+use gps_graph::exact;
+use gps_graph::types::Edge;
+use gps_stream::{gen, permuted};
+
+struct Truth {
+    triangles: f64,
+    wedges: f64,
+}
+
+fn ground_truth(edges: &[Edge]) -> Truth {
+    let g = CsrGraph::from_edges(edges);
+    Truth {
+        triangles: exact::triangle_count(&g) as f64,
+        wedges: exact::wedge_count(&g) as f64,
+    }
+}
+
+/// Mean sharded estimates over `runs` independent (coloring, sampling,
+/// stream-order) draws.
+fn mean_estimates(edges: &[Edge], capacity: usize, shards: usize, runs: u64) -> (f64, f64) {
+    let (mut tri_sum, mut wedge_sum) = (0.0, 0.0);
+    for run in 0..runs {
+        let stream = permuted(edges, 7_000 + run);
+        let mut engine = ShardedGps::new(capacity, TriangleWeight::default(), 100 + run, shards);
+        engine.push_stream(stream);
+        let est = engine.estimate();
+        tri_sum += est.triangles.value;
+        wedge_sum += est.wedges.value;
+    }
+    (tri_sum / runs as f64, wedge_sum / runs as f64)
+}
+
+#[test]
+fn sharded_estimates_are_unbiased_on_cliques_stream() {
+    // Overlapping-clique "collaboration" stream: triangle-rich, exact
+    // truth cheap. Reservoirs at 1/4 of the stream force evictions, so
+    // both HT normalization and the coloring correction are exercised.
+    let edges = gen::collaboration(500, 420, (3, 6), 0.5, 11);
+    let truth = ground_truth(&edges);
+    assert!(truth.triangles > 500.0, "stream must be triangle-rich");
+    let capacity = edges.len() / 4;
+    for shards in [2usize, 4] {
+        let runs = 48;
+        let (tri_mean, wedge_mean) = mean_estimates(&edges, capacity, shards, runs);
+        assert!(
+            (tri_mean - truth.triangles).abs() / truth.triangles < 0.10,
+            "S={shards}: triangle mean {tri_mean} vs truth {}",
+            truth.triangles
+        );
+        assert!(
+            (wedge_mean - truth.wedges).abs() / truth.wedges < 0.10,
+            "S={shards}: wedge mean {wedge_mean} vs truth {}",
+            truth.wedges
+        );
+    }
+}
+
+#[test]
+fn sharded_estimates_are_unbiased_on_er_stream() {
+    // Erdős–Rényi: low clustering, so triangles are scarce and dominated
+    // by the coloring variance — the regime where a wrong S² factor is
+    // most visible.
+    let edges = gen::erdos_renyi(400, 3_200, 23);
+    let truth = ground_truth(&edges);
+    assert!(truth.triangles > 200.0);
+    let capacity = edges.len() / 4;
+    for shards in [2usize, 4] {
+        let runs = 60;
+        let (tri_mean, wedge_mean) = mean_estimates(&edges, capacity, shards, runs);
+        assert!(
+            (tri_mean - truth.triangles).abs() / truth.triangles < 0.15,
+            "S={shards}: triangle mean {tri_mean} vs truth {}",
+            truth.triangles
+        );
+        assert!(
+            (wedge_mean - truth.wedges).abs() / truth.wedges < 0.10,
+            "S={shards}: wedge mean {wedge_mean} vs truth {}",
+            truth.wedges
+        );
+    }
+}
+
+#[test]
+fn full_retention_matches_exact_monochromatic_counts() {
+    // With capacity ≥ stream nothing is evicted: each shard's estimate is
+    // *exactly* its monochromatic subgraph count, so the only randomness
+    // left is the coloring. Check the merged estimate against the exact
+    // per-color counts computed independently from the partition.
+    let edges = gen::collaboration(200, 120, (3, 5), 0.4, 5);
+    let shards = 3usize;
+    // Every shard gets a budget covering the whole stream, so no shard can
+    // evict even under hash imbalance.
+    let mut engine = ShardedGps::new(shards * edges.len(), TriangleWeight::default(), 77, shards);
+    engine.push_stream(edges.iter().copied());
+    let est = engine.estimate();
+
+    let partitioner = *engine.partitioner();
+    let mut mono_tri = 0u64;
+    let g = CsrGraph::from_edges(&edges);
+    exact::for_each_triangle(&g, |a, b, c| {
+        let s1 = partitioner.shard_of(Edge::new(a, b));
+        let s2 = partitioner.shard_of(Edge::new(b, c));
+        let s3 = partitioner.shard_of(Edge::new(a, c));
+        if s1 == s2 && s2 == s3 {
+            mono_tri += 1;
+        }
+    });
+    let expect = (shards * shards) as f64 * mono_tri as f64;
+    assert!(
+        (est.triangles.value - expect).abs() < 1e-9 * (1.0 + expect),
+        "merged {} vs S²·monochromatic {}",
+        est.triangles.value,
+        expect
+    );
+    // Full retention ⇒ per-shard variance estimates are all exactly zero.
+    assert_eq!(est.triangles.variance, 0.0);
+    assert_eq!(est.wedges.variance, 0.0);
+}
+
+#[test]
+fn in_expectation_sharding_loses_no_mean_accuracy_vs_single_reservoir() {
+    // Sanity: the sharded mean and the S=1 mean converge to the same
+    // truth; a factor error in either path would separate them.
+    let edges = gen::collaboration(300, 200, (3, 5), 0.5, 9);
+    let truth = ground_truth(&edges);
+    let capacity = edges.len() / 4;
+    let runs = 40;
+    let (solo_tri, _) = mean_estimates(&edges, capacity, 1, runs);
+    let (sharded_tri, _) = mean_estimates(&edges, capacity, 4, runs);
+    assert!((solo_tri - truth.triangles).abs() / truth.triangles < 0.10);
+    assert!((sharded_tri - truth.triangles).abs() / truth.triangles < 0.12);
+}

@@ -182,12 +182,24 @@ impl<V: Copy> AdjacencyMap<V> {
         let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
             return;
         };
+        Self::intersect_maps(nu, nv, &mut f);
+    }
+
+    /// The intersection kernel shared by
+    /// [`AdjacencyMap::for_each_common_neighbor`] and
+    /// [`AdjacencyMap::for_each_completion`]: `f(w, value_uw, value_vw)`
+    /// per common key of `u`'s neighbor map `nu` and `v`'s `nv`, iterating
+    /// the smaller map and probing the larger.
+    fn intersect_maps<F>(nu: &FxHashMap<NodeId, V>, nv: &FxHashMap<NodeId, V>, f: &mut F)
+    where
+        F: FnMut(NodeId, V, V),
+    {
         let (small, large) = if nu.len() <= nv.len() {
             (nu, nv)
         } else {
             (nv, nu)
         };
-        let small_is_u = small.len() == nu.len() && std::ptr::eq(small, nu);
+        let small_is_u = std::ptr::eq(small, nu);
         for (&w, &val_small) in small {
             if let Some(&val_large) = large.get(&w) {
                 if small_is_u {
@@ -196,6 +208,41 @@ impl<V: Copy> AdjacencyMap<V> {
                     f(w, val_large, val_small);
                 }
             }
+        }
+    }
+
+    /// Fused completion walk (API parity with
+    /// `CompactAdjacency::for_each_completion`): one resolution per
+    /// endpoint, then `tri(w, value_uw, value_vw)` per common neighbor and
+    /// `wedge(value)` per edge incident to `u` excluding `(u, v)`, then per
+    /// edge incident to `v` likewise.
+    pub fn for_each_completion<FT, FW>(&self, u: NodeId, v: NodeId, mut tri: FT, mut wedge: FW)
+    where
+        FT: FnMut(NodeId, V, V),
+        FW: FnMut(V),
+    {
+        match (self.adj.get(&u), self.adj.get(&v)) {
+            (Some(nu), Some(nv)) => {
+                Self::intersect_maps(nu, nv, &mut tri);
+                for (&n, &val) in nu {
+                    if n != v {
+                        wedge(val);
+                    }
+                }
+                for (&n, &val) in nv {
+                    if n != u {
+                        wedge(val);
+                    }
+                }
+            }
+            // One endpoint absent: the edge (u, v) cannot be present, so no
+            // exclusion check is needed on the surviving list.
+            (Some(n), None) | (None, Some(n)) => {
+                for &val in n.values() {
+                    wedge(val);
+                }
+            }
+            (None, None) => {}
         }
     }
 

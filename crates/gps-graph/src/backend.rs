@@ -235,6 +235,25 @@ impl<V: Copy> AdjacencyBackend<V> {
         }
     }
 
+    /// Fused completion walk for the estimators: resolves each endpoint
+    /// once, then calls `tri(w, value_uw, value_vw)` per common neighbor of
+    /// `u` and `v` (same order as
+    /// [`AdjacencyBackend::for_each_common_neighbor`]) and `wedge(value)`
+    /// per edge incident to `u` excluding `(u, v)` itself, then per edge
+    /// incident to `v` likewise (same per-node order as
+    /// [`AdjacencyBackend::for_each_neighbor`]).
+    #[inline]
+    pub fn for_each_completion<FT, FW>(&self, u: NodeId, v: NodeId, tri: FT, wedge: FW)
+    where
+        FT: FnMut(NodeId, V, V),
+        FW: FnMut(V),
+    {
+        match self {
+            AdjacencyBackend::Compact(a) => a.for_each_completion(u, v, tri, wedge),
+            AdjacencyBackend::Map(a) => a.for_each_completion(u, v, tri, wedge),
+        }
+    }
+
     /// Number of common neighbors of `u` and `v`.
     #[inline]
     pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
@@ -329,6 +348,42 @@ mod tests {
             assert_eq!(b.remove(Edge::new(1, 2)), Some(10));
             b.clear();
             assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn completion_walk_matches_separate_walks() {
+        // for_each_completion must report exactly what the separate
+        // common-neighbor + incident walks (with self-exclusion) report,
+        // on both backends, for present/absent endpoint combinations.
+        for kind in [BackendKind::Compact, BackendKind::HashMap] {
+            let mut b: AdjacencyBackend<u32> = AdjacencyBackend::new_of_kind(kind);
+            b.insert(Edge::new(1, 2), 12);
+            b.insert(Edge::new(2, 3), 23);
+            b.insert(Edge::new(1, 3), 13);
+            b.insert(Edge::new(3, 4), 34);
+            for (u, v) in [(1, 2), (2, 1), (1, 4), (4, 5), (5, 6), (3, 9)] {
+                let (mut tri_a, mut wedge_a) = (vec![], vec![]);
+                b.for_each_completion(u, v, |w, x, y| tri_a.push((w, x, y)), |x| wedge_a.push(x));
+                let (mut tri_b, mut wedge_b) = (vec![], vec![]);
+                b.for_each_common_neighbor(u, v, |w, x, y| tri_b.push((w, x, y)));
+                b.for_each_neighbor(u, |n, x| {
+                    if n != v {
+                        wedge_b.push(x);
+                    }
+                });
+                b.for_each_neighbor(v, |n, x| {
+                    if n != u {
+                        wedge_b.push(x);
+                    }
+                });
+                tri_a.sort_unstable();
+                tri_b.sort_unstable();
+                wedge_a.sort_unstable();
+                wedge_b.sort_unstable();
+                assert_eq!(tri_a, tri_b, "{kind:?} common mismatch at ({u},{v})");
+                assert_eq!(wedge_a, wedge_b, "{kind:?} incident mismatch at ({u},{v})");
+            }
         }
     }
 

@@ -1,6 +1,5 @@
 //! Holme–Kim power-law graphs with tunable clustering.
 
-use super::EdgeAccumulator;
 use gps_graph::types::{Edge, NodeId};
 use gps_graph::{AdjacencyBackend, BackendKind};
 use rand::rngs::SmallRng;
@@ -16,11 +15,11 @@ use rand::{Rng, SeedableRng};
 /// global clustering coefficient while keeping the BA degree tail.
 ///
 /// The growing graph lives on the compact adjacency backend — the same
-/// substrate as the samplers it feeds; the triad step's uniform-neighbor
-/// draw is O(1) slice indexing instead of the O(degree) hash-map iteration
-/// used before the port. (Measured ~neutral on total generation time at
-/// bench scales: the dedup accumulator dominates, not the triad lookup —
-/// see ROADMAP.) Use [`holme_kim_with_backend`] to run on the nested-hash
+/// substrate as the samplers it feeds: the triad step's uniform-neighbor
+/// draw is O(1) slice indexing, and duplicate suppression is answered by
+/// the adjacency's own membership check on insert (no separate hash-set
+/// accumulator; the dedup predicate is identical, so seeded outputs are
+/// unchanged). Use [`holme_kim_with_backend`] to run on the nested-hash
 /// oracle instead.
 ///
 /// # Panics
@@ -58,18 +57,23 @@ pub fn holme_kim_with_backend(
     let mut rng = SmallRng::seed_from_u64(seed);
     let m0 = m_per_node + 1;
     let expected_edges = m0 * (m0 - 1) / 2 + (n as usize - m0) * m_per_node;
-    let mut acc = EdgeAccumulator::with_capacity(expected_edges);
+    let mut edges: Vec<Edge> = Vec::with_capacity(expected_edges);
     let mut graph: AdjacencyBackend<()> =
         AdjacencyBackend::with_capacity(backend, n as usize, expected_edges);
     let mut stubs: Vec<NodeId> = Vec::with_capacity(expected_edges * 2);
 
-    let add = |acc: &mut EdgeAccumulator,
+    // Dedup against the growing adjacency itself (ROADMAP generator-speed
+    // item): `insert` answers "was it new?" from the endpoint's own
+    // neighbor list, replacing the separate hash-set accumulator the other
+    // generators use. The membership predicate is identical, so seeded
+    // outputs are unchanged.
+    let add = |edges: &mut Vec<Edge>,
                graph: &mut AdjacencyBackend<()>,
                stubs: &mut Vec<NodeId>,
                e: Edge|
      -> bool {
-        if acc.push(e) {
-            graph.insert(e, ());
+        if graph.insert(e, ()).is_none() {
+            edges.push(e);
             stubs.push(e.u());
             stubs.push(e.v());
             true
@@ -80,7 +84,7 @@ pub fn holme_kim_with_backend(
 
     for a in 0..m0 as NodeId {
         for b in (a + 1)..m0 as NodeId {
-            add(&mut acc, &mut graph, &mut stubs, Edge::new(a, b));
+            add(&mut edges, &mut graph, &mut stubs, Edge::new(a, b));
         }
     }
 
@@ -109,13 +113,13 @@ pub fn holme_kim_with_backend(
                 continue;
             }
             let e = Edge::new(v, target);
-            if add(&mut acc, &mut graph, &mut stubs, e) {
+            if add(&mut edges, &mut graph, &mut stubs, e) {
                 added += 1;
                 last_attached = Some(target);
             }
         }
     }
-    acc.into_edges()
+    edges
 }
 
 #[cfg(test)]

@@ -28,4 +28,4 @@ pub mod stream;
 pub use corpus::{Workload, WorkloadSpec};
 pub use file_stream::EdgeFileStream;
 pub use permute::permuted;
-pub use stream::Checkpoints;
+pub use stream::{batched, Batched, Checkpoints};

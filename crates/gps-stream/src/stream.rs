@@ -81,6 +81,61 @@ impl Checkpoints {
     }
 }
 
+/// Groups an edge stream into fixed-size batches — the feed unit of
+/// `gps-engine`'s sharded ingest (one channel send per batch amortizes
+/// synchronization over `size` edges). The final batch holds the
+/// remainder and may be shorter; no batch is empty.
+///
+/// ```
+/// use gps_graph::Edge;
+/// use gps_stream::batched;
+///
+/// let edges: Vec<Edge> = (0..10).map(|i| Edge::new(i, i + 1)).collect();
+/// let batches: Vec<Vec<Edge>> = batched(edges, 4).collect();
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches[0].len(), 4);
+/// assert_eq!(batches[2].len(), 2);
+/// ```
+///
+/// # Panics
+/// Panics if `size == 0`.
+pub fn batched<I>(edges: I, size: usize) -> Batched<I::IntoIter>
+where
+    I: IntoIterator<Item = Edge>,
+{
+    assert!(size > 0, "batch size must be positive");
+    Batched {
+        inner: edges.into_iter(),
+        size,
+    }
+}
+
+/// Iterator returned by [`batched`].
+#[derive(Clone, Debug)]
+pub struct Batched<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator<Item = Edge>> Iterator for Batched<I> {
+    type Item = Vec<Edge>;
+
+    fn next(&mut self) -> Option<Vec<Edge>> {
+        let mut batch = Vec::with_capacity(self.size);
+        while batch.len() < self.size {
+            match self.inner.next() {
+                Some(e) => batch.push(e),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
 /// Counts edges and distinct nodes flowing through a stream, without
 /// buffering it. Wrap any edge iterator to get stream-side statistics.
 #[derive(Debug, Default)]
@@ -157,6 +212,26 @@ mod tests {
         let mut fired = vec![];
         c.drive(edges, |_| {}, |t| fired.push(t));
         assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn batched_covers_the_stream_in_order() {
+        let edges: Vec<Edge> = (0..23).map(|i| Edge::new(i, i + 1)).collect();
+        let batches: Vec<Vec<Edge>> = batched(edges.clone(), 5).collect();
+        assert_eq!(batches.len(), 5);
+        assert!(batches[..4].iter().all(|b| b.len() == 5));
+        assert_eq!(batches[4].len(), 3);
+        let flat: Vec<Edge> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, edges, "batching must preserve stream order");
+        // Exact multiple: no trailing empty batch.
+        assert_eq!(batched(edges, 23).count(), 1);
+        assert_eq!(batched(Vec::<Edge>::new(), 4).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn batched_rejects_zero_size() {
+        let _ = batched(Vec::<Edge>::new(), 0);
     }
 
     #[test]

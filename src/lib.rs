@@ -26,6 +26,7 @@
 //! | [`graph`] | node/edge types, adjacency & CSR storage, exact triangle/wedge counting, incremental counters, edge-list I/O |
 //! | [`stream`] | seeded permutations, checkpoint scheduling, synthetic workload generators, the evaluation corpus |
 //! | [`baselines`] | TRIEST / TRIEST-IMPR, MASCOT(-C), NSAMP(+bulk), JHA wedge sampling, uniform reservoir — store-based ones on the shared adjacency-backend substrate |
+//! | [`engine`] | `ShardedGps`: hash-partitioned multi-threaded ingest over `S` independent reservoirs, unbiased cross-shard estimate merging, composed snapshots |
 //! | [`stats`] | running moments, ARE/MARE metrics, table rendering |
 //!
 //! `docs/paper-map.md` in the repository maps the paper's algorithms and
@@ -56,6 +57,7 @@
 
 pub use gps_baselines as baselines;
 pub use gps_core as core;
+pub use gps_engine as engine;
 pub use gps_graph as graph;
 pub use gps_stats as stats;
 pub use gps_stream as stream;
@@ -68,8 +70,9 @@ pub mod prelude {
         self, persist, post_stream, Arrival, Estimate, GpsSampler, InStreamEstimator, MotifCounter,
         TriadEstimates, TriadWeight, TriangleWeight, UniformWeight, WedgeWeight,
     };
+    pub use gps_engine::{self, EngineConfig, ShardedGps};
     pub use gps_graph::{self, CsrGraph, Edge, IncrementalCounter, NodeId};
-    pub use gps_stream::{self, permuted, Checkpoints};
+    pub use gps_stream::{self, batched, permuted, Checkpoints};
 }
 
 #[cfg(test)]
