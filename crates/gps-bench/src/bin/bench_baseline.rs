@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
-//!                [--baselines] [--engine] [--check PATH [--min-ratio R]]
+//!                [--baselines] [--engine] [--serve]
+//!                [--check PATH [--min-ratio R]]
 //! ```
 //!
 //! - `--quick`: reduced streams and capacities (CI smoke scale).
@@ -18,6 +19,9 @@
 //! - `--engine`: additionally measure the `gps-engine` sharded ingest at
 //!   S ∈ {1, 2, 4, 8} shards and include the scaling grid in the output
 //!   document (`engine` section; schema stays v1-compatible).
+//! - `--serve`: additionally measure `gps-serve` live-serving ingest at
+//!   0/1/4 concurrent reader threads, with epoch staleness (`serve`
+//!   section; schema stays v1-compatible).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -25,7 +29,9 @@
 //!   >2× regression trips it).
 
 use gps_bench::json::{self, Value};
-use gps_bench::perf::{self, BaselineResult, EngineResult, PerfConfig, ScenarioResult};
+use gps_bench::perf::{
+    self, BaselineResult, EngineResult, PerfConfig, ScenarioResult, ServeResult,
+};
 use std::process::{Command, ExitCode};
 
 struct Args {
@@ -35,6 +41,7 @@ struct Args {
     min_ratio: f64,
     baselines: bool,
     engine: bool,
+    serve: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         min_ratio: 0.5,
         baselines: false,
         engine: false,
+        serve: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => args.cfg.quick = true,
             "--baselines" => args.baselines = true,
             "--engine" => args.engine = true,
+            "--serve" => args.serve = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -73,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
-                     [--baselines] [--engine] [--check PATH [--min-ratio R]]"
+                     [--baselines] [--engine] [--serve] [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -116,6 +125,21 @@ fn print_engine(r: &EngineResult) {
         r.measurement.edges_per_sec / 1e6,
         r.shards,
         if r.shards == 1 { "" } else { "s" },
+    );
+}
+
+fn print_serve(r: &ServeResult) {
+    println!(
+        "{:<34} {:>9} edges  ingest  {:>8.1} ns/e ({:>7.3} Me/s)  [{} reader{}, {} reads, lag mean {:.0} max {}]",
+        r.scenario,
+        r.edges,
+        r.measurement.ns_per_edge,
+        r.measurement.edges_per_sec / 1e6,
+        r.readers,
+        if r.readers == 1 { "" } else { "s" },
+        r.reads,
+        r.staleness_mean_edges,
+        r.staleness_max_edges,
     );
 }
 
@@ -235,6 +259,11 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    let serve = if args.serve && args.check.is_none() {
+        perf::run_serve(&args.cfg, print_serve)
+    } else {
+        Vec::new()
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -252,7 +281,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines, &engine);
+    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines, &engine, &serve);
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
         eprintln!("bench_baseline: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -2,7 +2,12 @@
 //! triangle counts, wedge counts and global clustering with 95% bounds, on
 //! the 11 Table-1 workloads.
 //!
-//! Usage: `cargo run -p gps-bench --release --bin table1 [--scale S] [--seed N] [--out DIR]`
+//! Usage: `cargo run -p gps-bench --release --bin table1 [--scale S] [--seed N] [--out DIR] [--shards N]`
+//!
+//! With `--shards N > 1` (default 4) every graph gains `<graph>@SN` rows
+//! from the sharded `gps-engine` run at the same total budget — the
+//! accuracy side of the sharding tradeoff; pass `--shards 1` for the
+//! single-reservoir table only.
 
 use gps_bench::config::Config;
 use gps_bench::experiments;
@@ -11,10 +16,11 @@ fn main() {
     let cfg = Config::from_env();
     let runs = 5;
     eprintln!(
-        "table1: scale={} seed={} m={} runs={runs}",
+        "table1: scale={} seed={} m={} runs={runs} shards={}",
         cfg.scale,
         cfg.seed,
-        experiments::table1_capacity(&cfg)
+        experiments::table1_capacity(&cfg),
+        cfg.shards
     );
     let table = experiments::table1(&cfg, runs);
     experiments::emit(

@@ -2,7 +2,11 @@
 //! triangle estimates tracked across the stream, for TRIEST, TRIEST-IMPR,
 //! GPS post-stream and GPS in-stream.
 //!
-//! Usage: `cargo run -p gps-bench --release --bin table3 [--scale S] [--seed N] [--out DIR]`
+//! Usage: `cargo run -p gps-bench --release --bin table3 [--scale S] [--seed N] [--out DIR] [--shards N]`
+//!
+//! With `--shards N > 1` (default 4) a `GPS ENGINE(N) IN-STREAM` tracking
+//! arm rides along (deterministic mirror of the sharded engine at the same
+//! total budget); pass `--shards 1` for the paper's four methods only.
 
 use gps_bench::config::Config;
 use gps_bench::experiments;
@@ -11,10 +15,11 @@ fn main() {
     let cfg = Config::from_env();
     let (runs, checkpoints) = (3, 40);
     eprintln!(
-        "table3: scale={} seed={} m={} runs={runs} checkpoints={checkpoints}",
+        "table3: scale={} seed={} m={} runs={runs} checkpoints={checkpoints} shards={}",
         cfg.scale,
         cfg.seed,
-        experiments::table3_capacity(&cfg)
+        experiments::table3_capacity(&cfg),
+        cfg.shards
     );
     let table = experiments::table3(&cfg, runs, checkpoints);
     experiments::emit(

@@ -17,9 +17,10 @@ use gps_stats::{format, metrics, ErrorSeries, Running, Table};
 use gps_stream::corpus::{self, WorkloadSpec};
 use gps_stream::{permuted, Checkpoints};
 
-use crate::adapters::{GpsInStream, GpsPost};
+use crate::adapters::{GpsInStream, GpsPost, ShardedInStream};
 use crate::config::Config;
 use crate::truth::GroundTruth;
+use gps_engine::{EngineConfig, ShardedGps};
 
 /// Reservoir capacity used by Table 1 (the paper's 200K edges, scaled to our
 /// workload sizes: ≈8% of a 250K-edge graph).
@@ -68,15 +69,103 @@ fn run_gps_pair(
     }
 }
 
+/// One full sharded-engine pass (the real `ShardedGps`, worker threads and
+/// all, in in-stream estimating mode): merged in-stream and post-stream
+/// estimates from the same sharded samples, with the honest `S > 1`
+/// variance decomposition behind both CI columns.
+fn run_engine_pair(
+    edges: &[Edge],
+    m: usize,
+    stream_seed: u64,
+    engine_seed: u64,
+    backend: BackendKind,
+    shards: usize,
+) -> GpsPair {
+    let stream = permuted(edges, stream_seed);
+    let mut cfg = EngineConfig::new(m, shards, engine_seed);
+    cfg.backend = backend;
+    let mut engine = ShardedGps::with_estimation(cfg, TriangleWeight::default(), None);
+    engine.push_stream(stream);
+    GpsPair {
+        in_stream: engine.estimate_in_stream(),
+        post: engine.estimate(),
+    }
+}
+
 struct GpsPair {
     in_stream: TriadEstimates,
     post: TriadEstimates,
+}
+
+/// Aggregates `runs` estimate pairs for one workload and emits its three
+/// Table-1 rows (triangles / wedges / clustering) under `graph_label`.
+fn table1_rows(
+    table: &mut Table,
+    graph_label: &str,
+    edges_len: usize,
+    truth: &GroundTruth,
+    m: usize,
+    runs: u64,
+    mut pair_of: impl FnMut(u64) -> GpsPair,
+) {
+    let mut agg = [[Running::new(); 6]; 3]; // [stat][value, lb, ub in/post...]
+    for r in 0..runs {
+        let pair = pair_of(r);
+        for (idx, (est_in, est_post)) in [
+            (pair.in_stream.triangles, pair.post.triangles),
+            (pair.in_stream.wedges, pair.post.wedges),
+            (pair.in_stream.clustering, pair.post.clustering),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (lb_i, ub_i) = est_in.ci95();
+            let (lb_p, ub_p) = est_post.ci95();
+            agg[idx][0].push(est_in.value);
+            agg[idx][1].push(lb_i);
+            agg[idx][2].push(ub_i);
+            agg[idx][3].push(est_post.value);
+            agg[idx][4].push(lb_p);
+            agg[idx][5].push(ub_p);
+        }
+    }
+    let actuals = [truth.triangles, truth.wedges, truth.clustering];
+    for (idx, stat) in ["TRIANGLES", "WEDGES", "CC"].iter().enumerate() {
+        let a = actuals[idx];
+        let fmt = |x: f64| {
+            if idx == 2 {
+                format!("{x:.4}")
+            } else {
+                format::si(x)
+            }
+        };
+        table.row([
+            stat.to_string(),
+            graph_label.to_string(),
+            format::si(edges_len as f64),
+            format!("{:.4}", m as f64 / edges_len as f64),
+            fmt(a),
+            fmt(agg[idx][0].mean()),
+            format!("{:.4}", metrics::are(agg[idx][0].mean(), a)),
+            fmt(agg[idx][1].mean()),
+            fmt(agg[idx][2].mean()),
+            fmt(agg[idx][3].mean()),
+            format!("{:.4}", metrics::are(agg[idx][3].mean(), a)),
+            fmt(agg[idx][4].mean()),
+            fmt(agg[idx][5].mean()),
+        ]);
+    }
 }
 
 /// Paper **Table 1**: triangle / wedge / clustering estimates with ARE and
 /// 95% bounds, GPS in-stream vs GPS post-stream on identical samples, for
 /// the 11 Table-1 graphs. Estimates are averaged over `runs` independent
 /// stream permutations + samples; bounds are averaged as well.
+///
+/// With `--shards S > 1` every graph gains a second set of rows
+/// (`<graph>@S<S>`) from the sharded engine at the **same total budget** —
+/// the accuracy half of the accuracy-vs-throughput tradeoff, end to end
+/// through the real `ShardedGps` (threads, partition, honest-CI merge).
 pub fn table1(cfg: &Config, runs: u64) -> Table {
     let m = table1_capacity(cfg);
     let mut table = Table::new([
@@ -97,58 +186,27 @@ pub fn table1(cfg: &Config, runs: u64) -> Table {
     for spec in corpus::table1() {
         let edges = build(&spec, cfg);
         let truth = GroundTruth::of(&edges);
-        let mut agg = [[Running::new(); 6]; 3]; // [stat][value, lb, ub in/post...]
-        for r in 0..runs {
-            let pair = run_gps_pair(
+        table1_rows(&mut table, spec.name, edges.len(), &truth, m, runs, |r| {
+            run_gps_pair(
                 &edges,
                 m,
                 cfg.sub_seed(&format!("t1-stream-{}-{r}", spec.name)),
                 cfg.sub_seed(&format!("t1-sampler-{}-{r}", spec.name)),
                 cfg.backend,
-            );
-            for (idx, (est_in, est_post)) in [
-                (pair.in_stream.triangles, pair.post.triangles),
-                (pair.in_stream.wedges, pair.post.wedges),
-                (pair.in_stream.clustering, pair.post.clustering),
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let (lb_i, ub_i) = est_in.ci95();
-                let (lb_p, ub_p) = est_post.ci95();
-                agg[idx][0].push(est_in.value);
-                agg[idx][1].push(lb_i);
-                agg[idx][2].push(ub_i);
-                agg[idx][3].push(est_post.value);
-                agg[idx][4].push(lb_p);
-                agg[idx][5].push(ub_p);
-            }
-        }
-        let actuals = [truth.triangles, truth.wedges, truth.clustering];
-        for (idx, stat) in ["TRIANGLES", "WEDGES", "CC"].iter().enumerate() {
-            let a = actuals[idx];
-            let fmt = |x: f64| {
-                if idx == 2 {
-                    format!("{x:.4}")
-                } else {
-                    format::si(x)
-                }
-            };
-            table.row([
-                stat.to_string(),
-                spec.name.to_string(),
-                format::si(edges.len() as f64),
-                format!("{:.4}", m as f64 / edges.len() as f64),
-                fmt(a),
-                fmt(agg[idx][0].mean()),
-                format!("{:.4}", metrics::are(agg[idx][0].mean(), a)),
-                fmt(agg[idx][1].mean()),
-                fmt(agg[idx][2].mean()),
-                fmt(agg[idx][3].mean()),
-                format!("{:.4}", metrics::are(agg[idx][3].mean(), a)),
-                fmt(agg[idx][4].mean()),
-                fmt(agg[idx][5].mean()),
-            ]);
+            )
+        });
+        if cfg.shards > 1 {
+            let label = format!("{}@S{}", spec.name, cfg.shards);
+            table1_rows(&mut table, &label, edges.len(), &truth, m, runs, |r| {
+                run_engine_pair(
+                    &edges,
+                    m,
+                    cfg.sub_seed(&format!("t1-stream-{}-{r}", spec.name)),
+                    cfg.sub_seed(&format!("t1-engine-{}-{r}", spec.name)),
+                    cfg.backend,
+                    cfg.shards,
+                )
+            });
         }
     }
     table
@@ -221,12 +279,22 @@ pub fn table2(cfg: &Config, runs: u64) -> Table {
 /// Paper **Table 3**: tracking error of triangle estimates over the stream —
 /// Max ARE and MARE across checkpoints, for TRIEST, TRIEST-IMPR, GPS post
 /// and GPS in-stream, averaged over `runs`.
+///
+/// With `--shards S > 1` a `GPS ENGINE(S) IN-STREAM` arm rides along: the
+/// deterministic single-threaded mirror of the sharded engine
+/// ([`ShardedInStream`], bit-identical estimates to `ShardedGps` on the
+/// same config), queryable at every checkpoint — the tracking-accuracy
+/// half of the sharding tradeoff at the same total budget.
 pub fn table3(cfg: &Config, runs: u64, checkpoints: usize) -> Table {
     let m = table3_capacity(cfg);
     let mut table = Table::new(["graph", "method", "MaxARE", "MARE"]);
+    let engine_label = format!("GPS ENGINE({}) IN-STREAM", cfg.shards);
     for spec in corpus::table3() {
         let edges = build(&spec, cfg);
-        let names = ["TRIEST", "TRIEST-IMPR", "GPS POST", "GPS IN-STREAM"];
+        let mut names = vec!["TRIEST", "TRIEST-IMPR", "GPS POST", "GPS IN-STREAM"];
+        if cfg.shards > 1 {
+            names.push(&engine_label);
+        }
         let mut series: Vec<ErrorSeries> = vec![ErrorSeries::new(); names.len()];
         for r in 0..runs {
             let stream = permuted(
@@ -240,6 +308,14 @@ pub fn table3(cfg: &Config, runs: u64, checkpoints: usize) -> Table {
                 Box::new(GpsPost::with_backend(m, seed, cfg.backend)),
                 Box::new(GpsInStream::with_backend(m, seed, cfg.backend)),
             ];
+            if cfg.shards > 1 {
+                methods.push(Box::new(ShardedInStream::with_backend(
+                    m,
+                    seed,
+                    cfg.shards,
+                    cfg.backend,
+                )));
+            }
             let actual = std::cell::RefCell::new(IncrementalCounter::new());
             let cps = Checkpoints::linear(stream.len(), checkpoints);
             let run_series = std::cell::RefCell::new(vec![ErrorSeries::new(); methods.len()]);
@@ -551,8 +627,21 @@ mod tests {
 
     #[test]
     fn table1_has_three_stats_per_graph() {
-        let t = table1(&tiny_cfg(), 1);
+        let solo = Config {
+            shards: 1,
+            ..tiny_cfg()
+        };
+        let t = table1(&solo, 1);
         assert_eq!(t.len(), 11 * 3);
+    }
+
+    #[test]
+    fn table1_gains_engine_rows_when_sharded() {
+        // tiny_cfg has shards = 2: every graph gets a second row set from
+        // the real sharded engine at the same total budget.
+        let t = table1(&tiny_cfg(), 1);
+        assert_eq!(t.len(), 11 * 3 * 2);
+        assert!(t.to_tsv().contains("@S2"));
     }
 
     #[test]
@@ -592,8 +681,19 @@ mod tests {
 
     #[test]
     fn table3_reports_four_methods_per_graph() {
-        let t = table3(&tiny_cfg(), 1, 10);
+        let solo = Config {
+            shards: 1,
+            ..tiny_cfg()
+        };
+        let t = table3(&solo, 1, 10);
         assert_eq!(t.len(), 4 * 4);
+    }
+
+    #[test]
+    fn table3_gains_sharded_tracking_arm_when_sharded() {
+        let t = table3(&tiny_cfg(), 1, 10);
+        assert_eq!(t.len(), 4 * 5);
+        assert!(t.to_tsv().contains("GPS ENGINE(2) IN-STREAM"));
     }
 
     #[test]

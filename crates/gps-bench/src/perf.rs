@@ -29,7 +29,10 @@ use gps_core::GpsSampler;
 use gps_engine::ShardedGps;
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
+use gps_serve::ServeEngine;
 use gps_stream::{gen, permuted};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Weight functions covered by the baseline (brackets the per-edge cost:
@@ -456,6 +459,137 @@ pub fn run_engine(cfg: &PerfConfig, mut progress: impl FnMut(&EngineResult)) -> 
     results
 }
 
+/// Concurrent reader counts measured by the serving grid (the acceptance
+/// axis: ingest rate at 0 / 1 / 4 readers hammering `latest()`).
+pub const SERVE_READERS: [usize; 3] = [0, 1, 4];
+
+/// Shard count of the serving scenario.
+pub const SERVE_SHARDS: usize = 4;
+
+/// One reader count of the serving scenario: full-stream ingest through
+/// `gps-serve`'s `ServeEngine` (in-stream estimation in every worker,
+/// epoch publication on) while `readers` threads hammer
+/// `QueryHandle::latest()` in a loop.
+#[derive(Clone, Debug)]
+pub struct ServeResult {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Stable machine-readable name, e.g.
+    /// `serve/holme_kim/triangle/m16000/s4/r4`.
+    pub scenario: String,
+    /// Total reservoir budget `m` (split across [`SERVE_SHARDS`]).
+    pub capacity: usize,
+    /// Edges in the stream (arrivals pushed per run).
+    pub edges: usize,
+    /// Best-of-iters ingest numbers (push + finish, epochs publishing).
+    pub measurement: Measurement,
+    /// Total successful `latest()` reads across all readers (best run).
+    pub reads: u64,
+    /// Mean watermark lag `pushed − epoch.edges_seen` sampled during
+    /// ingest (best run), in edges — the epoch staleness bound in action.
+    pub staleness_mean_edges: f64,
+    /// Maximum sampled watermark lag (best run), in edges.
+    pub staleness_max_edges: u64,
+}
+
+struct ServeRun {
+    elapsed: u128,
+    reads: u64,
+    staleness_mean: f64,
+    staleness_max: u64,
+}
+
+fn time_serve_once(
+    edges: &[Edge],
+    capacity: usize,
+    shards: usize,
+    seed: u64,
+    readers: usize,
+) -> ServeRun {
+    let mut serve = ServeEngine::new(capacity, TriangleWeight::default(), seed, shards);
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let handle = serve.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if handle.latest().is_some() {
+                        reads += 1;
+                    }
+                    // A real reader does work between queries; without
+                    // this, spinning readers on few cores starve ingest
+                    // and the axis measures the scheduler, not the cell.
+                    std::thread::yield_now();
+                }
+                reads
+            })
+        })
+        .collect();
+    let probe = serve.handle();
+    let mut lag_sum = 0u128;
+    let mut lag_samples = 0u64;
+    let mut lag_max = 0u64;
+    let start = Instant::now();
+    for (i, chunk) in edges.chunks(1024).enumerate() {
+        serve.push_batch(chunk);
+        if i % 16 == 0 {
+            let watermark = probe.latest().map_or(0, |e| e.edges_seen);
+            let lag = serve.pushed().saturating_sub(watermark);
+            lag_sum += lag as u128;
+            lag_samples += 1;
+            lag_max = lag_max.max(lag);
+        }
+    }
+    serve.finish();
+    let elapsed = start.elapsed().as_nanos();
+    stop.store(true, Ordering::Relaxed);
+    let reads = reader_handles.into_iter().map(|r| r.join().unwrap()).sum();
+    std::hint::black_box(probe.latest());
+    ServeRun {
+        elapsed,
+        reads,
+        staleness_mean: lag_sum as f64 / lag_samples.max(1) as f64,
+        staleness_max: lag_max,
+    }
+}
+
+/// Measures live-serving ingest at `readers ∈` [`SERVE_READERS`] concurrent
+/// query threads on the triangle-weight Holme–Kim scenario ([`SERVE_SHARDS`]
+/// shards, fixed total budget): the `r0` arm prices in-stream estimation +
+/// epoch publication against the plain engine, the `r1`/`r4` arms price
+/// concurrent readers (which, by design, ingest should barely notice — the
+/// read path never touches a lock the workers hold).
+pub fn run_serve(cfg: &PerfConfig, mut progress: impl FnMut(&ServeResult)) -> Vec<ServeResult> {
+    let edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    let m = engine_capacity(cfg.quick);
+    let mut results = Vec::new();
+    for readers in SERVE_READERS {
+        let mut best: Option<ServeRun> = None;
+        for _ in 0..cfg.iters.max(1) {
+            let run = time_serve_once(&edges, m, SERVE_SHARDS, cfg.seed, readers);
+            if best.as_ref().is_none_or(|b| run.elapsed < b.elapsed) {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one iteration");
+        let result = ServeResult {
+            readers,
+            scenario: format!("serve/holme_kim/triangle/m{m}/s{SERVE_SHARDS}/r{readers}"),
+            capacity: m,
+            edges: edges.len(),
+            measurement: to_measurement(best.elapsed, edges.len()),
+            reads: best.reads,
+            staleness_mean_edges: round2(best.staleness_mean),
+            staleness_max_edges: best.staleness_max,
+        };
+        progress(&result);
+        results.push(result);
+    }
+    results
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -472,16 +606,18 @@ fn round2(x: f64) -> f64 {
 pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
 
 /// Builds the machine-readable baseline document. `baselines` (the ported
-/// `gps-baselines` grid from [`run_baselines`]) and `engine` (the sharded
-/// scaling grid from [`run_engine`]) are optional: when empty the
-/// `baseline_samplers` / `engine` keys are omitted, keeping documents
-/// produced before those grids valid under the same schema.
+/// `gps-baselines` grid from [`run_baselines`]), `engine` (the sharded
+/// scaling grid from [`run_engine`]) and `serve` (the live-serving grid
+/// from [`run_serve`]) are optional: when empty the `baseline_samplers` /
+/// `engine` / `serve` keys are omitted, keeping documents produced before
+/// those grids valid under the same schema.
 pub fn results_json(
     cfg: &PerfConfig,
     git_rev: &str,
     results: &[ScenarioResult],
     baselines: &[BaselineResult],
     engine: &[EngineResult],
+    serve: &[ServeResult],
 ) -> Value {
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
@@ -579,6 +715,61 @@ pub fn results_json(
             ]),
         ));
     }
+    if !serve.is_empty() {
+        let r0_rate = serve
+            .iter()
+            .find(|r| r.readers == 0)
+            .map(|r| r.measurement.edges_per_sec);
+        fields.push((
+            "serve",
+            Value::object(vec![
+                ("stream", Value::String("holme_kim".into())),
+                ("weight", Value::String("triangle".into())),
+                ("capacity", Value::Number(serve[0].capacity as f64)),
+                ("shards", Value::Number(SERVE_SHARDS as f64)),
+                ("edges", Value::Number(serve[0].edges as f64)),
+                (
+                    "readers",
+                    Value::Array(
+                        serve
+                            .iter()
+                            .map(|r| {
+                                let mut entry = vec![
+                                    ("name", Value::String(r.scenario.clone())),
+                                    ("readers", Value::Number(r.readers as f64)),
+                                    ("elapsed_ns", Value::Number(r.measurement.elapsed_ns as f64)),
+                                    (
+                                        "ns_per_edge",
+                                        Value::Number(round2(r.measurement.ns_per_edge)),
+                                    ),
+                                    (
+                                        "edges_per_sec",
+                                        Value::Number(round2(r.measurement.edges_per_sec)),
+                                    ),
+                                    ("reads", Value::Number(r.reads as f64)),
+                                    (
+                                        "staleness_mean_edges",
+                                        Value::Number(r.staleness_mean_edges),
+                                    ),
+                                    (
+                                        "staleness_max_edges",
+                                        Value::Number(r.staleness_max_edges as f64),
+                                    ),
+                                ];
+                                if let Some(r0) = r0_rate {
+                                    entry.push((
+                                        "rate_vs_r0",
+                                        Value::Number(round2(r.measurement.edges_per_sec / r0)),
+                                    ));
+                                }
+                                Value::object(entry)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     Value::object(fields)
 }
 
@@ -661,6 +852,50 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
             _ => problems.push("engine section missing 'shards' entries".into()),
         }
     }
+    // Optional section (absent in documents predating gps-serve): the
+    // live-serving grid — ingest under concurrent readers plus staleness.
+    if let Some(serve) = doc.get("serve") {
+        for field in ["stream", "weight", "capacity", "shards", "edges"] {
+            if serve.get(field).is_none() {
+                problems.push(format!("serve section missing '{field}'"));
+            }
+        }
+        match serve.get("readers").and_then(Value::as_array) {
+            Some(entries) if !entries.is_empty() => {
+                for (i, entry) in entries.iter().enumerate() {
+                    if entry.get("name").is_none() {
+                        problems.push(format!("serve entry {i} missing 'name'"));
+                    }
+                    // Counters that may legitimately be zero (r0 has no
+                    // reads; a fast quick run may sample zero lag).
+                    for field in [
+                        "readers",
+                        "reads",
+                        "staleness_mean_edges",
+                        "staleness_max_edges",
+                    ] {
+                        match entry.get_f64(field) {
+                            Some(x) if x >= 0.0 => {}
+                            Some(_) => {
+                                problems.push(format!("serve entry {i} {field} is negative"))
+                            }
+                            None => problems.push(format!("serve entry {i} missing '{field}'")),
+                        }
+                    }
+                    for field in ["elapsed_ns", "ns_per_edge", "edges_per_sec"] {
+                        match entry.get_f64(field) {
+                            Some(x) if x > 0.0 => {}
+                            Some(_) => {
+                                problems.push(format!("serve entry {i} {field} is not positive"))
+                            }
+                            None => problems.push(format!("serve entry {i} missing '{field}'")),
+                        }
+                    }
+                }
+            }
+            _ => problems.push("serve section missing 'readers' entries".into()),
+        }
+    }
     problems
 }
 
@@ -730,9 +965,17 @@ mod tests {
             hashmap,
         };
         // Without the optional sections (the committed-file shape)…
-        let doc = results_json(&cfg, "deadbeef", std::slice::from_ref(&result), &[], &[]);
+        let doc = results_json(
+            &cfg,
+            "deadbeef",
+            std::slice::from_ref(&result),
+            &[],
+            &[],
+            &[],
+        );
         assert!(doc.get("baseline_samplers").is_none());
         assert!(doc.get("engine").is_none());
+        assert!(doc.get("serve").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -754,7 +997,19 @@ mod tests {
                 measurement: compact,
             })
             .to_vec();
-        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline], &engine);
+        let serve = SERVE_READERS
+            .map(|readers| ServeResult {
+                readers,
+                scenario: format!("serve/holme_kim/triangle/m128/s4/r{readers}"),
+                capacity: 128,
+                edges: edges.len(),
+                measurement: compact,
+                reads: if readers == 0 { 0 } else { 17 },
+                staleness_mean_edges: 12.5,
+                staleness_max_edges: 99,
+            })
+            .to_vec();
+        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline], &engine, &serve);
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -765,6 +1020,32 @@ mod tests {
             .expect("engine section present");
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].get_f64("speedup_vs_s1"), Some(1.0));
+        let readers = parsed
+            .get("serve")
+            .and_then(|s| s.get("readers"))
+            .and_then(Value::as_array)
+            .expect("serve section present");
+        assert_eq!(readers.len(), SERVE_READERS.len());
+        assert_eq!(readers[0].get_f64("reads"), Some(0.0));
+        assert_eq!(readers[0].get_f64("rate_vs_r0"), Some(1.0));
+    }
+
+    #[test]
+    fn serve_grid_measures_every_reader_count() {
+        let cfg = tiny_cfg();
+        let mut seen = 0;
+        let results = run_serve(&cfg, |_| seen += 1);
+        assert_eq!(results.len(), SERVE_READERS.len());
+        assert_eq!(seen, SERVE_READERS.len());
+        for (r, readers) in results.iter().zip(SERVE_READERS) {
+            assert_eq!(r.readers, readers);
+            assert!(r.measurement.edges_per_sec > 0.0);
+            assert!(r.scenario.starts_with("serve/"));
+            assert!(r.staleness_mean_edges >= 0.0);
+            if readers == 0 {
+                assert_eq!(r.reads, 0, "no readers, no reads");
+            }
+        }
     }
 
     #[test]
@@ -822,6 +1103,27 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("baseline 0 missing 'method'")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [],
+                "serve": {"stream": "holme_kim",
+                          "readers": [{"readers": -1, "elapsed_ns": 5}]}}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("serve section missing 'shards'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("serve entry 0 readers is negative")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("serve entry 0 missing 'reads'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("serve entry 0 missing 'edges_per_sec'")));
 
         let doc = json::parse(
             r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",

@@ -134,6 +134,85 @@ impl TriadEstimates {
                 });
         TriadEstimates::from_parts(triangles, wedges, cov)
     }
+
+    /// Merges per-color estimates from an `S`-way random edge coloring (one
+    /// entry per color, e.g. one per `gps-engine` shard) into *global*
+    /// estimates with **honest `S > 1` variances**.
+    ///
+    /// Point estimates are the colorful-counting merge: the strata sum
+    /// rescaled by the monochromacy factors `S²` (triangles, 3 edges), `S`
+    /// (wedges, 2 edges) and `S³` (covariance).
+    ///
+    /// Variances decompose by the law of total variance over the coloring
+    /// `C`: `Var(X̂) = E[Var(X̂|C)] + Var(E[X̂|C])`.
+    ///
+    /// - The **conditional** term is the strata-sum of per-shard HT variance
+    ///   estimates, rescaled (`S⁴` triangles, `S²` wedges) — unbiased for
+    ///   `E[Var(X̂|C)]`, and all a sharded run reported before this
+    ///   decomposition existed.
+    /// - The **between-shard (coloring)** term uses the observation that
+    ///   each shard alone yields an unbiased global estimate `Ŷ_i = S³·t̂_i`
+    ///   (resp. `S²·ŵ_i`) and the merged value is their mean `Ȳ`. The
+    ///   empirical variance of that mean, `Σ(Ŷ_i − Ȳ)²/(S(S−1))`, estimates
+    ///   the *total* variance — both terms at once (per-shard sampling is
+    ///   independent given `C`; the weak negative correlation between
+    ///   monochromatic counts only makes it conservative). The reported
+    ///   variance is therefore `conditional + max(0, empirical − conditional)`
+    ///   = `max(conditional, empirical)`: the coloring excess is added
+    ///   without ever discarding the unbiased conditional term, and the
+    ///   clamp keeps the (χ²_{S−1}-noisy, small-`S`) empirical estimate from
+    ///   *shrinking* a CI below the conditional one.
+    ///
+    /// The triangle–wedge covariance keeps the conditional (strata-sum)
+    /// term only: coloring-induced covariance is positive, and a positive
+    /// covariance *tightens* the delta-method clustering variance, so
+    /// omitting it errs conservative.
+    ///
+    /// With one part this degenerates bit-for-bit to [`merged_strata`]
+    /// (factors of 1, no between term) — the `S = 1` engine stays
+    /// bit-identical to a bare sampler.
+    ///
+    /// [`merged_strata`]: TriadEstimates::merged_strata
+    pub fn merged_colored(parts: &[TriadEstimates]) -> TriadEstimates {
+        assert!(!parts.is_empty(), "need at least one color");
+        let s = parts.len() as f64;
+        let merged = Self::merged_strata(parts.iter().copied());
+        let triangles = merged.triangles.scaled(s * s);
+        let wedges = merged.wedges.scaled(s);
+        let cov = merged.tri_wedge_cov * s * s * s;
+        if parts.len() == 1 {
+            return Self::from_parts(triangles, wedges, cov);
+        }
+        let tri_between = variance_of_mean(parts.iter().map(|p| p.triangles.value * s * s * s));
+        let wedge_between = variance_of_mean(parts.iter().map(|p| p.wedges.value * s * s));
+        Self::from_parts(
+            Estimate {
+                value: triangles.value,
+                variance: triangles.variance.max(tri_between),
+            },
+            Estimate {
+                value: wedges.value,
+                variance: wedges.variance.max(wedge_between),
+            },
+            cov,
+        )
+    }
+}
+
+/// Empirical variance of the **mean** of `xs`:
+/// `Σ(x_i − x̄)² / (n(n−1))`, the standard honest variance estimator for an
+/// average of identically-distributed estimates (0 when `n < 2`, where no
+/// dispersion is observable). This is the between-shard term of
+/// [`TriadEstimates::merged_colored`].
+pub fn variance_of_mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let xs: Vec<f64> = xs.into_iter().collect();
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let ss: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    ss / ((n - 1) as f64 * n as f64)
 }
 
 /// Delta-method estimate of the global clustering coefficient
@@ -316,6 +395,102 @@ mod tests {
         let empty = TriadEstimates::merged_strata([]);
         assert_eq!(empty.triangles.value, 0.0);
         assert_eq!(empty.clustering.value, 0.0);
+    }
+
+    #[test]
+    fn variance_of_mean_matches_hand_computation() {
+        assert_eq!(variance_of_mean([]), 0.0);
+        assert_eq!(variance_of_mean([5.0]), 0.0);
+        // x = {1, 3}: mean 2, SS = 2, n(n-1) = 2 → 1.
+        assert!((variance_of_mean([1.0, 3.0]) - 1.0).abs() < 1e-15);
+        // x = {0, 2, 4}: mean 2, SS = 8, n(n-1) = 6 → 4/3.
+        assert!((variance_of_mean([0.0, 2.0, 4.0]) - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merged_colored_single_part_is_identity() {
+        let a = TriadEstimates::from_parts(
+            Estimate {
+                value: 4.0,
+                variance: 1.5,
+            },
+            Estimate {
+                value: 24.0,
+                variance: 2.5,
+            },
+            0.75,
+        );
+        let m = TriadEstimates::merged_colored(&[a]);
+        assert_eq!(m.triangles.value.to_bits(), a.triangles.value.to_bits());
+        assert_eq!(
+            m.triangles.variance.to_bits(),
+            a.triangles.variance.to_bits()
+        );
+        assert_eq!(m.wedges.value.to_bits(), a.wedges.value.to_bits());
+        assert_eq!(m.tri_wedge_cov.to_bits(), a.tri_wedge_cov.to_bits());
+    }
+
+    #[test]
+    fn merged_colored_points_match_plain_rescale_and_variance_never_shrinks() {
+        let parts = [
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 4.0,
+                    variance: 1.0,
+                },
+                Estimate {
+                    value: 24.0,
+                    variance: 2.0,
+                },
+                0.5,
+            ),
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 6.0,
+                    variance: 3.0,
+                },
+                Estimate {
+                    value: 36.0,
+                    variance: 4.0,
+                },
+                1.5,
+            ),
+        ];
+        let m = TriadEstimates::merged_colored(&parts);
+        // Point estimates: S²·Σt̂ and S·Σŵ, exactly as the engine's plain
+        // rescale produced them.
+        assert_eq!(m.triangles.value, 4.0 * 10.0);
+        assert_eq!(m.wedges.value, 2.0 * 60.0);
+        assert_eq!(m.tri_wedge_cov, 8.0 * 2.0);
+        // Conditional terms: S⁴·ΣV̂ = 64, S²·ΣV̂ = 24.
+        let tri_cond = 16.0 * 4.0;
+        let wedge_cond = 4.0 * 6.0;
+        assert!(m.triangles.variance >= tri_cond);
+        assert!(m.wedges.variance >= wedge_cond);
+        // Between terms: per-shard global estimates S³·t̂ = {32, 48} and
+        // S²·ŵ = {96, 144} → variance-of-mean 64 and 576.
+        assert_eq!(m.triangles.variance, tri_cond.max(64.0));
+        assert_eq!(m.wedges.variance, wedge_cond.max(576.0));
+    }
+
+    #[test]
+    fn merged_colored_keeps_conditional_variance_when_shards_agree() {
+        // Identical per-shard estimates: zero observed dispersion, so the
+        // clamp leaves the conditional (strata-sum) variance untouched.
+        let part = TriadEstimates::from_parts(
+            Estimate {
+                value: 5.0,
+                variance: 2.0,
+            },
+            Estimate {
+                value: 30.0,
+                variance: 3.0,
+            },
+            1.0,
+        );
+        let m = TriadEstimates::merged_colored(&[part, part]);
+        assert_eq!(m.triangles.variance, 16.0 * 4.0);
+        assert_eq!(m.wedges.variance, 4.0 * 6.0);
     }
 
     #[test]

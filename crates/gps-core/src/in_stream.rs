@@ -70,6 +70,43 @@ impl<W: EdgeWeight> InStreamEstimator<W> {
         }
     }
 
+    /// Wraps an existing sampler — the resume path for restored reservoirs
+    /// (`gps-engine` snapshots re-enter in-stream estimation through here).
+    ///
+    /// The global count/variance accumulators are seeded from a post-stream
+    /// estimate of the sample as handed over (zero for an empty sampler, so
+    /// wrapping a fresh sampler is identical to
+    /// [`InStreamEstimator::new`]): the post-stream estimate is unbiased
+    /// for every subgraph completed before the handover, and snapshots of
+    /// subgraphs completed afterwards add their increments on top, keeping
+    /// the running totals unbiased across the handover. The per-edge
+    /// covariance accumulators restart at zero — covariance between pre-
+    /// and post-handover snapshots is not tracked (the persist format does
+    /// not carry it), so variance estimates straddling a handover are
+    /// slightly understated.
+    pub fn from_sampler(sampler: GpsSampler<W>) -> Self {
+        // On an empty (fresh) sampler the post-stream estimate is the
+        // all-zero bundle, so this single path covers both fresh wrapping
+        // and resume.
+        let seeded = crate::post_stream::estimate(&sampler);
+        InStreamEstimator {
+            sampler,
+            n_tri: seeded.triangles.value,
+            v_tri: seeded.triangles.variance,
+            n_wedge: seeded.wedges.value,
+            v_wedge: seeded.wedges.variance,
+            tri_wedge_cov: seeded.tri_wedge_cov,
+            tri_buf: Vec::new(),
+            wedge_buf: Vec::new(),
+        }
+    }
+
+    /// Consumes the estimator, returning the underlying sampler (e.g. to
+    /// persist it — the snapshot formats store samples, not accumulators).
+    pub fn into_sampler(self) -> GpsSampler<W> {
+        self.sampler
+    }
+
     /// Processes one arrival: snapshot-estimates the subgraphs the edge
     /// completes (`GPSEstimate`, Alg 3 lines 8–27), *then* offers the edge
     /// to the sampler (`GPSUpdate`).
@@ -289,6 +326,45 @@ mod tests {
         let instream = est.estimates();
         assert!((post.triangles.value - instream.triangles.value).abs() < 1e-12);
         assert!((post.wedges.value - instream.wedges.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sampler_on_fresh_sampler_matches_new() {
+        let edges = k4_edges();
+        let mut a = InStreamEstimator::new(3, TriangleWeight::default(), 21);
+        let mut b =
+            InStreamEstimator::from_sampler(GpsSampler::new(3, TriangleWeight::default(), 21));
+        for &e in &edges {
+            a.process(e);
+            b.process(e);
+        }
+        assert_eq!(a.triangle_count().to_bits(), b.triangle_count().to_bits());
+        assert_eq!(a.wedge_count().to_bits(), b.wedge_count().to_bits());
+        let (ea, eb) = (a.estimates(), b.estimates());
+        assert_eq!(
+            ea.triangles.variance.to_bits(),
+            eb.triangles.variance.to_bits()
+        );
+        assert_eq!(a.sampler().threshold(), b.sampler().threshold());
+    }
+
+    #[test]
+    fn from_sampler_seeds_counts_from_post_stream_estimate() {
+        // Hand over a sampler that already holds a full K4: the wrapped
+        // estimator must start from the post-stream (here: exact) counts,
+        // and new completions add on top.
+        let mut sampler = GpsSampler::new(64, TriangleWeight::default(), 4);
+        sampler.process_stream(k4_edges());
+        let mut est = InStreamEstimator::from_sampler(sampler);
+        assert!((est.triangle_count() - 4.0).abs() < 1e-12);
+        assert!((est.wedge_count() - 12.0).abs() < 1e-12);
+        // Extend node 4 into the clique: edges (0,4), (1,4) close one new
+        // triangle (0,1,4) and new wedges.
+        est.process(Edge::new(0, 4));
+        est.process(Edge::new(1, 4));
+        assert!((est.triangle_count() - 5.0).abs() < 1e-12);
+        let sampler = est.into_sampler();
+        assert_eq!(sampler.len(), 8);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod snapshot;
 pub mod subset;
 pub mod weights;
 
-pub use estimate::{Estimate, TriadEstimates};
+pub use estimate::{variance_of_mean, Estimate, TriadEstimates};
 pub use in_stream::InStreamEstimator;
 pub use reservoir::{Arrival, GpsSampler, SampleView, SampledEdge};
 pub use snapshot::MotifCounter;

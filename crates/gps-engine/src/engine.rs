@@ -15,10 +15,11 @@
 
 use crate::partition::{shard_seed, EdgePartitioner};
 use gps_core::weights::EdgeWeight;
-use gps_core::{post_stream, GpsSampler, TriadEstimates};
+use gps_core::{post_stream, GpsSampler, InStreamEstimator, TriadEstimates};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Engine construction parameters.
@@ -38,11 +39,19 @@ pub struct EngineConfig {
     pub queue: usize,
     /// Adjacency backend every shard's sampler runs on.
     pub backend: BackendKind,
+    /// Per-shard arrivals between two [`ShardReport`]s on the epoch hook
+    /// (in-stream estimating mode only; ignored without a hook).
+    pub epoch_every: u64,
 }
+
+/// Default [`EngineConfig::epoch_every`]: one shard report per 2048
+/// per-shard arrivals.
+pub const DEFAULT_EPOCH_EVERY: u64 = 2048;
 
 impl EngineConfig {
     /// A config with the tuned defaults: 1024-edge batches, 4-batch queues,
-    /// compact backend.
+    /// compact backend, a shard report every [`DEFAULT_EPOCH_EVERY`]
+    /// per-shard arrivals.
     pub fn new(capacity: usize, shards: usize, seed: u64) -> Self {
         EngineConfig {
             capacity,
@@ -51,15 +60,140 @@ impl EngineConfig {
             batch: 1024,
             queue: 4,
             backend: BackendKind::Compact,
+            epoch_every: DEFAULT_EPOCH_EVERY,
         }
     }
 }
 
+/// One shard's progress report, delivered on the [`EpochHook`] from the
+/// shard's worker thread: its current in-stream (snapshot) estimates at its
+/// current substream position. Reports from one shard arrive in order;
+/// reports from different shards are concurrent.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardReport {
+    /// Reporting shard index.
+    pub shard: usize,
+    /// Arrivals this shard has consumed (its substream position).
+    pub arrivals: u64,
+    /// The shard's in-stream estimates of *its own* (monochromatic)
+    /// subgraph counts — merge across shards with
+    /// [`TriadEstimates::merged_colored`].
+    pub estimates: TriadEstimates,
+}
+
+/// Callback invoked by estimating-mode workers every
+/// [`EngineConfig::epoch_every`] per-shard arrivals, plus once at drain end
+/// (so the final state of every shard is always reported). Runs on the
+/// worker thread — keep it cheap; `gps-serve` publishes an epoch from it.
+pub type EpochHook = Arc<dyn Fn(ShardReport) + Send + Sync>;
+
+/// What each worker runs per edge: a bare sampler (`GPSUpdate` only) or an
+/// in-stream estimator (snapshot estimation inside the engine, paper Alg 3
+/// per shard) with an optional report hook.
+enum Runner<W> {
+    Plain(GpsSampler<W>),
+    Live {
+        shard: usize,
+        est: InStreamEstimator<W>,
+        hook: Option<EpochHook>,
+        every: u64,
+        next: u64,
+    },
+}
+
+impl<W: EdgeWeight> Runner<W> {
+    #[inline]
+    fn process(&mut self, edge: Edge) {
+        match self {
+            Runner::Plain(sampler) => {
+                sampler.process(edge);
+            }
+            Runner::Live { est, .. } => {
+                est.process(edge);
+            }
+        }
+    }
+
+    /// Fires the hook unconditionally with the shard's current state —
+    /// once at worker start, so the board sees every shard's position
+    /// before any new stream is consumed (on the restore path this is the
+    /// restored watermark, keeping resumed epochs from regressing).
+    fn report_now(&self) {
+        if let Runner::Live {
+            shard,
+            est,
+            hook: Some(hook),
+            ..
+        } = self
+        {
+            hook(ShardReport {
+                shard: *shard,
+                arrivals: est.sampler().arrivals(),
+                estimates: est.estimates(),
+            });
+        }
+    }
+
+    /// Fires the hook if this shard crossed its next reporting position
+    /// (called between batches, so reports align with batch boundaries).
+    fn maybe_report(&mut self) {
+        if let Runner::Live {
+            shard,
+            est,
+            hook: Some(hook),
+            every,
+            next,
+        } = self
+        {
+            let arrivals = est.sampler().arrivals();
+            if arrivals >= *next {
+                while *next <= arrivals {
+                    *next += *every;
+                }
+                hook(ShardReport {
+                    shard: *shard,
+                    arrivals,
+                    estimates: est.estimates(),
+                });
+            }
+        }
+    }
+
+    /// Final report + teardown at drain end.
+    fn into_parts(self) -> (GpsSampler<W>, Option<TriadEstimates>) {
+        match self {
+            Runner::Plain(sampler) => (sampler, None),
+            Runner::Live {
+                shard, est, hook, ..
+            } => {
+                let finals = est.estimates();
+                if let Some(hook) = hook {
+                    hook(ShardReport {
+                        shard,
+                        arrivals: est.sampler().arrivals(),
+                        estimates: finals,
+                    });
+                }
+                (est.into_sampler(), Some(finals))
+            }
+        }
+    }
+}
+
+/// Worker construction mode (see [`ShardedGps::with_estimation`]).
+pub(crate) enum WorkerMode {
+    /// Bare samplers; post-stream estimation only.
+    Plain,
+    /// Per-shard `InStreamEstimator`s, optionally reporting through a hook.
+    Estimating(Option<EpochHook>),
+}
+
 /// One shard: its feed channel and the thread that will hand the sampler
-/// back at shutdown.
+/// (plus, in estimating mode, its final in-stream estimates) back at
+/// shutdown.
 struct Worker<W> {
     tx: SyncSender<Vec<Edge>>,
-    handle: JoinHandle<GpsSampler<W>>,
+    handle: JoinHandle<(GpsSampler<W>, Option<TriadEstimates>)>,
 }
 
 /// Sharded `GPS(m)`: `S` independent reservoirs over a hash-partitioned
@@ -93,8 +227,14 @@ pub struct ShardedGps<W> {
     pending: Vec<Vec<Edge>>,
     /// Live workers; empty once finished.
     workers: Vec<Worker<W>>,
+    /// Drained batch `Vec`s returned by the workers for reuse (kills the
+    /// per-batch allocation that dominated the engine's single-core
+    /// overhead; capacity survives the round trip).
+    recycled: Receiver<Vec<Edge>>,
     /// Collected samplers; filled by `finish`.
     samplers: Vec<GpsSampler<W>>,
+    /// Per-shard final in-stream estimates (estimating mode, post-finish).
+    in_finals: Vec<Option<TriadEstimates>>,
     pushed: u64,
 }
 
@@ -122,7 +262,38 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             cfg.capacity,
             cfg.shards
         );
-        let samplers = (0..cfg.shards)
+        let samplers = Self::fresh_samplers(&cfg, &weight_fn);
+        Self::launch(cfg, samplers, WorkerMode::Plain)
+    }
+
+    /// Creates an engine whose workers run the paper's **in-stream**
+    /// estimator (Algorithm 3) over their substreams — the lower-variance
+    /// snapshot estimates become available through
+    /// [`ShardedGps::estimate_in_stream`], and, if `hook` is given, as
+    /// periodic per-shard [`ShardReport`]s every
+    /// [`EngineConfig::epoch_every`] per-shard arrivals (the publication
+    /// hook `gps-serve` builds its live epochs on).
+    ///
+    /// Sampling is untouched: an estimating engine selects bit-identical
+    /// reservoirs to a plain one on the same config, and post-stream
+    /// estimation ([`ShardedGps::estimate`]) remains available.
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::with_config`].
+    pub fn with_estimation(cfg: EngineConfig, weight_fn: W, hook: Option<EpochHook>) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(
+            cfg.capacity >= cfg.shards,
+            "capacity {} cannot give {} shards a positive budget",
+            cfg.capacity,
+            cfg.shards
+        );
+        let samplers = Self::fresh_samplers(&cfg, &weight_fn);
+        Self::launch(cfg, samplers, WorkerMode::Estimating(hook))
+    }
+
+    fn fresh_samplers(cfg: &EngineConfig, weight_fn: &W) -> Vec<GpsSampler<W>> {
+        (0..cfg.shards)
             .map(|i| {
                 GpsSampler::with_backend(
                     Self::shard_capacity(cfg.capacity, cfg.shards, i),
@@ -131,31 +302,65 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
                     cfg.backend,
                 )
             })
-            .collect();
-        Self::launch(cfg, samplers)
+            .collect()
     }
 
     /// Budget of shard `i`: `m/S`, first `m mod S` shards get one more.
-    pub(crate) fn shard_capacity(capacity: usize, shards: usize, i: usize) -> usize {
+    /// Public (with [`shard_seed`]) so
+    /// single-threaded mirrors of the engine can reproduce its exact
+    /// per-shard samplers.
+    pub fn shard_capacity(capacity: usize, shards: usize, i: usize) -> usize {
         capacity / shards + usize::from(i < capacity % shards)
     }
 
     /// Spawns one worker per sampler (also the restore path — see
     /// `snapshot::SavedEngine::into_engine`).
-    pub(crate) fn launch(cfg: EngineConfig, samplers: Vec<GpsSampler<W>>) -> Self {
+    pub(crate) fn launch(
+        cfg: EngineConfig,
+        samplers: Vec<GpsSampler<W>>,
+        mode: WorkerMode,
+    ) -> Self {
         assert!(cfg.batch > 0, "batch size must be positive");
         assert!(cfg.queue > 0, "queue depth must be positive");
+        assert!(cfg.epoch_every > 0, "epoch cadence must be positive");
+        let (recycle_tx, recycled) = channel::<Vec<Edge>>();
+        let hook = match &mode {
+            WorkerMode::Plain => None,
+            WorkerMode::Estimating(hook) => hook.clone(),
+        };
+        let estimating = matches!(mode, WorkerMode::Estimating(_));
         let workers = samplers
             .into_iter()
-            .map(|mut sampler| {
-                let (tx, rx) = sync_channel::<Vec<Edge>>(cfg.queue);
-                let handle = std::thread::spawn(move || {
-                    while let Ok(batch) = rx.recv() {
-                        for e in batch {
-                            sampler.process(e);
-                        }
+            .enumerate()
+            .map(|(shard, sampler)| {
+                let mut runner = if estimating {
+                    Runner::Live {
+                        shard,
+                        // `from_sampler` seeds the accumulators from the
+                        // sample as handed over: zero for a fresh engine,
+                        // the post-stream estimate on the restore path.
+                        next: sampler.arrivals() + cfg.epoch_every,
+                        est: InStreamEstimator::from_sampler(sampler),
+                        hook: hook.clone(),
+                        every: cfg.epoch_every,
                     }
-                    sampler
+                } else {
+                    Runner::Plain(sampler)
+                };
+                let (tx, rx) = sync_channel::<Vec<Edge>>(cfg.queue);
+                let recycle_tx: Sender<Vec<Edge>> = recycle_tx.clone();
+                let handle = std::thread::spawn(move || {
+                    runner.report_now();
+                    while let Ok(mut batch) = rx.recv() {
+                        for e in batch.drain(..) {
+                            runner.process(e);
+                        }
+                        // Hand the drained buffer back for reuse; the
+                        // producer may already be gone at drain time.
+                        let _ = recycle_tx.send(batch);
+                        runner.maybe_report();
+                    }
+                    runner.into_parts()
                 });
                 Worker { tx, handle }
             })
@@ -166,7 +371,9 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
                 .map(|_| Vec::with_capacity(cfg.batch))
                 .collect(),
             workers,
+            recycled,
             samplers: Vec::with_capacity(cfg.shards),
+            in_finals: Vec::with_capacity(cfg.shards),
             pushed: 0,
             cfg,
         }
@@ -192,10 +399,28 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
     }
 
     /// Feeds a pre-batched chunk (e.g. from `gps_stream::batched`); exactly
-    /// equivalent to pushing each edge.
+    /// equivalent to pushing each edge, but the whole chunk is routed to
+    /// the per-shard buffers first and each shard ships at most once per
+    /// call — one `len`-check pass per chunk instead of per edge (shipped
+    /// batches may exceed [`EngineConfig::batch`]; per-shard edge order,
+    /// and hence every result, is unaffected).
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::push`].
     pub fn push_batch(&mut self, batch: &[Edge]) {
+        assert!(
+            !self.workers.is_empty(),
+            "push on a finished ShardedGps engine"
+        );
+        self.pushed += batch.len() as u64;
         for &e in batch {
-            self.push(e);
+            let s = self.partitioner.shard_of(e);
+            self.pending[s].push(e);
+        }
+        for s in 0..self.cfg.shards {
+            if self.pending[s].len() >= self.cfg.batch {
+                self.ship(s);
+            }
         }
     }
 
@@ -206,9 +431,14 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         }
     }
 
-    /// Sends shard `s`'s pending buffer (blocking if its queue is full).
+    /// Sends shard `s`'s pending buffer (blocking if its queue is full),
+    /// replacing it with a recycled worker buffer when one is available.
     fn ship(&mut self, s: usize) {
-        let batch = std::mem::replace(&mut self.pending[s], Vec::with_capacity(self.cfg.batch));
+        let fresh = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.cfg.batch));
+        let batch = std::mem::replace(&mut self.pending[s], fresh);
         self.workers[s]
             .tx
             .send(batch)
@@ -231,8 +461,9 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         }
         for worker in self.workers.drain(..) {
             drop(worker.tx); // hang up: the worker's recv loop ends
-            self.samplers
-                .push(worker.handle.join().expect("shard worker panicked"));
+            let (sampler, finals) = worker.handle.join().expect("shard worker panicked");
+            self.samplers.push(sampler);
+            self.in_finals.push(finals);
         }
     }
 
@@ -245,18 +476,42 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
 
     /// Merged triangle/wedge/clustering estimates over all shards
     /// (finishing the engine first if needed): per-shard post-stream
-    /// estimates are summed as independent strata and rescaled by the
-    /// monochromacy factors `S²` (triangles), `S` (wedges), `S³`
-    /// (triangle–wedge covariance) — see the crate docs.
+    /// estimates merged by [`TriadEstimates::merged_colored`] — strata sum,
+    /// monochromacy rescale (`S²` triangles / `S` wedges / `S³`
+    /// covariance), and for `S > 1` the between-shard empirical variance
+    /// term, so reported CIs account for the coloring randomness instead
+    /// of conditioning on the partition. See the crate docs.
     pub fn estimate(&mut self) -> TriadEstimates {
         self.finish();
-        let merged = TriadEstimates::merged_strata(self.samplers.iter().map(post_stream::estimate));
-        let s = self.cfg.shards as f64;
-        TriadEstimates::from_parts(
-            merged.triangles.scaled(s * s),
-            merged.wedges.scaled(s),
-            merged.tri_wedge_cov * s * s * s,
-        )
+        let parts: Vec<TriadEstimates> = self.samplers.iter().map(post_stream::estimate).collect();
+        TriadEstimates::merged_colored(&parts)
+    }
+
+    /// Merged **in-stream** (snapshot, Algorithm 3) estimates over all
+    /// shards, via the same [`TriadEstimates::merged_colored`] machinery —
+    /// the lower-variance counterpart of [`ShardedGps::estimate`] on the
+    /// identical samples. Finishes the engine first if needed.
+    ///
+    /// # Panics
+    /// Panics unless the engine was built with
+    /// [`ShardedGps::with_estimation`].
+    pub fn estimate_in_stream(&mut self) -> TriadEstimates {
+        self.finish();
+        let parts: Vec<TriadEstimates> = self
+            .in_finals
+            .iter()
+            .map(|f| f.expect("engine was not built with in-stream estimation"))
+            .collect();
+        TriadEstimates::merged_colored(&parts)
+    }
+
+    /// Per-shard final in-stream estimates (estimating mode, after
+    /// finish); `None` for a plain engine or while workers are live.
+    pub fn in_stream_parts(&self) -> Option<Vec<TriadEstimates>> {
+        if self.in_finals.is_empty() {
+            return None;
+        }
+        self.in_finals.iter().copied().collect()
     }
 
     /// Merged point estimates only — `(triangles, wedges)`, rescaled like
@@ -451,6 +706,115 @@ mod tests {
         let b = tiny.estimate();
         assert_eq!(a.triangles.value.to_bits(), b.triangles.value.to_bits());
         assert_eq!(a.wedges.variance.to_bits(), b.wedges.variance.to_bits());
+    }
+
+    #[test]
+    fn estimating_engine_matches_bare_in_stream_estimator_at_s1() {
+        let edges = clique_chunks(60);
+        let mut bare = gps_core::InStreamEstimator::new(30, TriangleWeight::default(), 13);
+        bare.process_stream(edges.iter().copied());
+        let mut engine = ShardedGps::with_estimation(
+            EngineConfig::new(30, 1, 13),
+            TriangleWeight::default(),
+            None,
+        );
+        engine.push_stream(edges.iter().copied());
+        let merged = engine.estimate_in_stream();
+        let expect = bare.estimates();
+        assert_eq!(
+            merged.triangles.value.to_bits(),
+            expect.triangles.value.to_bits()
+        );
+        assert_eq!(
+            merged.triangles.variance.to_bits(),
+            expect.triangles.variance.to_bits()
+        );
+        assert_eq!(merged.wedges.value.to_bits(), expect.wedges.value.to_bits());
+        assert_eq!(
+            merged.tri_wedge_cov.to_bits(),
+            expect.tri_wedge_cov.to_bits()
+        );
+        // Sampling is untouched by the estimator wrapper.
+        assert_eq!(engine.samplers()[0].threshold(), bare.sampler().threshold());
+    }
+
+    #[test]
+    fn estimating_engine_sampling_is_identical_to_plain_engine() {
+        let edges = clique_chunks(80);
+        let mut plain = ShardedGps::new(40, TriangleWeight::default(), 5, 3);
+        plain.push_stream(edges.iter().copied());
+        let a = plain.estimate();
+        let mut live = ShardedGps::with_estimation(
+            EngineConfig::new(40, 3, 5),
+            TriangleWeight::default(),
+            None,
+        );
+        live.push_stream(edges.iter().copied());
+        let b = live.estimate();
+        assert_eq!(a.triangles.value.to_bits(), b.triangles.value.to_bits());
+        assert_eq!(
+            a.triangles.variance.to_bits(),
+            b.triangles.variance.to_bits()
+        );
+        assert_eq!(a.wedges.value.to_bits(), b.wedges.value.to_bits());
+        // And the in-stream merge is available on top.
+        let instream = live.estimate_in_stream();
+        assert!(instream.triangles.value >= 0.0);
+        assert!(live.in_stream_parts().unwrap().len() == 3);
+        assert!(plain.in_stream_parts().is_none());
+    }
+
+    #[test]
+    fn epoch_hook_reports_are_ordered_and_reach_the_final_state() {
+        use std::sync::Mutex;
+        let reports: Arc<Mutex<Vec<ShardReport>>> = Arc::default();
+        let sink = reports.clone();
+        let hook: EpochHook = Arc::new(move |r| sink.lock().unwrap().push(r));
+        let mut engine = ShardedGps::with_estimation(
+            EngineConfig {
+                batch: 16,
+                epoch_every: 32,
+                ..EngineConfig::new(50, 2, 3)
+            },
+            TriangleWeight::default(),
+            Some(hook),
+        );
+        let edges = clique_chunks(100);
+        engine.push_stream(edges.iter().copied());
+        engine.finish();
+        let reports = reports.lock().unwrap();
+        assert!(!reports.is_empty());
+        // Per-shard arrivals are non-decreasing across that shard's reports
+        // and the last report per shard matches the finished sampler.
+        for shard in 0..2 {
+            let of_shard: Vec<&ShardReport> = reports.iter().filter(|r| r.shard == shard).collect();
+            assert!(!of_shard.is_empty(), "shard {shard} never reported");
+            assert!(of_shard.windows(2).all(|w| w[0].arrivals <= w[1].arrivals));
+            assert_eq!(
+                of_shard.last().unwrap().arrivals,
+                engine.samplers()[shard].arrivals(),
+                "final report must carry the shard's final position"
+            );
+        }
+        let total: u64 = (0..2)
+            .map(|s| {
+                reports
+                    .iter()
+                    .filter(|r| r.shard == s)
+                    .map(|r| r.arrivals)
+                    .max()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, edges.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not built with in-stream estimation")]
+    fn plain_engine_rejects_in_stream_estimation() {
+        let mut engine = ShardedGps::new(8, UniformWeight, 0, 2);
+        engine.push(Edge::new(0, 1));
+        let _ = engine.estimate_in_stream();
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 /// RNG seed of shard `shard` under engine seed `engine_seed`. Shard 0 runs
 /// on the engine seed itself, which is what makes an `S = 1` engine
 /// bit-identical to a bare `GpsSampler` on the same seed; the other shards
-/// get mixed, effectively independent streams.
+/// get mixed, effectively independent streams. Public so deterministic
+/// single-threaded mirrors of the engine (e.g. the checkpointable adapter
+/// in `gps-bench`) can reproduce the exact per-shard samplers.
 #[inline]
-pub(crate) fn shard_seed(engine_seed: u64, shard: usize) -> u64 {
+pub fn shard_seed(engine_seed: u64, shard: usize) -> u64 {
     if shard == 0 {
         engine_seed
     } else {

@@ -24,7 +24,7 @@
 //! may keep consuming the stream with fresh — statistically equivalent —
 //! RNG draws.
 
-use crate::engine::{EngineConfig, ShardedGps};
+use crate::engine::{EngineConfig, ShardedGps, WorkerMode};
 use crate::partition::shard_seed;
 use gps_core::persist::{self, PersistError, SavedSample};
 use gps_core::weights::EdgeWeight;
@@ -67,6 +67,52 @@ impl SavedEngine {
         weight_fn: W,
         backend: BackendKind,
     ) -> ShardedGps<W> {
+        self.relaunch(weight_fn, backend, WorkerMode::Plain)
+    }
+
+    /// Rebuilds a running engine in **in-stream estimating** mode (see
+    /// [`ShardedGps::with_estimation`]): each worker wraps its restored
+    /// sampler in an `InStreamEstimator` seeded from the sample's
+    /// post-stream estimate, so live estimates continue from the saved
+    /// state instead of restarting at zero, and `hook` resumes receiving
+    /// [`ShardReport`]s (`gps-serve` uses this to keep a `QueryHandle`'s
+    /// epochs flowing across a snapshot/restore cycle).
+    ///
+    /// [`ShardReport`]: crate::engine::ShardReport
+    ///
+    /// # Panics
+    /// Same conditions as [`SavedEngine::into_engine`].
+    pub fn into_serving_engine<W: EdgeWeight + Clone + Send + 'static>(
+        self,
+        weight_fn: W,
+        backend: BackendKind,
+        hook: Option<crate::engine::EpochHook>,
+        epoch_every: u64,
+    ) -> ShardedGps<W> {
+        self.relaunch_with(
+            weight_fn,
+            backend,
+            WorkerMode::Estimating(hook),
+            epoch_every,
+        )
+    }
+
+    fn relaunch<W: EdgeWeight + Clone + Send + 'static>(
+        self,
+        weight_fn: W,
+        backend: BackendKind,
+        mode: WorkerMode,
+    ) -> ShardedGps<W> {
+        self.relaunch_with(weight_fn, backend, mode, crate::engine::DEFAULT_EPOCH_EVERY)
+    }
+
+    fn relaunch_with<W: EdgeWeight + Clone + Send + 'static>(
+        self,
+        weight_fn: W,
+        backend: BackendKind,
+        mode: WorkerMode,
+        epoch_every: u64,
+    ) -> ShardedGps<W> {
         assert!(!self.shards.is_empty(), "engine snapshot has no shards");
         let total: usize = self.shards.iter().map(|s| s.capacity).sum();
         assert_eq!(
@@ -77,6 +123,7 @@ impl SavedEngine {
         let pushed = self.pushed();
         let mut cfg = EngineConfig::new(self.capacity, self.shards.len(), self.seed);
         cfg.backend = backend;
+        cfg.epoch_every = epoch_every;
         let samplers = self
             .shards
             .into_iter()
@@ -93,7 +140,7 @@ impl SavedEngine {
                 )
             })
             .collect();
-        let mut engine = ShardedGps::launch(cfg, samplers);
+        let mut engine = ShardedGps::launch(cfg, samplers, mode);
         engine.set_pushed(pushed);
         engine
     }

@@ -128,9 +128,32 @@ fn full_retention_matches_exact_monochromatic_counts() {
         est.triangles.value,
         expect
     );
-    // Full retention ⇒ per-shard variance estimates are all exactly zero.
-    assert_eq!(est.triangles.variance, 0.0);
-    assert_eq!(est.wedges.variance, 0.0);
+    // Full retention ⇒ per-shard (conditional) variance estimates are all
+    // exactly zero, so the reported variance is *purely* the between-shard
+    // coloring term: the empirical variance of the mean of the per-shard
+    // global estimates S³·t̂_i. Reconstruct it independently from the
+    // partition and check equality — this is the regime where the old
+    // partition-conditional CIs collapsed to width zero.
+    let s = shards as f64;
+    let mut per_color_tri = vec![0u64; shards];
+    exact::for_each_triangle(&g, |a, b, c| {
+        let s1 = partitioner.shard_of(Edge::new(a, b));
+        let s2 = partitioner.shard_of(Edge::new(b, c));
+        let s3 = partitioner.shard_of(Edge::new(a, c));
+        if s1 == s2 && s2 == s3 {
+            per_color_tri[s1] += 1;
+        }
+    });
+    let expect_var =
+        gps_core::variance_of_mean(per_color_tri.iter().map(|&t| t as f64 * s * s * s));
+    assert!(expect_var > 0.0, "colors cannot hold identical counts here");
+    assert!(
+        (est.triangles.variance - expect_var).abs() < 1e-9 * (1.0 + expect_var),
+        "variance {} vs between-shard term {}",
+        est.triangles.variance,
+        expect_var
+    );
+    assert!(est.wedges.variance > 0.0);
 }
 
 #[test]

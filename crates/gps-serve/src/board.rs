@@ -1,0 +1,379 @@
+//! The epoch board: merges per-shard reports into published epochs and
+//! services blocking queries and subscriptions.
+//!
+//! The board is the rendezvous between the engine's worker threads (which
+//! deliver [`ShardReport`]s through the epoch hook) and any number of
+//! reader threads holding [`QueryHandle`]s. Workers merge under a mutex —
+//! contended only among the `S` workers, once per epoch cadence — and
+//! publish the merged result into the lock-free [`EpochCell`], so the
+//! read path (`latest()`) never touches the mutex at all.
+//!
+//! [`QueryHandle`]: crate::QueryHandle
+
+use crate::epoch::{EpochCell, EstimateEpoch};
+use gps_core::{Estimate, TriadEstimates};
+use gps_engine::ShardReport;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Condvar, Mutex};
+
+fn zero_triad() -> TriadEstimates {
+    TriadEstimates::from_parts(Estimate::exact(0.0), Estimate::exact(0.0), 0.0)
+}
+
+/// Publisher-side state, serialized by the board mutex.
+struct BoardState {
+    /// Latest report per shard (`None` until that shard first reports; a
+    /// silent shard merges as a zero estimate at position 0, which is
+    /// exactly its in-stream accumulator state at that point).
+    per_shard: Vec<Option<ShardReport>>,
+    /// Last assigned epoch version (monotone over the board's lifetime,
+    /// across engine restores).
+    version: u64,
+    /// Copy of the latest epoch for the blocking paths.
+    latest: Option<EstimateEpoch>,
+    /// Whether the producing engine has finished (no more epochs until the
+    /// board is reopened by a restore).
+    closed: bool,
+    /// Engine generation this board currently accepts reports from;
+    /// bumped by [`Board::reopen`]. Workers of a dropped or superseded
+    /// engine may still be draining their queues and firing the hook —
+    /// their reports carry a stale generation and are discarded instead
+    /// of contaminating the current engine's epochs.
+    generation: u64,
+    /// Live subscription senders; lossy on full, pruned on disconnect.
+    subscribers: Vec<SyncSender<EstimateEpoch>>,
+}
+
+/// Shared epoch board (see module docs).
+pub(crate) struct Board {
+    cell: EpochCell,
+    state: Mutex<BoardState>,
+    wake: Condvar,
+}
+
+impl Board {
+    /// Locks the publisher state, shrugging off poisoning: the state is
+    /// updated atomically under the lock (no partial writes survive a
+    /// panic), and a serving layer must keep answering readers even if
+    /// one publisher panicked.
+    fn locked(&self) -> std::sync::MutexGuard<'_, BoardState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn new(shards: usize) -> Self {
+        Board {
+            cell: EpochCell::new(),
+            state: Mutex::new(BoardState {
+                per_shard: vec![None; shards],
+                version: 0,
+                latest: None,
+                closed: false,
+                generation: 0,
+                subscribers: Vec::new(),
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Epoch-hook target: folds one shard's report in and publishes the
+    /// re-merged epoch. Runs on the reporting worker's thread.
+    ///
+    /// Reports from a closed board or a stale `generation` are dropped:
+    /// a dropped-without-finish engine's workers keep draining their
+    /// queues (nothing joins them) and would otherwise publish after
+    /// `close()` or into a successor engine's board.
+    ///
+    /// No epoch is published until **every** shard has reported at least
+    /// once since the board (re)opened: a partial merge would understate
+    /// both the watermark and the estimates — on the restore path it would
+    /// make them visibly regress. Workers report immediately at launch, so
+    /// the gate clears before any new stream is consumed.
+    pub(crate) fn publish_report(&self, generation: u64, report: ShardReport) {
+        let mut state = self.locked();
+        if state.closed || generation != state.generation {
+            return;
+        }
+        let slot = report.shard;
+        assert!(slot < state.per_shard.len(), "report from unknown shard");
+        state.per_shard[slot] = Some(report);
+        if state.per_shard.iter().all(Option::is_some) {
+            self.publish_merged(&mut state);
+        }
+    }
+
+    /// Generation the board currently accepts reports for.
+    pub(crate) fn generation(&self) -> u64 {
+        self.locked().generation
+    }
+
+    /// Merges the current per-shard snapshots and publishes (caller holds
+    /// the lock).
+    fn publish_merged(&self, state: &mut BoardState) {
+        let parts: Vec<TriadEstimates> = state
+            .per_shard
+            .iter()
+            .map(|r| r.map(|r| r.estimates).unwrap_or_else(zero_triad))
+            .collect();
+        let edges_seen: u64 = state
+            .per_shard
+            .iter()
+            .map(|r| r.map(|r| r.arrivals).unwrap_or(0))
+            .sum();
+        state.version += 1;
+        let epoch = EstimateEpoch {
+            version: state.version,
+            edges_seen,
+            shards: parts.len() as u64,
+            estimates: TriadEstimates::merged_colored(&parts),
+        };
+        state.latest = Some(epoch);
+        self.cell.publish(&epoch);
+        state.subscribers.retain(|tx| match tx.try_send(epoch) {
+            Ok(()) => true,
+            // Lagging subscriber: epochs are cumulative (the latest
+            // supersedes all prior), so dropping this one loses nothing a
+            // later delivery won't restate.
+            Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        self.wake.notify_all();
+    }
+
+    /// Marks the producer finished: wakes all waiters and ends all
+    /// subscriptions. Idempotent.
+    ///
+    /// No re-publication happens on the normal path: `publish_report`
+    /// publishes on every complete report, so by close time `latest`
+    /// already is the final epoch (re-merging here would only deliver a
+    /// byte-identical duplicate under a bumped version). In particular, a
+    /// just-resumed engine abandoned before all restored workers reported
+    /// leaves the standing pre-restore epoch untouched instead of
+    /// regressing the watermark with zero-filled slots. Only a board that
+    /// never published anything force-publishes, so even an empty run
+    /// yields one (zero) epoch.
+    pub(crate) fn close(&self) {
+        let mut state = self.locked();
+        if state.closed {
+            return;
+        }
+        if state.latest.is_none() {
+            self.publish_merged(&mut state);
+        }
+        state.closed = true;
+        state.subscribers.clear();
+        self.wake.notify_all();
+    }
+
+    /// Reopens a closed board for a restored engine with `shards` shards,
+    /// keeping the version counter (epochs stay monotone across the
+    /// restore) and bumping the accepted generation (stragglers of the
+    /// previous engine are locked out). Returns the new generation for the
+    /// restored engine's hook. The restored workers' initial reports
+    /// re-seed the per-shard slots before any new stream is consumed.
+    ///
+    /// # Panics
+    /// Panics if the board is still open (two engines must not publish
+    /// into one board concurrently).
+    pub(crate) fn reopen(&self, shards: usize) -> u64 {
+        let mut state = self.locked();
+        assert!(
+            state.closed,
+            "board is still owned by a running engine; finish it before resuming"
+        );
+        state.closed = false;
+        state.generation += 1;
+        state.per_shard = vec![None; shards];
+        state.generation
+    }
+
+    /// Latest epoch (lock-free; `None` before the first publication).
+    pub(crate) fn latest(&self) -> Option<EstimateEpoch> {
+        self.cell.load()
+    }
+
+    /// Blocks until an epoch with `edges_seen >= n` is published and
+    /// returns it, or `None` if the board closes first without reaching
+    /// the watermark.
+    pub(crate) fn wait_for_edges(&self, n: u64) -> Option<EstimateEpoch> {
+        let mut state = self.locked();
+        loop {
+            if let Some(epoch) = state.latest {
+                if epoch.edges_seen >= n {
+                    return Some(epoch);
+                }
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Registers a bounded subscription; `None` if the board is closed
+    /// (no further epochs will ever arrive).
+    pub(crate) fn subscribe(&self, depth: usize) -> Option<Receiver<EstimateEpoch>> {
+        let mut state = self.locked();
+        if state.closed {
+            return None;
+        }
+        let (tx, rx) = sync_channel(depth.max(1));
+        // Prime with the current epoch so a subscriber never starts blind.
+        if let Some(epoch) = state.latest {
+            let _ = tx.try_send(epoch);
+        }
+        state.subscribers.push(tx);
+        Some(rx)
+    }
+
+    /// Whether the board is closed (producer finished, not resumed).
+    pub(crate) fn is_closed(&self) -> bool {
+        self.locked().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(shard: usize, arrivals: u64, tri: f64) -> ShardReport {
+        ShardReport {
+            shard,
+            arrivals,
+            estimates: TriadEstimates::from_parts(
+                Estimate {
+                    value: tri,
+                    variance: 0.0,
+                },
+                Estimate::exact(0.0),
+                0.0,
+            ),
+        }
+    }
+
+    #[test]
+    fn watermark_sums_shards_and_versions_increase() {
+        let board = Board::new(2);
+        assert!(board.latest().is_none());
+        // Publication is gated until every shard has reported once.
+        board.publish_report(0, report(0, 100, 1.0));
+        assert!(board.latest().is_none());
+        board.publish_report(0, report(1, 50, 2.0));
+        let e1 = board.latest().unwrap();
+        assert_eq!((e1.version, e1.edges_seen), (1, 150));
+        // S = 2 triangles rescale by S²·Σ = 4·3.
+        assert_eq!(e1.estimates.triangles.value, 12.0);
+        board.publish_report(0, report(0, 120, 1.0));
+        let e2 = board.latest().unwrap();
+        assert_eq!((e2.version, e2.edges_seen), (2, 170));
+    }
+
+    #[test]
+    fn close_publishes_final_epoch_and_is_idempotent() {
+        let board = Board::new(1);
+        board.close();
+        let final_epoch = board.latest().unwrap();
+        assert_eq!(final_epoch.edges_seen, 0);
+        board.close();
+        assert_eq!(board.latest().unwrap().version, final_epoch.version);
+        assert!(board.is_closed());
+        assert!(board.subscribe(4).is_none());
+    }
+
+    #[test]
+    fn wait_for_edges_returns_none_on_close_below_watermark() {
+        let board = std::sync::Arc::new(Board::new(1));
+        let waiter = {
+            let board = board.clone();
+            std::thread::spawn(move || board.wait_for_edges(1_000))
+        };
+        board.publish_report(0, report(0, 10, 0.0));
+        board.close();
+        assert!(waiter.join().unwrap().is_none());
+        // Already-satisfied watermarks still answer from the final epoch.
+        assert_eq!(board.wait_for_edges(5).unwrap().edges_seen, 10);
+    }
+
+    #[test]
+    fn subscriptions_prime_drop_when_full_and_end_on_close() {
+        let board = Board::new(1);
+        board.publish_report(0, report(0, 1, 0.0));
+        let rx = board.subscribe(2).unwrap();
+        // Primed with the current epoch.
+        assert_eq!(rx.recv().unwrap().edges_seen, 1);
+        for i in 2..=5 {
+            board.publish_report(0, report(0, i, 0.0));
+        }
+        // Depth 2: epochs 2 and 3 buffered, 4 and 5 dropped (lossy).
+        assert_eq!(rx.recv().unwrap().edges_seen, 2);
+        assert_eq!(rx.recv().unwrap().edges_seen, 3);
+        board.close();
+        // Close does not re-publish (latest already is the final epoch);
+        // the raw channel just ends — the final-epoch delivery guarantee
+        // for lagging subscribers lives in `EpochSubscription`'s drain of
+        // `Board::latest`, tested at the serve layer.
+        assert!(rx.recv().is_err(), "subscription must end after close");
+        assert_eq!(board.latest().unwrap().edges_seen, 5);
+    }
+
+    #[test]
+    fn reopen_keeps_versions_monotone_and_gates_partial_merges() {
+        let board = Board::new(2);
+        board.publish_report(0, report(0, 5, 0.0));
+        board.close();
+        let at_close = board.latest().unwrap();
+        let generation = board.reopen(3);
+        // Until all 3 restored shards report, the closed-time epoch stands.
+        board.publish_report(generation, report(2, 7, 0.0));
+        assert_eq!(board.latest().unwrap().version, at_close.version);
+        board.publish_report(generation, report(0, 4, 0.0));
+        board.publish_report(generation, report(1, 2, 0.0));
+        let e = board.latest().unwrap();
+        assert!(e.version > at_close.version);
+        assert_eq!(e.shards, 3);
+        assert_eq!(e.edges_seen, 13);
+    }
+
+    #[test]
+    fn straggler_reports_are_dropped_after_close_and_across_generations() {
+        let board = Board::new(1);
+        board.publish_report(0, report(0, 5, 1.0));
+        board.close();
+        let final_version = board.latest().unwrap().version;
+        // A worker of the dead engine drains late: no new epoch.
+        board.publish_report(0, report(0, 9, 9.0));
+        assert_eq!(board.latest().unwrap().version, final_version);
+        // Resume with MORE shards: a stale-generation report must be
+        // ignored (not out-of-bounds-panic, not merged), only the new
+        // generation publishes.
+        let generation = board.reopen(2);
+        board.publish_report(0, report(0, 999, 9.0)); // stale generation
+        board.publish_report(generation, report(0, 6, 1.0));
+        board.publish_report(generation, report(1, 4, 1.0));
+        let e = board.latest().unwrap();
+        assert_eq!(e.edges_seen, 10, "only current-generation reports merge");
+        assert!(e.version > final_version);
+    }
+
+    #[test]
+    fn closing_a_gated_reopened_board_does_not_regress_the_watermark() {
+        // Resume then abandon before every restored worker reports: the
+        // close-time publication must not merge zero-filled slots below
+        // the standing pre-restore epoch.
+        let board = Board::new(1);
+        board.publish_report(0, report(0, 50, 3.0));
+        board.close();
+        let standing = board.latest().unwrap();
+        let generation = board.reopen(2);
+        board.publish_report(generation, report(0, 50, 3.0)); // 1 of 2 shards
+        board.close();
+        let after = board.latest().unwrap();
+        assert_eq!(after.version, standing.version, "no partial final epoch");
+        assert_eq!(after.edges_seen, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "still owned by a running engine")]
+    fn reopen_of_open_board_panics() {
+        Board::new(1).reopen(1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Immutable estimate epochs and the lock-free publication cell.
+//!
+//! An [`EstimateEpoch`] is a self-contained, monotonically-versioned
+//! snapshot of the engine's merged estimates: once published it never
+//! changes, a later epoch supersedes it wholesale. Publication goes through
+//! an [`EpochCell`] — a seqlock over plain atomic words — so readers load
+//! the latest epoch without taking any lock: a read never blocks the
+//! publisher (an engine worker thread), and the publisher never blocks
+//! readers. Readers retry only if a publication raced their copy, which a
+//! version-counter check detects; with publications every few thousand
+//! arrivals and copies of ~8 words, retries are vanishingly rare.
+
+use gps_core::{Estimate, TriadEstimates};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// One immutable, versioned snapshot of the live merged estimates.
+///
+/// `estimates` carries the full [`TriadEstimates`] bundle — triangle and
+/// wedge counts with **honest variances** (strata-sum conditional variance
+/// plus the between-shard coloring term for `S > 1`; see
+/// [`TriadEstimates::merged_colored`]) and the derived clustering
+/// coefficient — so `epoch.estimates.triangles.ci95()` is a valid interval
+/// without further processing.
+#[derive(Clone, Copy, Debug)]
+pub struct EstimateEpoch {
+    /// Publication sequence number; strictly increasing over the lifetime
+    /// of a [`QueryHandle`]'s board, including across engine
+    /// snapshot/restore cycles.
+    ///
+    /// [`QueryHandle`]: crate::QueryHandle
+    pub version: u64,
+    /// Stream watermark: total arrivals the merged estimates reflect
+    /// (sum of per-shard substream positions at merge time; shards report
+    /// at batch boundaries, so this trails the producer by at most the
+    /// in-flight batches plus the epoch cadence).
+    pub edges_seen: u64,
+    /// Shard count `S` of the producing engine.
+    pub shards: u64,
+    /// Merged triangle / wedge / clustering estimates with variances.
+    pub estimates: TriadEstimates,
+}
+
+/// Words of the seqlock payload: version, edges_seen, shards, and the five
+/// independent floats of a `TriadEstimates` (clustering is re-derived).
+const WORDS: usize = 8;
+
+impl EstimateEpoch {
+    fn encode(&self) -> [u64; WORDS] {
+        [
+            self.version,
+            self.edges_seen,
+            self.shards,
+            self.estimates.triangles.value.to_bits(),
+            self.estimates.triangles.variance.to_bits(),
+            self.estimates.wedges.value.to_bits(),
+            self.estimates.wedges.variance.to_bits(),
+            self.estimates.tri_wedge_cov.to_bits(),
+        ]
+    }
+
+    fn decode(words: [u64; WORDS]) -> Self {
+        EstimateEpoch {
+            version: words[0],
+            edges_seen: words[1],
+            shards: words[2],
+            estimates: TriadEstimates::from_parts(
+                Estimate {
+                    value: f64::from_bits(words[3]),
+                    variance: f64::from_bits(words[4]),
+                },
+                Estimate {
+                    value: f64::from_bits(words[5]),
+                    variance: f64::from_bits(words[6]),
+                },
+                f64::from_bits(words[7]),
+            ),
+        }
+    }
+}
+
+/// Seqlock-published epoch slot: one writer at a time (the publisher runs
+/// under the board mutex), any number of lock-free readers.
+///
+/// Memory-ordering protocol (the standard seqlock recipe): the writer bumps
+/// the sequence to odd, release-fences, stores the payload relaxed, then
+/// release-stores the even sequence; a reader acquire-loads the sequence,
+/// copies the payload relaxed, acquire-fences, and re-checks the sequence —
+/// an unchanged even value proves the copy is a consistent published epoch.
+/// Every payload word is an `AtomicU64`, so torn copies are impossible at
+/// the word level and detected at the epoch level.
+pub(crate) struct EpochCell {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl EpochCell {
+    /// An empty cell (no epoch published yet).
+    pub(crate) fn new() -> Self {
+        EpochCell {
+            seq: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; WORDS],
+        }
+    }
+
+    /// Publishes `epoch`, superseding any previous one. Caller must
+    /// guarantee writer exclusivity (the board publishes under its mutex).
+    pub(crate) fn publish(&self, epoch: &EstimateEpoch) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert!(s.is_multiple_of(2), "concurrent publisher");
+        self.seq.store(s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (slot, word) in self.words.iter().zip(epoch.encode()) {
+            slot.store(word, Ordering::Relaxed);
+        }
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Latest published epoch, or `None` before the first publication.
+    /// Lock-free: retries only while racing a concurrent publication.
+    pub(crate) fn load(&self) -> Option<EstimateEpoch> {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None;
+            }
+            if !s1.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut words = [0u64; WORDS];
+            for (out, slot) in words.iter_mut().zip(&self.words) {
+                *out = slot.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return Some(EstimateEpoch::decode(words));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(version: u64, edges: u64, tri: f64) -> EstimateEpoch {
+        EstimateEpoch {
+            version,
+            edges_seen: edges,
+            shards: 4,
+            estimates: TriadEstimates::from_parts(
+                Estimate {
+                    value: tri,
+                    variance: tri / 2.0,
+                },
+                Estimate {
+                    value: 3.0 * tri,
+                    variance: 1.0,
+                },
+                0.25,
+            ),
+        }
+    }
+
+    #[test]
+    fn empty_cell_loads_none() {
+        assert!(EpochCell::new().load().is_none());
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let cell = EpochCell::new();
+        cell.publish(&epoch(7, 1234, 56.5));
+        let got = cell.load().unwrap();
+        assert_eq!(got.version, 7);
+        assert_eq!(got.edges_seen, 1234);
+        assert_eq!(got.shards, 4);
+        assert_eq!(got.estimates.triangles.value.to_bits(), 56.5f64.to_bits());
+        assert_eq!(
+            got.estimates.triangles.variance.to_bits(),
+            28.25f64.to_bits()
+        );
+        assert_eq!(got.estimates.tri_wedge_cov.to_bits(), 0.25f64.to_bits());
+        // Clustering is re-derived consistently from the stored parts.
+        let expect = TriadEstimates::from_parts(
+            got.estimates.triangles,
+            got.estimates.wedges,
+            got.estimates.tri_wedge_cov,
+        );
+        assert_eq!(
+            got.estimates.clustering.value.to_bits(),
+            expect.clustering.value.to_bits()
+        );
+    }
+
+    #[test]
+    fn later_publication_supersedes() {
+        let cell = EpochCell::new();
+        cell.publish(&epoch(1, 10, 1.0));
+        cell.publish(&epoch(2, 20, 2.0));
+        let got = cell.load().unwrap();
+        assert_eq!(got.version, 2);
+        assert_eq!(got.edges_seen, 20);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_consistent_epochs() {
+        // Hammer the cell from reader threads while a writer publishes
+        // epochs whose fields are linked (edges = 10·version, tri =
+        // version as f64): any torn read would break the linkage.
+        let cell = std::sync::Arc::new(EpochCell::new());
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let mut readers = vec![];
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut seen = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    if let Some(e) = cell.load() {
+                        assert_eq!(e.edges_seen, 10 * e.version, "torn epoch");
+                        assert_eq!(e.estimates.triangles.value, e.version as f64);
+                        assert!(e.version >= last, "version went backwards");
+                        last = e.version;
+                        seen += 1;
+                    }
+                }
+                seen
+            }));
+        }
+        for v in 1..=20_000u64 {
+            cell.publish(&epoch(v, 10 * v, v as f64));
+        }
+        stop.store(1, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers observed no epochs");
+        assert_eq!(cell.load().unwrap().version, 20_000);
+    }
+}

@@ -1,0 +1,55 @@
+//! # gps-serve — concurrent live queries over the sharded GPS engine
+//!
+//! The `gps-engine` crate scales *ingest*; this crate adds the missing
+//! *query* side for the paper's continuous-monitoring setting: a
+//! [`ServeEngine`] runs the in-stream snapshot estimator (paper
+//! Algorithm 3) inside every engine worker, periodically merges the
+//! per-shard estimates, and publishes the result as an immutable,
+//! monotonically-versioned [`EstimateEpoch`]. Any number of reader threads
+//! hold [`QueryHandle`]s and get consistent answers **while ingest
+//! continues** — the produce and query sides never share a lock.
+//!
+//! ## How an epoch is made
+//!
+//! 1. Each shard worker owns an `InStreamEstimator` over its substream and
+//!    reports `(arrivals, estimates)` every
+//!    [`EngineConfig::epoch_every`](gps_engine::EngineConfig::epoch_every)
+//!    arrivals (plus once at start and once at drain end).
+//! 2. The report lands on the epoch board: under a mutex contended only by
+//!    the `S` workers, the per-shard snapshots are merged with
+//!    [`TriadEstimates::merged_colored`](gps_core::TriadEstimates::merged_colored)
+//!    — strata sum, monochromacy rescale, and for `S > 1` the
+//!    **between-shard variance term**, so epoch confidence intervals are
+//!    honest about the coloring randomness rather than conditioned on the
+//!    partition.
+//! 3. The merged epoch is written into a seqlock cell. [`QueryHandle::latest`]
+//!    reads it lock-free — no reader ever blocks a worker, a stampede of
+//!    readers never stalls ingest, and a torn read is impossible (the
+//!    version check detects racing publications and retries).
+//!
+//! Blocking consumption is layered on top: [`QueryHandle::wait_for_edges`]
+//! parks until the watermark covers a stream position, and
+//! [`QueryHandle::subscribe`] delivers the epoch stream over a bounded,
+//! lossy-on-lag queue (epochs are cumulative, so a dropped intermediate is
+//! restated by the next delivery).
+//!
+//! ## Consistency model
+//!
+//! An epoch merges each shard's *latest report*, so its watermark
+//! (`edges_seen`) trails the producer by at most the in-flight batches
+//! plus the epoch cadence — bounded staleness, measured by the `serve`
+//! section of the benchmark baseline. Within one epoch the bundle is
+//! internally consistent (triangles, wedges, covariance and clustering all
+//! derive from the same merge), and versions are strictly monotone —
+//! including across engine snapshot/restore ([`ServeEngine::resume`]
+//! continues publishing into the same board).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod board;
+mod epoch;
+mod serve;
+
+pub use epoch::EstimateEpoch;
+pub use serve::{EpochSubscription, QueryHandle, ServeConfig, ServeEngine};

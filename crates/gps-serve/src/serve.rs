@@ -1,0 +1,522 @@
+//! The serving engine and its query handles.
+
+use crate::board::Board;
+use crate::epoch::EstimateEpoch;
+use gps_core::weights::EdgeWeight;
+use gps_core::TriadEstimates;
+use gps_engine::snapshot::SavedEngine;
+use gps_engine::{EngineConfig, EpochHook, ShardedGps};
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// Serving-layer configuration: the wrapped engine's config plus the
+/// query-side knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Configuration of the wrapped [`ShardedGps`] engine (including
+    /// [`EngineConfig::epoch_every`], the publication cadence).
+    pub engine: EngineConfig,
+    /// Bounded per-subscription queue depth. Subscriptions are lossy when
+    /// a subscriber lags: epochs are cumulative, so dropped intermediates
+    /// are restated by the next delivered epoch.
+    pub subscribe_depth: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: engine defaults ([`EngineConfig::new`]) plus a
+    /// 16-epoch subscription queue.
+    pub fn new(capacity: usize, shards: usize, seed: u64) -> Self {
+        ServeConfig {
+            engine: EngineConfig::new(capacity, shards, seed),
+            subscribe_depth: 16,
+        }
+    }
+}
+
+/// A sharded GPS engine that *serves* its estimates while ingest runs:
+/// every shard worker runs the paper's in-stream estimator (Algorithm 3)
+/// over its substream, and the merged estimates — with honest `S > 1`
+/// confidence intervals — are published as immutable, versioned
+/// [`EstimateEpoch`]s that any number of [`QueryHandle`]s read without
+/// ever stalling ingest.
+///
+/// ```
+/// use gps_core::TriangleWeight;
+/// use gps_serve::ServeEngine;
+/// use gps_graph::Edge;
+///
+/// let mut serve = ServeEngine::new(64, TriangleWeight::default(), 42, 2);
+/// let handle = serve.handle();
+/// serve.push_stream([Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+/// serve.finish();
+/// let epoch = handle.latest().expect("finish always publishes an epoch");
+/// assert_eq!(epoch.edges_seen, 3);
+/// let (lb, ub) = epoch.estimates.triangles.ci95();
+/// assert!(lb <= epoch.estimates.triangles.value);
+/// assert!(epoch.estimates.triangles.value <= ub);
+/// ```
+pub struct ServeEngine<W> {
+    engine: ShardedGps<W>,
+    board: Arc<Board>,
+    subscribe_depth: usize,
+}
+
+impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
+    /// Creates a serving engine with total budget `capacity` split across
+    /// `shards` workers, on the default [`ServeConfig`].
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::new`].
+    pub fn new(capacity: usize, weight_fn: W, seed: u64, shards: usize) -> Self {
+        Self::with_config(ServeConfig::new(capacity, shards, seed), weight_fn)
+    }
+
+    /// Creates a serving engine from an explicit [`ServeConfig`].
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::with_config`].
+    pub fn with_config(cfg: ServeConfig, weight_fn: W) -> Self {
+        let board = Arc::new(Board::new(cfg.engine.shards));
+        let hook = Self::hook_for(&board, board.generation());
+        let engine = ShardedGps::with_estimation(cfg.engine, weight_fn, Some(hook));
+        ServeEngine {
+            engine,
+            board,
+            subscribe_depth: cfg.subscribe_depth,
+        }
+    }
+
+    /// Resumes serving from a saved engine snapshot **onto an existing
+    /// handle's board**: epoch versions continue monotonically from where
+    /// the saved engine's final epoch left off, the watermark picks up at
+    /// the saved stream position, and estimates continue from the restored
+    /// samples (each worker's estimator is seeded from its shard's
+    /// post-stream estimate — see `InStreamEstimator::from_sampler`).
+    /// Stragglers of the previous engine (e.g. after a drop without
+    /// finish) cannot publish into the resumed board — reopening bumps the
+    /// accepted report generation. Subscriptions ended when the previous
+    /// engine finished; re-subscribe on the handle.
+    ///
+    /// `epoch_every` is the resumed publication cadence — the snapshot
+    /// does not record it, so pass the one your `ServeConfig` used
+    /// ([`gps_engine::DEFAULT_EPOCH_EVERY`] is the default-config value).
+    ///
+    /// # Panics
+    /// Panics if the handle's previous engine has not finished, or on an
+    /// inconsistent snapshot (see [`SavedEngine::into_engine`]).
+    pub fn resume(
+        saved: SavedEngine,
+        weight_fn: W,
+        backend: BackendKind,
+        epoch_every: u64,
+        handle: &QueryHandle,
+    ) -> Self {
+        let board = handle.board.clone();
+        let generation = board.reopen(saved.shards.len());
+        let engine = saved.into_serving_engine(
+            weight_fn,
+            backend,
+            Some(Self::hook_for(&board, generation)),
+            epoch_every,
+        );
+        ServeEngine {
+            engine,
+            board,
+            subscribe_depth: handle.subscribe_depth,
+        }
+    }
+
+    fn hook_for(board: &Arc<Board>, generation: u64) -> EpochHook {
+        let board = board.clone();
+        Arc::new(move |report| board.publish_report(generation, report))
+    }
+
+    /// A cheap, cloneable query handle onto this engine's epoch stream.
+    /// Handles stay valid after the engine finishes (they answer from the
+    /// final epoch) and across [`ServeEngine::resume`].
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle {
+            board: self.board.clone(),
+            subscribe_depth: self.subscribe_depth,
+        }
+    }
+
+    /// Offers one stream arrival (see [`ShardedGps::push`]).
+    pub fn push(&mut self, edge: Edge) {
+        self.engine.push(edge);
+    }
+
+    /// Feeds a pre-batched chunk (see [`ShardedGps::push_batch`]).
+    pub fn push_batch(&mut self, batch: &[Edge]) {
+        self.engine.push_batch(batch);
+    }
+
+    /// Feeds every edge of an iterator.
+    pub fn push_stream<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        self.engine.push_stream(edges);
+    }
+
+    /// Drains and joins the engine workers, then closes the board: one
+    /// final epoch (carrying every shard's final state) is published,
+    /// watermark waiters wake, and subscriptions end. Idempotent.
+    pub fn finish(&mut self) {
+        self.engine.finish();
+        self.board.close();
+    }
+
+    /// Merged post-stream estimates (finishing first if needed); see
+    /// [`ShardedGps::estimate`].
+    pub fn estimate(&mut self) -> TriadEstimates {
+        self.finish();
+        self.engine.estimate()
+    }
+
+    /// Merged in-stream estimates — identical to the final epoch's
+    /// estimates (finishing first if needed).
+    pub fn estimate_in_stream(&mut self) -> TriadEstimates {
+        self.finish();
+        self.engine.estimate_in_stream()
+    }
+
+    /// Saves the engine snapshot (finishing + closing the board first);
+    /// see [`ShardedGps::save`]. Resume later with [`ServeEngine::resume`].
+    pub fn save<Out: std::io::Write>(
+        &mut self,
+        writer: Out,
+    ) -> Result<(), gps_core::persist::PersistError> {
+        self.finish();
+        self.engine.save(writer)
+    }
+
+    /// Saves to a file path. See [`ServeEngine::save`].
+    pub fn save_file<P: AsRef<std::path::Path>>(
+        &mut self,
+        path: P,
+    ) -> Result<(), gps_core::persist::PersistError> {
+        self.finish();
+        self.engine.save_file(path)
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &ShardedGps<W> {
+        &self.engine
+    }
+
+    /// Arrivals pushed so far (stream position `t` at the producer; the
+    /// published watermark trails this by at most the in-flight batches).
+    pub fn pushed(&self) -> u64 {
+        self.engine.pushed()
+    }
+
+    /// Shard count `S`.
+    pub fn num_shards(&self) -> usize {
+        self.engine.num_shards()
+    }
+
+    /// Whether [`ServeEngine::finish`] has run.
+    pub fn is_finished(&self) -> bool {
+        self.engine.is_finished()
+    }
+}
+
+impl<W> Drop for ServeEngine<W> {
+    /// An abandoned serving engine must not leave waiters blocked: close
+    /// the board (workers may still be draining, but no further epochs
+    /// will come once the feed channels drop).
+    fn drop(&mut self) {
+        self.board.close();
+    }
+}
+
+/// A cloneable, thread-safe reader onto a [`ServeEngine`]'s epoch stream.
+#[derive(Clone)]
+pub struct QueryHandle {
+    board: Arc<Board>,
+    subscribe_depth: usize,
+}
+
+impl QueryHandle {
+    /// The latest published epoch (`None` only before the engine's workers
+    /// have started reporting). Lock-free: never blocks ingest or other
+    /// readers, and retries only while racing a concurrent publication.
+    pub fn latest(&self) -> Option<EstimateEpoch> {
+        self.board.latest()
+    }
+
+    /// Blocks until an epoch whose watermark covers at least `n` arrivals
+    /// is published, and returns it; `None` if the engine finishes without
+    /// the stream ever reaching `n` arrivals.
+    pub fn wait_for_edges(&self, n: u64) -> Option<EstimateEpoch> {
+        self.board.wait_for_edges(n)
+    }
+
+    /// Subscribes to the epoch stream over a bounded queue: the
+    /// subscription is primed with the current epoch, receives subsequent
+    /// epochs in version order, drops intermediates while the subscriber
+    /// lags (epochs are cumulative — the next delivery restates them), and
+    /// ends when the engine finishes. The **final** epoch is never lost to
+    /// lag: at end of stream the subscription drains the board's latest
+    /// epoch directly if the queue dropped it. `None` if the engine has
+    /// already finished.
+    pub fn subscribe(&self) -> Option<EpochSubscription> {
+        self.board
+            .subscribe(self.subscribe_depth)
+            .map(|rx| EpochSubscription {
+                rx,
+                board: self.board.clone(),
+                last_version: 0,
+                drained: false,
+            })
+    }
+
+    /// Whether the producing engine has finished (and not been resumed).
+    pub fn is_closed(&self) -> bool {
+        self.board.is_closed()
+    }
+}
+
+/// A bounded, lossy-on-lag subscription to the epoch stream (see
+/// [`QueryHandle::subscribe`]). Iterate it, or call
+/// [`EpochSubscription::recv`] directly. Intermediate epochs may be
+/// dropped while the subscriber lags, but the stream never *ends* on a
+/// stale epoch: when the channel closes, the board's latest epoch is
+/// delivered once more if the queue had dropped it.
+pub struct EpochSubscription {
+    rx: Receiver<EstimateEpoch>,
+    board: Arc<Board>,
+    last_version: u64,
+    drained: bool,
+}
+
+impl EpochSubscription {
+    /// Blocks for the next epoch; `None` once the engine has finished and
+    /// every delivery — including the guaranteed final epoch — is drained.
+    pub fn recv(&mut self) -> Option<EstimateEpoch> {
+        match self.rx.recv() {
+            Ok(epoch) => {
+                self.last_version = epoch.version;
+                Some(epoch)
+            }
+            Err(_) => self.final_drain(),
+        }
+    }
+
+    /// Non-blocking poll for an already-queued epoch (or the guaranteed
+    /// final epoch once the stream has ended).
+    pub fn try_recv(&mut self) -> Option<EstimateEpoch> {
+        match self.rx.try_recv() {
+            Ok(epoch) => {
+                self.last_version = epoch.version;
+                Some(epoch)
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => self.final_drain(),
+        }
+    }
+
+    /// Channel closed: hand out the board's latest epoch if the bounded
+    /// queue dropped it (a lagging subscriber must not end on a stale
+    /// watermark), exactly once.
+    fn final_drain(&mut self) -> Option<EstimateEpoch> {
+        if self.drained {
+            return None;
+        }
+        self.drained = true;
+        self.board
+            .latest()
+            .filter(|epoch| epoch.version > self.last_version)
+    }
+}
+
+impl Iterator for EpochSubscription {
+    type Item = EstimateEpoch;
+
+    fn next(&mut self) -> Option<EstimateEpoch> {
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::weights::{TriangleWeight, UniformWeight};
+
+    fn clique_chunks(n: u32) -> Vec<Edge> {
+        let mut edges = vec![];
+        for base in (0..n).step_by(5) {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    edges.push(Edge::new(base + a, base + b));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn final_epoch_matches_engine_in_stream_estimate() {
+        let mut serve = ServeEngine::new(60, TriangleWeight::default(), 9, 3);
+        let handle = serve.handle();
+        serve.push_stream(clique_chunks(100));
+        let merged = serve.estimate_in_stream();
+        let epoch = handle.latest().unwrap();
+        assert_eq!(
+            epoch.estimates.triangles.value.to_bits(),
+            merged.triangles.value.to_bits()
+        );
+        assert_eq!(
+            epoch.estimates.triangles.variance.to_bits(),
+            merged.triangles.variance.to_bits()
+        );
+        assert_eq!(
+            epoch.estimates.wedges.value.to_bits(),
+            merged.wedges.value.to_bits()
+        );
+        assert_eq!(epoch.edges_seen, serve.pushed());
+        assert_eq!(epoch.shards, 3);
+        assert!(handle.is_closed());
+    }
+
+    #[test]
+    fn wait_for_edges_observes_mid_stream_progress() {
+        let edges = clique_chunks(200);
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch: 32,
+                    epoch_every: 64,
+                    ..EngineConfig::new(100, 2, 4)
+                },
+                subscribe_depth: 16,
+            },
+            UniformWeight,
+        );
+        let handle = serve.handle();
+        let half = edges.len() as u64 / 2;
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait_for_edges(half))
+        };
+        serve.push_stream(edges.iter().copied());
+        serve.finish();
+        let epoch = waiter.join().unwrap().expect("stream exceeds watermark");
+        assert!(epoch.edges_seen >= half);
+        // Waiting past the stream end must not hang.
+        assert!(handle.wait_for_edges(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn subscription_sees_versions_in_order_and_ends_at_finish() {
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch: 16,
+                    epoch_every: 32,
+                    ..EngineConfig::new(50, 2, 7)
+                },
+                subscribe_depth: 1024,
+            },
+            UniformWeight,
+        );
+        let handle = serve.handle();
+        let sub = handle.subscribe().expect("engine is live");
+        let collector = std::thread::spawn(move || sub.collect::<Vec<_>>());
+        serve.push_stream(clique_chunks(150));
+        serve.finish();
+        let epochs = collector.join().unwrap();
+        assert!(!epochs.is_empty());
+        assert!(
+            epochs.windows(2).all(|w| w[0].version < w[1].version),
+            "epoch versions must be strictly increasing"
+        );
+        assert!(epochs
+            .windows(2)
+            .all(|w| w[0].edges_seen <= w[1].edges_seen));
+        assert_eq!(epochs.last().unwrap().edges_seen, serve.pushed());
+        assert!(handle.subscribe().is_none(), "closed engine: no new subs");
+    }
+
+    #[test]
+    fn lagging_subscriber_still_receives_the_final_epoch() {
+        // Depth-1 queue, never drained during ingest: intermediates drop,
+        // but the stream must end on the true final epoch, not a stale one.
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch: 16,
+                    epoch_every: 32,
+                    ..EngineConfig::new(50, 2, 19)
+                },
+                subscribe_depth: 1,
+            },
+            UniformWeight,
+        );
+        let handle = serve.handle();
+        let sub = handle.subscribe().expect("live engine");
+        serve.push_stream(clique_chunks(400));
+        serve.finish();
+        let epochs: Vec<EstimateEpoch> = sub.collect();
+        assert!(epochs.windows(2).all(|w| w[0].version < w[1].version));
+        assert_eq!(
+            epochs.last().unwrap().edges_seen,
+            serve.pushed(),
+            "subscription must not end on a stale watermark"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_never_block_ingest_or_each_other() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch: 64,
+                    epoch_every: 128,
+                    ..EngineConfig::new(200, 4, 11)
+                },
+                subscribe_depth: 8,
+            },
+            TriangleWeight::default(),
+        );
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = serve.handle();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut reads = 0u64;
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(e) = handle.latest() {
+                            assert!(e.version >= last);
+                            last = e.version;
+                            reads += 1;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+        serve.push_stream(clique_chunks(1000));
+        serve.finish();
+        stop.store(true, Ordering::Relaxed);
+        let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(reads > 0);
+        assert_eq!(serve.handle().latest().unwrap().edges_seen, serve.pushed());
+    }
+
+    #[test]
+    fn dropping_an_unfinished_engine_releases_waiters() {
+        let serve = ServeEngine::new(16, UniformWeight, 1, 2);
+        let handle = serve.handle();
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait_for_edges(u64::MAX))
+        };
+        drop(serve);
+        assert!(waiter.join().unwrap().is_none());
+        assert!(handle.is_closed());
+    }
+}

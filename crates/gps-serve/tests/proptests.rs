@@ -1,0 +1,104 @@
+//! Property: an `S = 1` serving engine is a plumbing-only wrapper — every
+//! epoch it publishes carries estimates **bit-identical** to a bare
+//! `InStreamEstimator` (same seed, same stream) evaluated at the epoch's
+//! watermark. Channels, batching, the epoch board and the seqlock cell add
+//! no estimator behavior of their own.
+
+use gps_core::weights::TriangleWeight;
+use gps_core::{InStreamEstimator, TriadEstimates};
+use gps_engine::EngineConfig;
+use gps_graph::types::Edge;
+use gps_serve::{EstimateEpoch, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+
+/// Random edge stream; duplicates allowed (the duplicate skip must agree).
+fn arb_stream(max_n: u32, max_m: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..max_n, 0..max_n), 1..max_m).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(a, b)| Edge::try_new(a, b))
+            .collect()
+    })
+}
+
+/// Bare-estimator estimates after each arrival count: `trace[t]` is the
+/// state after `t` arrivals (including duplicates), `trace[0]` the empty
+/// state.
+fn bare_trace(stream: &[Edge], capacity: usize, seed: u64) -> Vec<TriadEstimates> {
+    let mut est = InStreamEstimator::new(capacity, TriangleWeight::default(), seed);
+    let mut trace = vec![est.estimates()];
+    for &e in stream {
+        est.process(e);
+        trace.push(est.estimates());
+    }
+    trace
+}
+
+fn assert_bits_equal(epoch: &EstimateEpoch, expect: &TriadEstimates) {
+    let got = &epoch.estimates;
+    assert_eq!(
+        got.triangles.value.to_bits(),
+        expect.triangles.value.to_bits(),
+        "triangle value at watermark {}",
+        epoch.edges_seen
+    );
+    assert_eq!(
+        got.triangles.variance.to_bits(),
+        expect.triangles.variance.to_bits()
+    );
+    assert_eq!(got.wedges.value.to_bits(), expect.wedges.value.to_bits());
+    assert_eq!(
+        got.wedges.variance.to_bits(),
+        expect.wedges.variance.to_bits()
+    );
+    assert_eq!(got.tri_wedge_cov.to_bits(), expect.tri_wedge_cov.to_bits());
+    assert_eq!(
+        got.clustering.value.to_bits(),
+        expect.clustering.value.to_bits()
+    );
+}
+
+proptest! {
+    #[test]
+    fn s1_epochs_are_bit_identical_to_a_bare_in_stream_estimator(
+        stream in arb_stream(24, 250),
+        capacity in 1usize..40,
+        seed in any::<u64>(),
+        batch in 1usize..48,
+        epoch_every in 1u64..64,
+    ) {
+        let trace = bare_trace(&stream, capacity, seed);
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch,
+                    epoch_every,
+                    ..EngineConfig::new(capacity, 1, seed)
+                },
+                // Deep enough that no epoch of this stream is ever dropped.
+                subscribe_depth: 4096,
+            },
+            TriangleWeight::default(),
+        );
+        let handle = serve.handle();
+        let sub = handle.subscribe().expect("live engine");
+        serve.push_stream(stream.iter().copied());
+        serve.finish();
+        let epochs: Vec<EstimateEpoch> = sub.collect();
+        prop_assert!(!epochs.is_empty());
+        let mut last_version = 0;
+        for epoch in &epochs {
+            prop_assert!(epoch.version > last_version);
+            last_version = epoch.version;
+            prop_assert_eq!(epoch.shards, 1);
+            // Watermark indexes the bare trace: with one shard the epoch
+            // must restate the bare estimator's state at that position.
+            assert_bits_equal(epoch, &trace[epoch.edges_seen as usize]);
+        }
+        // The final epoch always reflects the whole stream.
+        prop_assert_eq!(
+            epochs.last().unwrap().edges_seen as usize,
+            stream.len()
+        );
+    }
+}

@@ -28,27 +28,38 @@ pub use lattice::grid;
 pub use rmat::{rmat, RmatParams};
 pub use ws::watts_strogatz;
 
-use gps_graph::hash::FxHashSet;
-use gps_graph::types::{Edge, EdgeKey};
+use gps_graph::types::Edge;
+use gps_graph::{AdjacencyBackend, BackendKind};
 
 /// Deduplicating edge accumulator shared by the generators.
-#[derive(Default)]
+///
+/// Duplicate suppression is answered by a growing compact adjacency's own
+/// membership check on insert — the same substrate the samplers and the
+/// Holme–Kim generator run on — instead of a separate `FxHashSet` of edge
+/// keys (the ROADMAP generator-dedup item). The membership predicate
+/// ("was this edge new?") is identical and no RNG draw depends on the
+/// structure, so seeded generator outputs are unchanged; generators that
+/// need topology (degree-indexed draws, membership under rewiring) get it
+/// from the same structure for free.
 pub(crate) struct EdgeAccumulator {
-    seen: FxHashSet<EdgeKey>,
+    seen: AdjacencyBackend<()>,
     edges: Vec<Edge>,
 }
 
 impl EdgeAccumulator {
     pub(crate) fn with_capacity(m: usize) -> Self {
         EdgeAccumulator {
-            seen: FxHashSet::with_capacity_and_hasher(m * 2, Default::default()),
+            // Node-count hint: a simple graph of m edges touches at most 2m
+            // nodes, but generators cluster far below that; m avoids
+            // over-reserving while the backend grows on demand.
+            seen: AdjacencyBackend::with_capacity(BackendKind::Compact, m, m),
             edges: Vec::with_capacity(m),
         }
     }
 
     /// Adds the edge if it is new; returns whether it was added.
     pub(crate) fn push(&mut self, edge: Edge) -> bool {
-        if self.seen.insert(edge.key()) {
+        if self.seen.insert(edge, ()).is_none() {
             self.edges.push(edge);
             true
         } else {

@@ -33,8 +33,18 @@ pub fn watts_strogatz(n: NodeId, k: usize, beta: f64, seed: u64) -> Vec<Edge> {
     let mut edges = acc.into_edges();
 
     // Rewire pass: replace (v, w) by (v, random) with probability beta,
-    // skipping rewires that would duplicate or self-loop.
-    let mut seen: gps_graph::FxHashSet<u64> = edges.iter().map(Edge::key).collect();
+    // skipping rewires that would duplicate or self-loop. Membership under
+    // rewiring is answered by an adjacency over the current edge set (same
+    // substrate as the other generators' dedup; identical predicate, so
+    // seeded outputs are unchanged).
+    let mut seen: gps_graph::AdjacencyBackend<()> = gps_graph::AdjacencyBackend::with_capacity(
+        gps_graph::BackendKind::Compact,
+        n as usize,
+        edges.len(),
+    );
+    for &e in &edges {
+        seen.insert(e, ());
+    }
     #[allow(clippy::needless_range_loop)] // edges[i] is written below
     for i in 0..edges.len() {
         if rng.random::<f64>() >= beta {
@@ -44,16 +54,16 @@ pub fn watts_strogatz(n: NodeId, k: usize, beta: f64, seed: u64) -> Vec<Edge> {
         let v = old.u();
         let mut target = rng.random_range(0..n);
         let mut tries = 0;
-        while (target == v || seen.contains(&Edge::new(v, target).key())) && tries < 32 {
+        while (target == v || seen.contains(Edge::new(v, target))) && tries < 32 {
             target = rng.random_range(0..n);
             tries += 1;
         }
-        if target == v || seen.contains(&Edge::new(v, target).key()) {
+        if target == v || seen.contains(Edge::new(v, target)) {
             continue;
         }
         let new = Edge::new(v, target);
-        seen.remove(&old.key());
-        seen.insert(new.key());
+        seen.remove(old);
+        seen.insert(new, ());
         edges[i] = new;
     }
     edges

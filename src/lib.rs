@@ -26,7 +26,8 @@
 //! | [`graph`] | node/edge types, adjacency & CSR storage, exact triangle/wedge counting, incremental counters, edge-list I/O |
 //! | [`stream`] | seeded permutations, checkpoint scheduling, synthetic workload generators, the evaluation corpus |
 //! | [`baselines`] | TRIEST / TRIEST-IMPR, MASCOT(-C), NSAMP(+bulk), JHA wedge sampling, uniform reservoir — store-based ones on the shared adjacency-backend substrate |
-//! | [`engine`] | `ShardedGps`: hash-partitioned multi-threaded ingest over `S` independent reservoirs, unbiased cross-shard estimate merging, composed snapshots |
+//! | [`engine`] | `ShardedGps`: hash-partitioned multi-threaded ingest over `S` independent reservoirs, unbiased cross-shard estimate merging (honest `S > 1` CIs), in-stream estimation inside the workers, composed snapshots |
+//! | [`serve`] | `ServeEngine`: live queries while ingest runs — epoch-published merged estimates, lock-free `QueryHandle::latest`, blocking watermark waits, bounded subscriptions |
 //! | [`stats`] | running moments, ARE/MARE metrics, table rendering |
 //!
 //! `docs/paper-map.md` in the repository maps the paper's algorithms and
@@ -59,6 +60,7 @@ pub use gps_baselines as baselines;
 pub use gps_core as core;
 pub use gps_engine as engine;
 pub use gps_graph as graph;
+pub use gps_serve as serve;
 pub use gps_stats as stats;
 pub use gps_stream as stream;
 
@@ -72,6 +74,7 @@ pub mod prelude {
     };
     pub use gps_engine::{self, EngineConfig, ShardedGps};
     pub use gps_graph::{self, CsrGraph, Edge, IncrementalCounter, NodeId};
+    pub use gps_serve::{self, EstimateEpoch, QueryHandle, ServeConfig, ServeEngine};
     pub use gps_stream::{self, batched, permuted, Checkpoints};
 }
 
