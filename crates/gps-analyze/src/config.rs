@@ -1,0 +1,251 @@
+//! The allowlist: documented, individually-matched exceptions to lint
+//! rules.
+//!
+//! Format (one entry per line; `#` starts a comment):
+//!
+//! ```text
+//! <rule-id> <repo-relative-path> [line=<N> | contains="<substr>"] -- <reason>
+//! ```
+//!
+//! * With neither matcher the entry waives the rule for the whole file.
+//! * `line=N` waives exactly that (1-based) line.
+//! * `contains="…"` waives any violating line whose source text contains
+//!   the substring — robust to line drift, self-documenting in diffs.
+//!
+//! The reason is mandatory: an exception nobody can explain is a violation
+//! with extra steps. Entries that match nothing are themselves reported
+//! (`stale-allowlist-entry`), so the file can only shrink as the code
+//! improves — it never silently rots.
+
+use crate::rules::{Violation, RULE_IDS};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry waives.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Optional 1-based line matcher.
+    pub line: Option<usize>,
+    /// Optional source-substring matcher.
+    pub contains: Option<String>,
+    /// Why the exception is sound (mandatory).
+    pub reason: String,
+    /// Line of the allowlist file the entry came from (for diagnostics).
+    pub at: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+/// Splits the leading whitespace-delimited word off `spec`.
+fn take_word(spec: &mut &str) -> Option<String> {
+    let trimmed = spec.trim_start();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+    let (word, rest) = trimmed.split_at(end);
+    *spec = rest.trim_start();
+    Some(word.to_owned())
+}
+
+impl Allowlist {
+    /// Parses allowlist text; returns `Err` with a message per malformed
+    /// line (unknown rule IDs are malformed — typos must not silently
+    /// waive nothing).
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (spec, reason) = line
+                .split_once("--")
+                .ok_or_else(|| format!("allowlist line {}: missing `-- reason`", idx + 1))?;
+            let reason = reason.trim();
+            if reason.is_empty() {
+                return Err(format!("allowlist line {}: empty reason", idx + 1));
+            }
+            let mut spec = spec.trim();
+            let rule = take_word(&mut spec)
+                .ok_or_else(|| format!("allowlist line {}: missing rule id", idx + 1))?;
+            if !RULE_IDS.contains(&rule.as_str()) {
+                return Err(format!("allowlist line {}: unknown rule `{rule}`", idx + 1));
+            }
+            let path = take_word(&mut spec)
+                .ok_or_else(|| format!("allowlist line {}: missing path", idx + 1))?;
+            let mut entry = AllowEntry {
+                rule,
+                path,
+                line: None,
+                contains: None,
+                reason: reason.to_owned(),
+                at: idx + 1,
+            };
+            // The rest of the spec is at most one matcher; `contains="…"`
+            // values may hold spaces, so strip the quotes rather than
+            // splitting on whitespace.
+            if let Some(n) = spec.strip_prefix("line=") {
+                let n = n.trim();
+                entry.line =
+                    Some(n.parse().map_err(|_| {
+                        format!("allowlist line {}: bad line number `{n}`", idx + 1)
+                    })?);
+            } else if let Some(s) = spec.strip_prefix("contains=") {
+                let s = s.trim().trim_matches('"');
+                if s.is_empty() {
+                    return Err(format!("allowlist line {}: empty contains=", idx + 1));
+                }
+                entry.contains = Some(s.to_owned());
+            } else if !spec.is_empty() {
+                return Err(format!(
+                    "allowlist line {}: unknown matcher `{spec}`",
+                    idx + 1
+                ));
+            }
+            entries.push(entry);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Filters `violations` through the allowlist. Returns the surviving
+    /// violations plus one synthetic `stale-allowlist-entry` violation for
+    /// every entry that matched nothing.
+    ///
+    /// `source_line` resolves `(path, 1-based line)` to the raw source text
+    /// for `contains=` matching.
+    pub fn apply<F>(&self, violations: Vec<Violation>, source_line: F) -> Vec<Violation>
+    where
+        F: Fn(&str, usize) -> Option<String>,
+    {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        for v in violations {
+            let waived = self.entries.iter().enumerate().any(|(i, e)| {
+                let hit = e.rule == v.rule
+                    && e.path == v.path
+                    && e.line.is_none_or(|n| n == v.line)
+                    && e.contains.as_ref().is_none_or(|s| {
+                        source_line(&v.path, v.line).is_some_and(|text| text.contains(s))
+                    });
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+            if !waived {
+                kept.push(v);
+            }
+        }
+        for (e, used) in self.entries.iter().zip(used) {
+            if !used {
+                kept.push(Violation {
+                    rule: "stale-allowlist-entry",
+                    path: e.path.clone(),
+                    line: e.line.unwrap_or(0),
+                    msg: format!(
+                        "allowlist entry (analyze.allow:{}) for `{}` matched no violation — remove it",
+                        e.at, e.rule
+                    ),
+                });
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn file_level_entry_waives_and_is_used() {
+        let a = Allowlist::parse(
+            "no-wallclock-in-determinism crates/gps-bench/src/perf.rs -- bench timing module\n",
+        )
+        .unwrap();
+        let out = a.apply(
+            vec![v(
+                "no-wallclock-in-determinism",
+                "crates/gps-bench/src/perf.rs",
+                12,
+            )],
+            |_, _| None,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn contains_matcher_waives_only_matching_lines() {
+        let a = Allowlist::parse(
+            "no-unwrap-in-lib crates/gps-engine/src/engine.rs contains=\"worker panicked\" -- panic contract\n",
+        )
+        .unwrap();
+        let src = |_: &str, line: usize| {
+            Some(if line == 5 {
+                "x.join().expect(\"shard worker panicked\");".to_owned()
+            } else {
+                "y.unwrap();".to_owned()
+            })
+        };
+        let out = a.apply(
+            vec![
+                v("no-unwrap-in-lib", "crates/gps-engine/src/engine.rs", 5),
+                v("no-unwrap-in-lib", "crates/gps-engine/src/engine.rs", 9),
+            ],
+            src,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 9);
+    }
+
+    #[test]
+    fn unused_entry_is_reported_stale() {
+        let a = Allowlist::parse("no-stray-allow crates/gps-core/src/x.rs -- obsolete\n").unwrap();
+        let out = a.apply(vec![], |_, _| None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "stale-allowlist-entry");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_parse_error() {
+        assert!(Allowlist::parse("no-such-rule a/b.rs -- why\n").is_err());
+    }
+
+    #[test]
+    fn missing_reason_is_a_parse_error() {
+        assert!(Allowlist::parse("no-stray-allow a/b.rs\n").is_err());
+        assert!(Allowlist::parse("no-stray-allow a/b.rs --   \n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let a = Allowlist::parse("# header\n\n# another\n").unwrap();
+        assert!(a.is_empty());
+    }
+}

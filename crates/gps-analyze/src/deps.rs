@@ -1,0 +1,161 @@
+//! `gps-analyze deps`: the Cargo.lock audit.
+//!
+//! The workspace is offline by policy — every dependency is either a
+//! first-party crate or one of the vetted compat shims (`rand`,
+//! `proptest`, `criterion`) that stand in for their registry namesakes.
+//! This audit fails if the lockfile ever names a package outside that set
+//! (someone `cargo add`ed something the container cannot fetch) or
+//! resolves one package at two versions (dependency drift the offline
+//! policy cannot tolerate: there is exactly one source for each name).
+
+use std::collections::BTreeMap;
+
+/// One `[[package]]` stanza of a Cargo.lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPackage {
+    /// Package name.
+    pub name: String,
+    /// Resolved version.
+    pub version: String,
+    /// `source` field if present (registry/git packages have one;
+    /// path-local workspace packages do not).
+    pub source: Option<String>,
+}
+
+/// Packages the offline workspace is allowed to resolve: first-party
+/// (`gps-*` plus the facade) and the three compat shims.
+pub fn is_vetted(p: &LockPackage) -> bool {
+    let first_party = p.name == "graph-priority-sampling" || p.name.starts_with("gps-");
+    let compat_shim = matches!(p.name.as_str(), "rand" | "proptest" | "criterion");
+    // Every vetted package is path-local: a registry or git source on any
+    // name — even a vetted one — means the lockfile escaped the container.
+    (first_party || compat_shim) && p.source.is_none()
+}
+
+/// Parses the `[[package]]` stanzas out of Cargo.lock text (std-only; the
+/// lockfile grammar used is the flat `key = "value"` subset cargo emits).
+pub fn parse_lockfile(text: &str) -> Vec<LockPackage> {
+    let mut packages = Vec::new();
+    let mut current: Option<LockPackage> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line == "[[package]]" {
+            if let Some(p) = current.take() {
+                packages.push(p);
+            }
+            current = Some(LockPackage {
+                name: String::new(),
+                version: String::new(),
+                source: None,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            // Some other table (e.g. `[metadata]`) ends the stanza.
+            if let Some(p) = current.take() {
+                packages.push(p);
+            }
+            continue;
+        }
+        let Some(p) = current.as_mut() else { continue };
+        if let Some((key, value)) = line.split_once('=') {
+            let value = value.trim().trim_matches('"').to_owned();
+            match key.trim() {
+                "name" => p.name = value,
+                "version" => p.version = value,
+                "source" => p.source = Some(value),
+                _ => {}
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        packages.push(p);
+    }
+    packages
+}
+
+/// Audits lockfile text: every finding is one human-readable problem line.
+/// Empty result ⇒ the lockfile is clean.
+pub fn audit_lockfile(text: &str) -> Vec<String> {
+    let packages = parse_lockfile(text);
+    let mut problems = Vec::new();
+    if packages.is_empty() {
+        problems.push("Cargo.lock contains no [[package]] stanzas (corrupt or empty)".into());
+        return problems;
+    }
+    let mut versions: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for p in &packages {
+        versions.entry(&p.name).or_default().push(&p.version);
+        if !is_vetted(p) {
+            let source = p.source.as_deref().unwrap_or("path-local");
+            problems.push(format!(
+                "unvetted package `{} {}` ({source}) — the offline set is gps-*, the facade, and the rand/proptest/criterion shims",
+                p.name, p.version
+            ));
+        }
+    }
+    for (name, vs) in versions {
+        if vs.len() > 1 {
+            problems.push(format!("duplicate versions of `{name}`: {}", vs.join(", ")));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = r#"
+version = 4
+
+[[package]]
+name = "gps-core"
+version = "0.1.0"
+dependencies = ["gps-graph"]
+
+[[package]]
+name = "rand"
+version = "0.1.0"
+"#;
+
+    #[test]
+    fn clean_lockfile_passes() {
+        assert!(audit_lockfile(CLEAN).is_empty());
+    }
+
+    #[test]
+    fn registry_source_fails_even_on_vetted_name() {
+        let text = format!(
+            "{CLEAN}\n[[package]]\nname = \"rand\"\nversion = \"0.8.5\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n"
+        );
+        let problems = audit_lockfile(&text);
+        // The second `rand` is both unvetted (registry source) and a
+        // duplicate version.
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("unvetted"));
+        assert!(problems[1].contains("duplicate versions of `rand`"));
+    }
+
+    #[test]
+    fn unknown_package_fails() {
+        let text = format!("{CLEAN}\n[[package]]\nname = \"serde\"\nversion = \"1.0.0\"\n");
+        let problems = audit_lockfile(&text);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("`serde 1.0.0`"));
+    }
+
+    #[test]
+    fn empty_lockfile_is_a_problem() {
+        assert_eq!(audit_lockfile("version = 4\n").len(), 1);
+    }
+
+    #[test]
+    fn parser_reads_source_field() {
+        let pkgs = parse_lockfile(
+            "[[package]]\nname = \"x\"\nversion = \"1\"\nsource = \"git+https://e\"\n",
+        );
+        assert_eq!(pkgs.len(), 1);
+        assert_eq!(pkgs[0].source.as_deref(), Some("git+https://e"));
+    }
+}

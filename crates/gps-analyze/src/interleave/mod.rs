@@ -1,0 +1,26 @@
+//! The loom-lite interleaving checker.
+//!
+//! Three layers:
+//!
+//! * [`machine`] — a register bytecode over atomic variables with a
+//!   release/acquire view-based memory model (the "sequentially
+//!   consistent interleaving plus reordering window" semantics);
+//! * [`mod@explore`] — exhaustive schedule enumeration, optionally
+//!   preemption-bounded for the wide 2×2 configurations;
+//! * [`models`] — the `EpochCell` seqlock and `Board` gate protocols
+//!   transliterated into that bytecode, with per-ordering weakening knobs
+//!   so tests can prove each `Ordering::` site is load-bearing.
+//!
+//! This is not loom (no full C11 axioms, no modification-order
+//! exploration beyond per-variable coherence, no SeqCst) and not TSan (no
+//! real codegen): it checks *protocol* correctness of the models, while
+//! Miri/TSan CI jobs check the real code. `docs/verification.md` draws
+//! the exact line.
+
+pub mod explore;
+pub mod machine;
+pub mod models;
+
+pub use explore::{explore, explore_with_final, Bound, Explored};
+pub use machine::{Machine, Mo, ModelViolation};
+pub use models::{board_model, execute, seqlock_model, standard_runs, BoardSpec, Run, SeqlockSpec};

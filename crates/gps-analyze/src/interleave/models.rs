@@ -1,0 +1,506 @@
+//! The two protocols under check, as explicit state machines: the
+//! `EpochCell` seqlock (gps-serve/src/epoch.rs) and the Board
+//! publication/watermark gate (gps-serve/src/board.rs).
+//!
+//! Each model is built from a *spec* whose fields mirror the orderings and
+//! structure of the real code; the correct spec reproduces the source
+//! exactly, and tests weaken one field at a time to prove the checker
+//! catches the bug class each ordering exists to prevent.
+
+use super::explore::{explore, explore_with_final, Bound, Explored};
+use super::machine::{Asm, Instr, Machine, Mo, Prog};
+
+// ---------------------------------------------------------------- seqlock
+
+/// Seqlock variables: the sequence word and two payload words.
+const SEQ: u8 = 0;
+const W0: u8 = 1;
+const W1: u8 = 2;
+
+/// Orderings and structure of the seqlock, field-for-field against
+/// `EpochCell::{publish, load}`.
+#[derive(Clone, Copy, Debug)]
+pub struct SeqlockSpec {
+    /// `fence(Release)` between the odd sequence store and the payload
+    /// stores (epoch.rs publish step 2).
+    pub writer_release_fence: bool,
+    /// Ordering of the final (even) sequence store (`Release` in the real
+    /// code).
+    pub final_seq_store: Mo,
+    /// Ordering of the reader's first sequence load (`Acquire`).
+    pub reader_first_load: Mo,
+    /// `fence(Acquire)` between the payload copy and the recheck.
+    pub reader_acquire_fence: bool,
+}
+
+impl SeqlockSpec {
+    /// The protocol as implemented in `gps-serve/src/epoch.rs`.
+    pub fn correct() -> SeqlockSpec {
+        SeqlockSpec {
+            writer_release_fence: true,
+            final_seq_store: Mo::Release,
+            reader_first_load: Mo::Acquire,
+            reader_acquire_fence: true,
+        }
+    }
+}
+
+/// Payload linkage: for an epoch whose even sequence is `s`, `w0 = 3·s`
+/// and `w1 = 7·s` — so any cross-epoch mix of payload words, or a payload
+/// not matching the validated sequence, is detectable by arithmetic.
+fn seqlock_writer(i: usize, spec: &SeqlockSpec) -> Prog {
+    let mut a = Asm::new(format!("writer-{i}"));
+    // Writers are exclusive in the real protocol (the board publishes
+    // under its mutex), so the model serializes them the same way.
+    a.op(Instr::Lock);
+    // ordering-model: seq.load(Relaxed) — exclusivity makes it exact.
+    a.op(Instr::Load {
+        dst: 0,
+        var: SEQ,
+        mo: Mo::Relaxed,
+    });
+    // seq.store(s + 1, Relaxed): mark write-in-progress (odd).
+    a.op(Instr::Addi {
+        dst: 1,
+        src: 0,
+        imm: 1,
+    });
+    a.op(Instr::Store {
+        var: SEQ,
+        src: 1,
+        mo: Mo::Relaxed,
+    });
+    if spec.writer_release_fence {
+        a.op(Instr::Fence { mo: Mo::Release });
+    }
+    // Payload for the next even sequence s+2.
+    a.op(Instr::Addi {
+        dst: 2,
+        src: 0,
+        imm: 2,
+    });
+    a.op(Instr::Muli {
+        dst: 3,
+        src: 2,
+        imm: 3,
+    });
+    a.op(Instr::Muli {
+        dst: 4,
+        src: 2,
+        imm: 7,
+    });
+    a.op(Instr::Store {
+        var: W0,
+        src: 3,
+        mo: Mo::Relaxed,
+    });
+    a.op(Instr::Store {
+        var: W1,
+        src: 4,
+        mo: Mo::Relaxed,
+    });
+    // seq.store(s + 2, Release): publish.
+    a.op(Instr::Store {
+        var: SEQ,
+        src: 2,
+        mo: spec.final_seq_store,
+    });
+    a.op(Instr::Unlock);
+    a.op(Instr::Halt);
+    a.finish()
+}
+
+fn seqlock_reader(i: usize, spec: &SeqlockSpec, attempts: u64, retries: u64) -> Prog {
+    let mut a = Asm::new(format!("reader-{i}"));
+    // r7: last validated sequence; r5: attempts left; r6: retry budget;
+    // r10: constant zero.
+    a.op(Instr::Imm { dst: 7, val: 0 });
+    a.op(Instr::Imm {
+        dst: 5,
+        val: attempts,
+    });
+    a.op(Instr::Imm {
+        dst: 6,
+        val: retries,
+    });
+    a.op(Instr::Imm { dst: 10, val: 0 });
+    let attempt = a.label();
+    let retry = a.label();
+    let done = a.label();
+    a.bind(attempt);
+    // s1 = seq.load(Acquire)
+    a.op(Instr::Load {
+        dst: 0,
+        var: SEQ,
+        mo: spec.reader_first_load,
+    });
+    // Odd ⇒ a publication is in flight: retry.
+    a.branch(|to| Instr::Bodd { src: 0, to }, retry);
+    // Copy the payload (relaxed word loads, as in the real code).
+    a.op(Instr::Load {
+        dst: 1,
+        var: W0,
+        mo: Mo::Relaxed,
+    });
+    a.op(Instr::Load {
+        dst: 2,
+        var: W1,
+        mo: Mo::Relaxed,
+    });
+    if spec.reader_acquire_fence {
+        a.op(Instr::Fence { mo: Mo::Acquire });
+    }
+    // Recheck: an unchanged sequence validates the copy.
+    a.op(Instr::Load {
+        dst: 3,
+        var: SEQ,
+        mo: Mo::Relaxed,
+    });
+    a.branch(|to| Instr::Bne { a: 3, b: 0, to }, retry);
+    // Validated ⇒ the epoch invariants must hold.
+    a.op(Instr::Muli {
+        dst: 8,
+        src: 1,
+        imm: 7,
+    });
+    a.op(Instr::Muli {
+        dst: 9,
+        src: 2,
+        imm: 3,
+    });
+    a.op(Instr::CkEq {
+        a: 8,
+        b: 9,
+        what: "torn read: payload words from different epochs",
+    });
+    a.op(Instr::Muli {
+        dst: 8,
+        src: 0,
+        imm: 3,
+    });
+    a.op(Instr::CkEq {
+        a: 1,
+        b: 8,
+        what: "torn read: validated payload does not match its sequence",
+    });
+    a.op(Instr::CkLe {
+        a: 7,
+        b: 0,
+        what: "sequence regressed between validated reads",
+    });
+    a.op(Instr::Addi {
+        dst: 7,
+        src: 0,
+        imm: 0,
+    });
+    a.op(Instr::Addi {
+        dst: 5,
+        src: 5,
+        imm: -1,
+    });
+    a.branch(|to| Instr::Bne { a: 5, b: 10, to }, attempt);
+    a.branch(|to| Instr::Jmp { to }, done);
+    a.bind(retry);
+    a.op(Instr::Addi {
+        dst: 6,
+        src: 6,
+        imm: -1,
+    });
+    a.branch(|to| Instr::Bne { a: 6, b: 10, to }, attempt);
+    a.bind(done);
+    a.op(Instr::Halt);
+    a.finish()
+}
+
+/// Builds the seqlock model: `writers` publishers (serialized, as under
+/// the board mutex) racing `readers` lock-free readers, each attempting
+/// `attempts` validated reads with a retry budget.
+pub fn seqlock_model(
+    spec: &SeqlockSpec,
+    writers: usize,
+    readers: usize,
+    attempts: u64,
+    retries: u64,
+) -> Machine {
+    let mut progs = Vec::new();
+    for i in 0..writers {
+        progs.push(seqlock_writer(i, spec));
+    }
+    for i in 0..readers {
+        progs.push(seqlock_reader(i, spec, attempts, retries));
+    }
+    Machine::new(progs, 3).expect("seqlock model construction cannot fail")
+}
+
+// ------------------------------------------------------------------ board
+
+/// Board variables: two per-shard report slots and the published
+/// version/watermark pair.
+const REP0: u8 = 0;
+const REP1: u8 = 1;
+const PUBV: u8 = 2;
+const PUBW: u8 = 3;
+
+/// Structure of the Board protocol (`Board::publish_report`): merge under
+/// the mutex, gate publication until every shard has reported, publish
+/// watermark-then-version with a release store.
+#[derive(Clone, Copy, Debug)]
+pub struct BoardSpec {
+    /// Publication gated until both shards have reported (board.rs's
+    /// `per_shard.iter().all(Option::is_some)`).
+    pub gate_on_all_shards: bool,
+    /// Reporters merge and publish under the board mutex.
+    pub merge_under_mutex: bool,
+    /// Ordering of the version store that publishes the epoch (`Release`
+    /// in the real code — the seqlock's even store, collapsed to one
+    /// word here; pair-tearing itself is the seqlock model's job).
+    pub publish_store: Mo,
+}
+
+impl BoardSpec {
+    /// The protocol as implemented in `gps-serve/src/board.rs`.
+    pub fn correct() -> BoardSpec {
+        BoardSpec {
+            gate_on_all_shards: true,
+            merge_under_mutex: true,
+            publish_store: Mo::Release,
+        }
+    }
+}
+
+/// Watermarks each shard reports, in order. Strictly positive and
+/// monotone per shard, so `0` in a report slot means "not yet reported"
+/// — exactly the board's `Option::is_none`.
+const SHARD_REPORTS: [[u64; 2]; 2] = [[10, 30], [5, 20]];
+
+/// Smallest full-merge watermark: both shards' first reports combined. A
+/// published watermark below this proves the gate was bypassed.
+pub const BOARD_FLOOR: u64 = SHARD_REPORTS[0][0] + SHARD_REPORTS[1][0];
+
+fn board_reporter(i: usize, spec: &BoardSpec) -> Prog {
+    let my_rep = if i == 0 { REP0 } else { REP1 };
+    let mut a = Asm::new(format!("reporter-{i}"));
+    a.op(Instr::Imm { dst: 10, val: 0 });
+    for wm in SHARD_REPORTS[i] {
+        if spec.merge_under_mutex {
+            a.op(Instr::Lock);
+        }
+        // state.per_shard[i] = Some(report) — relaxed store: the mutex
+        // carries visibility to the next reporter.
+        a.op(Instr::Imm { dst: 0, val: wm });
+        a.op(Instr::Store {
+            var: my_rep,
+            src: 0,
+            mo: Mo::Relaxed,
+        });
+        let skip = a.label();
+        a.op(Instr::Load {
+            dst: 1,
+            var: REP0,
+            mo: Mo::Relaxed,
+        });
+        a.op(Instr::Load {
+            dst: 2,
+            var: REP1,
+            mo: Mo::Relaxed,
+        });
+        if spec.gate_on_all_shards {
+            // Publication gated until every shard has reported.
+            a.branch(|to| Instr::Beq { a: 1, b: 10, to }, skip);
+            a.branch(|to| Instr::Beq { a: 2, b: 10, to }, skip);
+        }
+        // version += 1; watermark = Σ reports; store watermark then
+        // version (the version store is what readers synchronize on).
+        a.op(Instr::Load {
+            dst: 3,
+            var: PUBV,
+            mo: Mo::Relaxed,
+        });
+        a.op(Instr::Addi {
+            dst: 3,
+            src: 3,
+            imm: 1,
+        });
+        a.op(Instr::Add { dst: 4, a: 1, b: 2 });
+        a.op(Instr::Store {
+            var: PUBW,
+            src: 4,
+            mo: Mo::Relaxed,
+        });
+        a.op(Instr::Store {
+            var: PUBV,
+            src: 3,
+            mo: spec.publish_store,
+        });
+        a.bind(skip);
+        if spec.merge_under_mutex {
+            a.op(Instr::Unlock);
+        }
+    }
+    a.op(Instr::Halt);
+    a.finish()
+}
+
+fn board_reader(i: usize, attempts: u64) -> Prog {
+    let mut a = Asm::new(format!("query-{i}"));
+    // r7/r8: last seen version/watermark; r5: attempts; r9: gate floor;
+    // r10: zero.
+    a.op(Instr::Imm { dst: 7, val: 0 });
+    a.op(Instr::Imm { dst: 8, val: 0 });
+    a.op(Instr::Imm {
+        dst: 5,
+        val: attempts,
+    });
+    a.op(Instr::Imm {
+        dst: 9,
+        val: BOARD_FLOOR,
+    });
+    a.op(Instr::Imm { dst: 10, val: 0 });
+    let poll = a.label();
+    let next = a.label();
+    a.bind(poll);
+    a.op(Instr::Load {
+        dst: 0,
+        var: PUBV,
+        mo: Mo::Acquire,
+    });
+    // version == 0 ⇒ nothing published yet.
+    a.branch(|to| Instr::Beq { a: 0, b: 10, to }, next);
+    a.op(Instr::Load {
+        dst: 1,
+        var: PUBW,
+        mo: Mo::Relaxed,
+    });
+    a.op(Instr::CkLe {
+        a: 9,
+        b: 1,
+        what: "published watermark below the full-merge floor (gate bypassed)",
+    });
+    a.op(Instr::CkLe {
+        a: 7,
+        b: 0,
+        what: "published version regressed",
+    });
+    a.op(Instr::CkLe {
+        a: 8,
+        b: 1,
+        what: "published watermark regressed",
+    });
+    a.op(Instr::Addi {
+        dst: 7,
+        src: 0,
+        imm: 0,
+    });
+    a.op(Instr::Addi {
+        dst: 8,
+        src: 1,
+        imm: 0,
+    });
+    a.bind(next);
+    a.op(Instr::Addi {
+        dst: 5,
+        src: 5,
+        imm: -1,
+    });
+    a.branch(|to| Instr::Bne { a: 5, b: 10, to }, poll);
+    a.op(Instr::Halt);
+    a.finish()
+}
+
+/// Builds the board model: two shard reporters (two reports each) racing
+/// `readers` queriers, each polling `attempts` times.
+pub fn board_model(spec: &BoardSpec, readers: usize, attempts: u64) -> Machine {
+    let mut progs = vec![board_reporter(0, spec), board_reporter(1, spec)];
+    for i in 0..readers {
+        progs.push(board_reader(i, attempts));
+    }
+    Machine::new(progs, 4).expect("board model construction cannot fail")
+}
+
+/// Final-state invariants of the board model, checked after a full
+/// exploration of the *correct* spec (every schedule ends with both
+/// shards fully reported, so the last publication is total):
+/// the final watermark is the full sum, and the version counted every
+/// publication (no lost update under the mutex).
+pub fn board_final_ok(m: &Machine) -> Result<(), String> {
+    let want: u64 = SHARD_REPORTS.iter().map(|r| r[1]).sum();
+    let got = m.mem.latest(PUBW as usize);
+    if got != want {
+        return Err(format!("final watermark {got}, want {want}"));
+    }
+    let publishes = m.mem.writes(PUBV as usize) as u64;
+    let version = m.mem.latest(PUBV as usize);
+    if version != publishes {
+        return Err(format!(
+            "final version {version} but {publishes} publications (lost update)"
+        ));
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ harness
+
+/// A quiescent-state invariant run against the memory after every
+/// completed schedule.
+pub type FinalCheck = fn(&Machine) -> Result<(), String>;
+
+/// One named exploration: a model, its bound, and an optional final-state
+/// invariant.
+pub struct Run {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// The machine to explore.
+    pub machine: Machine,
+    /// The exploration bound.
+    pub bound: Bound,
+    /// Quiescent-state invariant, if the model has one.
+    pub final_check: Option<FinalCheck>,
+}
+
+/// The standard verification suite over the *correct* specs: full
+/// exhaustion on the small configurations, preemption-bounded exhaustion
+/// on 2 writers × 2 readers.
+pub fn standard_runs() -> Vec<Run> {
+    let sl = SeqlockSpec::correct();
+    let bd = BoardSpec::correct();
+    vec![
+        Run {
+            name: "seqlock 1w×1r (full)",
+            machine: seqlock_model(&sl, 1, 1, 2, 2),
+            bound: Bound::exhaustive(),
+            final_check: None,
+        },
+        Run {
+            name: "seqlock 1w×2r (≤2 preemptions)",
+            machine: seqlock_model(&sl, 1, 2, 1, 1),
+            bound: Bound::preemptions(2),
+            final_check: None,
+        },
+        Run {
+            name: "seqlock 2w×2r (≤1 preemption)",
+            machine: seqlock_model(&sl, 2, 2, 1, 1),
+            bound: Bound::preemptions(1),
+            final_check: None,
+        },
+        Run {
+            name: "board 2rep×1q (full)",
+            machine: board_model(&bd, 1, 2),
+            bound: Bound::exhaustive(),
+            final_check: Some(board_final_ok),
+        },
+        Run {
+            name: "board 2rep×2q (≤2 preemptions)",
+            machine: board_model(&bd, 2, 2),
+            bound: Bound::preemptions(2),
+            final_check: Some(board_final_ok),
+        },
+    ]
+}
+
+/// Executes a [`Run`].
+pub fn execute(run: &Run) -> Explored {
+    match run.final_check {
+        Some(check) => explore_with_final(&run.machine, run.bound, &check),
+        None => explore(&run.machine, run.bound),
+    }
+}

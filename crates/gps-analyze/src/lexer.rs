@@ -1,0 +1,334 @@
+//! A masking scanner for Rust source: blanks out the *interiors* of
+//! comments, string literals, and char literals so that token-level rules
+//! can match against code without tripping on prose.
+//!
+//! This is deliberately not a parser. The linter's rules are token
+//! patterns ("`std::collections::HashMap` appears", "`.unwrap()` appears"),
+//! and the only parsing-adjacent work they need is knowing whether a given
+//! byte sits in code or inside a comment/string. The scanner handles the
+//! full literal grammar the workspace actually uses: line comments (`//`,
+//! `///`, `//!`), nested block comments, plain/escaped strings, raw strings
+//! with any number of `#`s, byte strings, char literals, and the classic
+//! ambiguity between a char literal and a lifetime (`'a'` vs `&'a T`).
+//!
+//! Two parallel views of the file come back, both line-indexed and
+//! byte-for-byte the same shape as the input:
+//!
+//! * [`MaskedFile::code`] — comments and literal interiors replaced by
+//!   spaces (string *delimiters* stay, so `"x"` masks to `" "`): rules
+//!   search this view.
+//! * [`MaskedFile::comments`] — the complement: only comment text survives.
+//!   The `atomics-justified` rule searches this view for `ordering:`
+//!   annotations, so an `"ordering:"` inside a string can never satisfy it.
+
+/// One source file split into its code view and its comment view.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Per-line code view: comment and literal interiors blanked.
+    pub code: Vec<String>,
+    /// Per-line comment view: everything except comment text blanked.
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` while the next char is escaped.
+    Str(bool),
+    /// Inside `r##"…"##` with the given number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; `true` while the next char is escaped.
+    CharLit(bool),
+}
+
+/// Masks `source` into its code and comment views.
+///
+/// The transformation is line-preserving: view line `i` corresponds exactly
+/// to source line `i`, and every masked byte is replaced by a space, so
+/// column positions in the views are column positions in the source.
+pub fn mask(source: &str) -> MaskedFile {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '\n' {
+            // Newlines pass through both views; a line comment ends here.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push('\n');
+            comments.push('\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    comments.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    comments.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str(false);
+                    code.push('"');
+                    comments.push(' ');
+                    i += 1;
+                } else if c == 'r' && is_raw_string_start(&bytes, i + 1) {
+                    let hashes = count_hashes(&bytes, i + 1);
+                    state = State::RawStr(hashes);
+                    // The delimiters (`r`, hashes, quote) stay in the code view.
+                    code.push_str(&raw_open(hashes));
+                    comments.push_str(&" ".repeat(2 + hashes as usize));
+                    i += 2 + hashes as usize;
+                } else if c == 'b' && next == Some('"') {
+                    state = State::Str(false);
+                    code.push_str("b\"");
+                    comments.push_str("  ");
+                    i += 2;
+                } else if c == 'b' && next == Some('r') && is_raw_string_start(&bytes, i + 2) {
+                    let hashes = count_hashes(&bytes, i + 2);
+                    state = State::RawStr(hashes);
+                    code.push('b');
+                    code.push_str(&raw_open(hashes));
+                    comments.push_str(&" ".repeat(3 + hashes as usize));
+                    i += 3 + hashes as usize;
+                } else if c == '\'' && is_char_literal(&bytes, i) {
+                    state = State::CharLit(false);
+                    code.push('\'');
+                    comments.push(' ');
+                    i += 1;
+                } else {
+                    code.push(c);
+                    comments.push(' ');
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comments.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    comments.push_str("*/");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    comments.push_str("/*");
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    comments.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    comments.push(' ');
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                comments.push(' ');
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i + 1, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    code.push_str(&"#".repeat(hashes as usize));
+                    comments.push_str(&" ".repeat(1 + hashes as usize));
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    comments.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit(escaped) => {
+                if escaped {
+                    state = State::CharLit(false);
+                } else if c == '\\' {
+                    state = State::CharLit(true);
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    comments.push(' ');
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                comments.push(' ');
+                i += 1;
+            }
+        }
+    }
+    MaskedFile {
+        code: code.lines().map(str::to_owned).collect(),
+        comments: comments.lines().map(str::to_owned).collect(),
+    }
+}
+
+fn raw_open(hashes: u32) -> String {
+    std::iter::once('r')
+        .chain((0..hashes).map(|_| '#'))
+        .chain(std::iter::once('"'))
+        .collect()
+}
+
+/// At `pos` (just past an `r` or `br` prefix): does `#*"` follow?
+fn is_raw_string_start(bytes: &[char], pos: usize) -> bool {
+    let mut j = pos;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn count_hashes(bytes: &[char], pos: usize) -> u32 {
+    let mut j = pos;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (j - pos) as u32
+}
+
+/// Does a `"` at `pos..` follow with exactly `hashes` `#`s, closing the raw
+/// string?
+fn closes_raw(bytes: &[char], pos: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(pos + k) == Some(&'#'))
+}
+
+/// Disambiguates a `'` in code position: char literal or lifetime?
+///
+/// `'x'` and `'\n'` are literals; `'a` followed by anything but a closing
+/// quote (`&'a mut`, `<'a>`, `'static`) is a lifetime. The rule: it is a
+/// literal iff an escape follows, or exactly one char followed by `'`.
+fn is_char_literal(bytes: &[char], pos: usize) -> bool {
+    match bytes.get(pos + 1) {
+        Some('\\') => true,
+        Some(_) => bytes.get(pos + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> String {
+        mask(src).code.join("\n")
+    }
+    fn comments(src: &str) -> String {
+        mask(src).comments.join("\n")
+    }
+
+    #[test]
+    fn line_comments_leave_code_view() {
+        let src = "let x = 1; // HashMap here\nlet y = 2;";
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let x = 1;"));
+        assert!(comments(src).contains("HashMap here"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// uses HashMap internally\nfn f() {}";
+        assert!(!code(src).contains("HashMap"));
+        assert!(comments(src).contains("uses HashMap internally"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* HashMap */ y */ b";
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.starts_with('a') && c.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn strings_are_masked_but_delimited() {
+        let src = r#"let s = "std::collections::HashMap"; let t = 1;"#;
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let t = 1;"));
+        assert!(c.contains('"'));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a\"HashMap"; let u = unwrap;"#;
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let u = unwrap;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"contains "HashMap" quoted"#; let v = 2;"###;
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let v = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'y'; x }";
+        let c = code(src);
+        // The lifetime text survives in the code view…
+        assert!(c.contains("<'a>"));
+        // …while the char literal interior is masked.
+        assert!(!c.contains('y'));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_count() {
+        let src = "let s = \"one\ntwo // not a comment\nthree\";\nlet after = 0;";
+        let m = mask(src);
+        assert_eq!(m.code.len(), 4);
+        assert!(!m.code[1].contains("two"));
+        assert!(m.comments[1].trim().is_empty(), "string is not a comment");
+        assert!(m.code[3].contains("let after = 0;"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_inert() {
+        let src = "let s = \"// ordering: fake\"; let live = 1;";
+        assert!(comments(src).trim().is_empty());
+        assert!(code(src).contains("let live = 1;"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let src = "let b = b\"HashMap\"; let k = 3;";
+        let c = code(src);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let k = 3;"));
+    }
+}

@@ -1,0 +1,189 @@
+//! `gps-analyze`: machine-checked guardrails for the GPS workspace.
+//!
+//! Three engines, surfaced by the `gps-analyze` binary and used directly
+//! by this crate's tests:
+//!
+//! 1. **The workspace linter** ([`lint_workspace`]) — a comment- and
+//!    string-aware token scanner that enforces the repo invariants that
+//!    used to live in reviewer memory: no std hash collections in hot-path
+//!    crates, no ambient-entropy RNG, no wall-clock reads in the
+//!    estimation path, no `.unwrap()` in engine/serve library code,
+//!    `#![forbid(unsafe_code)]` in every crate root, a justification
+//!    comment on every atomic `Ordering::` use, and no undocumented
+//!    `#[allow]`. Exceptions are explicit, reasoned entries in
+//!    `crates/gps-analyze/analyze.allow`; stale entries are themselves
+//!    errors.
+//! 2. **The lockfile audit** ([`deps::audit_lockfile`]) — Cargo.lock must
+//!    resolve only the vetted offline package set, each at one version.
+//! 3. **The interleaving checker** ([`interleave`]) — exhaustively
+//!    explores schedules of the `EpochCell` seqlock and epoch-`Board`
+//!    protocols under a release/acquire view memory model, proving no
+//!    torn reads, monotone versions, and watermark non-regression across
+//!    every enumerated interleaving — and that each ordering is
+//!    load-bearing (weakening any one is caught).
+//!
+//! The rule catalog and the checker's guarantees/limits are documented in
+//! `docs/verification.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deps;
+pub mod interleave;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Allowlist;
+pub use rules::{lint_source, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Repo-relative path of the allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/gps-analyze/analyze.allow";
+
+/// Files the linter scans, as repo-relative paths: every crate's `src`
+/// tree (compat shims included — rules scope themselves), the facade's
+/// `src`, and the root `tests/` and `examples/` directories.
+pub fn scanned_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    collect_crate_dirs(&crates, &mut crate_dirs)?;
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    for flat in ["tests", "examples"] {
+        let dir = root.join(flat);
+        if dir.is_dir() {
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "rs") {
+                    files.push(path);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Crate directories: `crates/*` plus the nested `crates/compat/*`.
+fn collect_crate_dirs(crates: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(crates)? {
+        let path = entry?.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.file_name().is_some_and(|n| n == "compat") {
+            for sub in std::fs::read_dir(&path)? {
+                let sub = sub?.path();
+                if sub.is_dir() {
+                    out.push(sub);
+                }
+            }
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints the whole workspace under `root`, applying the repo allowlist.
+/// Returns surviving violations (including `stale-allowlist-entry`
+/// findings); an empty vec means the tree is clean.
+///
+/// # Errors
+/// I/O failure walking the tree, or an unparseable allowlist (a malformed
+/// allowlist must fail the build, not silently waive nothing).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_PATH))
+        .map_err(|e| format!("cannot read {ALLOWLIST_PATH}: {e}"))?;
+    let allow = Allowlist::parse(&allow_text)?;
+    let files = scanned_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        violations.extend(lint_source(&rel, &text));
+    }
+    let resolve = |path: &str, line: usize| -> Option<String> {
+        let text = std::fs::read_to_string(root.join(path)).ok()?;
+        text.lines().nth(line.checked_sub(1)?).map(str::to_owned)
+    };
+    Ok(allow.apply(violations, resolve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("crates/gps-core").is_dir());
+    }
+
+    #[test]
+    fn scanned_files_cover_all_crates_and_skip_fixtures() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        let files = scanned_files(&root).unwrap();
+        let rels: Vec<String> = files
+            .iter()
+            .map(|f| {
+                f.strip_prefix(&root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        assert!(rels.iter().any(|r| r == "crates/gps-core/src/lib.rs"));
+        assert!(rels.iter().any(|r| r == "crates/compat/rand/src/lib.rs"));
+        assert!(rels.iter().any(|r| r == "src/lib.rs"));
+        assert!(rels.iter().any(|r| r.starts_with("examples/")));
+        assert!(
+            !rels.iter().any(|r| r.contains("tests/fixtures")),
+            "fixture violations must not be scanned as workspace source"
+        );
+    }
+}

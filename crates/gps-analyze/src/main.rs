@@ -1,0 +1,121 @@
+//! The `gps-analyze` command-line front end.
+//!
+//! Subcommands:
+//!
+//! * `check` — run the workspace linter; exit 1 listing `rule-id
+//!   file:line — message` for every violation.
+//! * `deps` — audit `Cargo.lock` against the vetted offline package set.
+//! * `interleave` — run the standard seqlock/board interleaving suite.
+//! * `all` — all of the above (CI entry point).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("gps-analyze: could not locate the workspace root");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "check" => run_check(&root),
+        "deps" => run_deps(&root),
+        "interleave" => run_interleave(),
+        "all" => {
+            let mut code = ExitCode::SUCCESS;
+            for step in [run_check(&root), run_deps(&root), run_interleave()] {
+                if step != ExitCode::SUCCESS {
+                    code = ExitCode::FAILURE;
+                }
+            }
+            code
+        }
+        other => {
+            eprintln!("gps-analyze: unknown subcommand `{other}`");
+            eprintln!("usage: gps-analyze [check|deps|interleave|all]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    gps_analyze::find_root(&cwd)
+        .or_else(|| gps_analyze::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))))
+}
+
+fn run_check(root: &Path) -> ExitCode {
+    match gps_analyze::lint_workspace(root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("check: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("check: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_deps(root: &Path) -> ExitCode {
+    let lock = root.join("Cargo.lock");
+    let text = match std::fs::read_to_string(&lock) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("deps: cannot read {}: {e}", lock.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = gps_analyze::deps::audit_lockfile(&text);
+    if problems.is_empty() {
+        println!("deps: Cargo.lock clean (vetted offline set only)");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            println!("lockfile-audit Cargo.lock — {p}");
+        }
+        eprintln!("deps: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_interleave() -> ExitCode {
+    let mut total: u64 = 0;
+    let mut failed = false;
+    for run in gps_analyze::interleave::standard_runs() {
+        let name = run.name;
+        let r = gps_analyze::interleave::execute(&run);
+        total += r.schedules;
+        let status = if r.clean() && !r.truncated {
+            "ok"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!("interleave: {name}: {} schedules — {status}", r.schedules);
+        for v in &r.violations {
+            println!("  violation [{}] {}", v.thread, v.what);
+            println!("  witness schedule: {:?}", v.schedule);
+        }
+        if r.truncated {
+            println!("  truncated at schedule cap — exhaustiveness claim void");
+        }
+    }
+    println!("interleave: {total} schedules total");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: atomic orderings with and without justification comments.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(seq: &AtomicU64) {
+    // ordering: Release pairs with the reader's Acquire load of seq,
+    // making the preceding payload stores visible.
+    seq.store(2, Ordering::Release);
+    seq.store(4, Ordering::Release);
+    seq.load(Ordering::Acquire); // ordering: same-line justification works
+    let _ = seq.compare_exchange(4, 6, Ordering::AcqRel, Ordering::Relaxed);
+}
+
+pub fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

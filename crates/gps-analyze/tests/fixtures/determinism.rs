@@ -1,0 +1,20 @@
+//! Fixture: ambient entropy and wall-clock reads.
+use rand::rngs::OsRng;
+
+pub fn sample() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: std hash collections in hot-path library code.
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn build() -> usize {
+    let m: HashMap<u64, u64> = std::collections::HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn helper_maps_are_fine_in_tests() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: every "violation" below lives in a comment or string and must
+//! not fire. A linter without the masking lexer reports all of them.
+#![forbid(unsafe_code)]
+
+// Dead giveaways in comments: std::collections::HashMap, thread_rng(),
+// Instant::now(), .unwrap(), Ordering::SeqCst, #[allow(dead_code)].
+
+/* Block comments too: use std::collections::HashSet; x.expect("boom") */
+
+pub fn docs() -> &'static str {
+    "std::collections::HashMap and thread_rng and Instant::now \
+     and .unwrap() and Ordering::Relaxed and #[allow(bad)]"
+}
+
+pub fn raw() -> &'static str {
+    r#"SystemTime::now().unwrap() inside a raw string: Ordering::Acquire"#
+}
+
+pub fn tricky() -> char {
+    let _lifetime_not_char: &'static str = "fine";
+    '"'
+}

@@ -1,0 +1,23 @@
+//! Fixture: panicking calls in library code.
+
+pub fn read(path: &str) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    text
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller promised digits")
+}
+
+pub fn safe(s: &str) -> u64 {
+    s.parse().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

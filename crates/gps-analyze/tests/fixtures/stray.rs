@@ -1,0 +1,8 @@
+//! Fixture: undocumented lint allows; also a crate root missing
+//! `#![forbid(unsafe_code)]` when linted as `src/lib.rs`.
+
+#[allow(dead_code)]
+pub struct Unused;
+
+#[allow(clippy::too_many_arguments)]
+pub fn wide(_a: u8, _b: u8, _c: u8, _d: u8, _e: u8, _f: u8, _g: u8, _h: u8) {}

@@ -1,0 +1,164 @@
+//! The interleaving checker's two obligations:
+//!
+//! 1. the *correct* seqlock/board specs survive every enumerated schedule
+//!    (well over the 10⁴ floor, untruncated) with zero violations;
+//! 2. weakening any single ordering the real code relies on makes the
+//!    checker report the bug class that ordering exists to prevent — so a
+//!    future "optimization" that demotes an ordering fails this suite.
+
+use gps_analyze::interleave::machine::Mo;
+use gps_analyze::interleave::models::{
+    board_model, seqlock_model, standard_runs, BoardSpec, SeqlockSpec,
+};
+use gps_analyze::interleave::{execute, explore, explore_with_final, Bound};
+
+#[test]
+fn standard_suite_is_clean_and_exhaustive() {
+    let mut total = 0u64;
+    for run in standard_runs() {
+        let r = execute(&run);
+        assert!(!r.truncated, "{}: truncated at the schedule cap", run.name);
+        assert!(
+            r.clean(),
+            "{}: {} violation(s), first: {:?}",
+            run.name,
+            r.violations.len(),
+            r.violations.first()
+        );
+        assert!(r.schedules > 0, "{}: explored nothing", run.name);
+        total += r.schedules;
+    }
+    assert!(
+        total >= 10_000,
+        "suite must enumerate at least 10^4 distinct schedules, got {total}"
+    );
+}
+
+/// Helper: fully explore a small seqlock config under `spec` and return
+/// the violation messages.
+fn seqlock_violations(spec: &SeqlockSpec) -> Vec<String> {
+    let m = seqlock_model(spec, 1, 1, 1, 1);
+    let r = explore(&m, Bound::exhaustive());
+    assert!(!r.truncated);
+    r.violations.into_iter().map(|v| v.what).collect()
+}
+
+#[test]
+fn weakened_final_seq_store_is_caught() {
+    let spec = SeqlockSpec {
+        final_seq_store: Mo::Relaxed,
+        ..SeqlockSpec::correct()
+    };
+    let got = seqlock_violations(&spec);
+    assert!(
+        got.iter().any(|w| w.contains("torn read")),
+        "demoting the publishing Release store must surface a torn read, got {got:?}"
+    );
+}
+
+#[test]
+fn weakened_writer_release_fence_is_caught() {
+    let spec = SeqlockSpec {
+        writer_release_fence: false,
+        ..SeqlockSpec::correct()
+    };
+    let got = seqlock_violations(&spec);
+    assert!(
+        got.iter().any(|w| w.contains("torn read")),
+        "dropping the writer's Release fence must surface a torn read, got {got:?}"
+    );
+}
+
+#[test]
+fn weakened_reader_acquire_fence_is_caught() {
+    let spec = SeqlockSpec {
+        reader_acquire_fence: false,
+        ..SeqlockSpec::correct()
+    };
+    let got = seqlock_violations(&spec);
+    assert!(
+        got.iter().any(|w| w.contains("torn read")),
+        "dropping the reader's Acquire fence must surface a torn read, got {got:?}"
+    );
+}
+
+#[test]
+fn weakened_reader_first_load_is_caught() {
+    let spec = SeqlockSpec {
+        reader_first_load: Mo::Relaxed,
+        ..SeqlockSpec::correct()
+    };
+    let got = seqlock_violations(&spec);
+    assert!(
+        got.iter().any(|w| w.contains("torn read")),
+        "demoting the reader's Acquire first load must surface a torn read, got {got:?}"
+    );
+}
+
+#[test]
+fn board_without_gate_violates_the_floor() {
+    let spec = BoardSpec {
+        gate_on_all_shards: false,
+        ..BoardSpec::correct()
+    };
+    let m = board_model(&spec, 1, 2);
+    let r = explore(&m, Bound::exhaustive());
+    assert!(!r.truncated);
+    let got: Vec<_> = r.violations.iter().map(|v| v.what.as_str()).collect();
+    assert!(
+        got.iter().any(|w| w.contains("gate bypassed")),
+        "removing the all-shards gate must publish below the floor, got {got:?}"
+    );
+}
+
+#[test]
+fn board_without_mutex_loses_updates() {
+    let spec = BoardSpec {
+        merge_under_mutex: false,
+        ..BoardSpec::correct()
+    };
+    let m = board_model(&spec, 0, 0);
+    // Bug-hunting needs a witness, not exhaustion: the unlocked state
+    // space is enormous, and the lost update shows up within the first
+    // slice of it, so a truncated search is fine here.
+    let bound = Bound {
+        preemptions: u32::MAX,
+        max_schedules: 500_000,
+    };
+    let r = explore_with_final(&m, bound, &gps_analyze::interleave::models::board_final_ok);
+    let got: Vec<_> = r.violations.iter().map(|v| v.what.as_str()).collect();
+    assert!(
+        got.iter().any(|w| w.contains("lost update")),
+        "unlocked merge must drop a version increment in some schedule, got {got:?}"
+    );
+}
+
+#[test]
+fn board_with_relaxed_publish_leaks_stale_watermark() {
+    let spec = BoardSpec {
+        publish_store: Mo::Relaxed,
+        ..BoardSpec::correct()
+    };
+    let m = board_model(&spec, 1, 2);
+    let r = explore(&m, Bound::exhaustive());
+    assert!(!r.truncated);
+    let got: Vec<_> = r.violations.iter().map(|v| v.what.as_str()).collect();
+    assert!(
+        got.iter()
+            .any(|w| w.contains("floor") || w.contains("regressed")),
+        "a relaxed publish lets readers see the version before its watermark, got {got:?}"
+    );
+}
+
+#[test]
+fn correct_specs_reproduce_the_source() {
+    // The spec structs mirror epoch.rs/board.rs field-for-field; a drive-by
+    // edit of `correct()` should fail here, not silently weaken the suite.
+    let sl = SeqlockSpec::correct();
+    assert!(sl.writer_release_fence && sl.reader_acquire_fence);
+    assert_eq!(sl.final_seq_store, Mo::Release);
+    assert_eq!(sl.reader_first_load, Mo::Acquire);
+    let bd = BoardSpec::correct();
+    assert!(bd.gate_on_all_shards && bd.merge_under_mutex);
+    assert_eq!(bd.publish_store, Mo::Release);
+}

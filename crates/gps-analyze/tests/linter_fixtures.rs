@@ -1,0 +1,161 @@
+//! Fixture tests: each file under `tests/fixtures/` carries deliberate
+//! violations; linting it under a synthetic repo-relative path must yield
+//! exactly the expected rule IDs and line numbers — no more, no less.
+
+use gps_analyze::{lint_source, Allowlist};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// `(rule, line)` pairs of the violations, in reported order.
+fn shape(path: &str, text: &str) -> Vec<(&'static str, usize)> {
+    lint_source(path, text)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn hashmap_fixture_exact_lines() {
+    let text = fixture("hot_path.rs");
+    assert_eq!(
+        shape("crates/gps-core/src/fixture.rs", &text),
+        vec![
+            ("no-hashmap-hot-path", 2),
+            ("no-hashmap-hot-path", 3),
+            ("no-hashmap-hot-path", 6),
+        ],
+        "cfg(test) import on line 12 must not fire"
+    );
+}
+
+#[test]
+fn hashmap_rule_is_scoped_to_hot_path_crates() {
+    let text = fixture("hot_path.rs");
+    assert!(
+        shape("crates/gps-bench/src/fixture.rs", &text).is_empty(),
+        "gps-bench is not a hot-path crate"
+    );
+    assert!(
+        shape("crates/gps-core/tests/fixture.rs", &text).is_empty(),
+        "rule covers src/, not tests/"
+    );
+}
+
+#[test]
+fn determinism_fixture_exact_lines() {
+    let text = fixture("determinism.rs");
+    assert_eq!(
+        shape("crates/gps-stream/src/fixture.rs", &text),
+        vec![
+            ("no-unseeded-rng", 2),
+            ("no-unseeded-rng", 5),
+            ("no-wallclock-in-determinism", 10),
+        ],
+        "Instant::now inside cfg(test) (line 18) must not fire"
+    );
+}
+
+#[test]
+fn rng_rule_skips_the_compat_shim() {
+    let text = fixture("determinism.rs");
+    let got = shape("crates/compat/rand/src/fixture.rs", &text);
+    assert!(
+        got.iter().all(|(rule, _)| *rule != "no-unseeded-rng"),
+        "the rand shim defines seeding policy; got {got:?}"
+    );
+}
+
+#[test]
+fn panics_fixture_exact_lines() {
+    let text = fixture("panics.rs");
+    assert_eq!(
+        shape("crates/gps-engine/src/fixture.rs", &text),
+        vec![("no-unwrap-in-lib", 4), ("no-unwrap-in-lib", 9)],
+        "unwrap_or_default (line 13) and test unwrap (line 20) must not fire"
+    );
+    assert!(
+        shape("crates/gps-core/src/fixture.rs", &text).is_empty(),
+        "rule applies to engine/serve only"
+    );
+}
+
+#[test]
+fn atomics_fixture_exact_lines() {
+    let text = fixture("atomics.rs");
+    assert_eq!(
+        shape("crates/gps-serve/src/fixture.rs", &text),
+        vec![("atomics-justified", 8), ("atomics-justified", 10)],
+        "block-justified (line 7) and same-line-justified (line 9) sites \
+         must pass; std::cmp::Ordering must not match"
+    );
+}
+
+#[test]
+fn stray_allow_fixture_exact_lines() {
+    let text = fixture("stray.rs");
+    assert_eq!(
+        shape("crates/gps-stats/src/fixture.rs", &text),
+        vec![("no-stray-allow", 4), ("no-stray-allow", 7)],
+    );
+    // As a crate root the same text additionally lacks forbid(unsafe_code).
+    assert_eq!(
+        shape("src/lib.rs", &text),
+        vec![
+            ("forbid-unsafe-everywhere", 1),
+            ("no-stray-allow", 4),
+            ("no-stray-allow", 7),
+        ],
+    );
+    // Compat shims are exempt from the stray-allow rule.
+    assert!(shape("crates/compat/rand/src/fixture.rs", &text).is_empty());
+}
+
+#[test]
+fn masked_fixture_is_fully_clean() {
+    let text = fixture("masked.rs");
+    let got = shape("crates/gps-core/src/lib.rs", &text);
+    assert!(
+        got.is_empty(),
+        "violations inside comments/strings must be masked, got {got:?}"
+    );
+}
+
+#[test]
+fn allowlist_waives_fixture_violations_precisely() {
+    let text = fixture("panics.rs");
+    let violations = lint_source("crates/gps-engine/src/fixture.rs", &text);
+    let allow = Allowlist::parse(
+        "no-unwrap-in-lib crates/gps-engine/src/fixture.rs contains=\"caller promised digits\" -- documented contract\n",
+    )
+    .unwrap();
+    let source_line = |_: &str, line: usize| text.lines().nth(line - 1).map(str::to_owned);
+    let left = allow.apply(violations, source_line);
+    assert_eq!(left.len(), 1, "{left:?}");
+    assert_eq!((left[0].rule, left[0].line), ("no-unwrap-in-lib", 4));
+}
+
+#[test]
+fn stale_allowlist_entry_is_reported() {
+    let allow = Allowlist::parse(
+        "no-hashmap-hot-path crates/gps-core/src/nothing.rs -- was fixed long ago\n",
+    )
+    .unwrap();
+    let out = allow.apply(Vec::new(), |_, _| None);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "stale-allowlist-entry");
+    assert!(out[0].msg.contains("analyze.allow:1"));
+}
+
+#[test]
+fn violation_display_is_rule_file_line() {
+    let text = fixture("hot_path.rs");
+    let v = &lint_source("crates/gps-core/src/fixture.rs", &text)[0];
+    let shown = v.to_string();
+    assert!(
+        shown.starts_with("no-hashmap-hot-path crates/gps-core/src/fixture.rs:2"),
+        "{shown}"
+    );
+}

@@ -1,0 +1,41 @@
+//! The real tree must satisfy its own invariants: this is `gps-analyze
+//! check` + `gps-analyze deps` as a test, so `cargo test` alone catches
+//! violations even where CI is not wired up.
+
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    gps_analyze::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let violations = gps_analyze::lint_workspace(&root()).expect("linting the workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lockfile_audit_clean() {
+    let lock = std::fs::read_to_string(root().join("Cargo.lock")).expect("Cargo.lock");
+    let problems = gps_analyze::deps::audit_lockfile(&lock);
+    assert!(problems.is_empty(), "lockfile problems: {problems:?}");
+}
+
+#[test]
+fn allowlist_parses_and_is_nonempty() {
+    let text = std::fs::read_to_string(root().join(gps_analyze::ALLOWLIST_PATH))
+        .expect("analyze.allow exists");
+    let allow = gps_analyze::Allowlist::parse(&text).expect("allowlist parses");
+    assert!(
+        !allow.is_empty(),
+        "the repo has documented exceptions; an empty allowlist means the file was gutted"
+    );
+}

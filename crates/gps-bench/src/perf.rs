@@ -514,6 +514,8 @@ fn time_serve_once(
             let stop = stop.clone();
             std::thread::spawn(move || {
                 let mut reads = 0u64;
+                // ordering: Relaxed — stop flag only ends the measurement
+                // loop; no data travels through it.
                 while !stop.load(Ordering::Relaxed) {
                     if handle.latest().is_some() {
                         reads += 1;
@@ -544,6 +546,8 @@ fn time_serve_once(
     }
     serve.finish();
     let elapsed = start.elapsed().as_nanos();
+    // ordering: Relaxed — shutdown signal after the timed region; reader
+    // counts are collected via join(), which synchronizes.
     stop.store(true, Ordering::Relaxed);
     let reads = reader_handles.into_iter().map(|r| r.join().unwrap()).sum();
     std::hint::black_box(probe.latest());

@@ -379,7 +379,6 @@ impl<W: EdgeWeight> GpsSampler<W> {
     ///
     /// # Panics
     /// Same conditions as [`GpsSampler::restore`].
-    #[allow(clippy::too_many_arguments)]
     pub fn restore_with_backend<I>(
         capacity: usize,
         weight_fn: W,

@@ -105,13 +105,26 @@ impl EpochCell {
     /// Publishes `epoch`, superseding any previous one. Caller must
     /// guarantee writer exclusivity (the board publishes under its mutex).
     pub(crate) fn publish(&self, epoch: &EstimateEpoch) {
+        // ordering: Relaxed — single-writer (board mutex): only this thread
+        // ever stores seq, so it reads its own last store; no edge needed.
         let s = self.seq.load(Ordering::Relaxed);
         debug_assert!(s.is_multiple_of(2), "concurrent publisher");
+        // ordering: Relaxed — going odd need not be ordered before the
+        // payload stores: readers that see odd retry, and readers that miss
+        // it are caught by the recheck after the payload copy.
         self.seq.store(s + 1, Ordering::Relaxed);
+        // ordering: Release fence — orders the odd store before every
+        // payload store: a reader's recheck (Acquire fence + relaxed seq
+        // load) that sees even therefore saw no mid-write payload.
         fence(Ordering::Release);
         for (slot, word) in self.words.iter().zip(epoch.encode()) {
+            // ordering: Relaxed — ordered collectively by the fences and
+            // the final Release store, not individually.
             slot.store(word, Ordering::Relaxed);
         }
+        // ordering: Release — pairs with the reader's Acquire first load:
+        // a reader that observes s+2 also observes every payload store
+        // sequenced before this (the happens-before edge of the seqlock).
         self.seq.store(s + 2, Ordering::Release);
     }
 
@@ -119,6 +132,9 @@ impl EpochCell {
     /// Lock-free: retries only while racing a concurrent publication.
     pub(crate) fn load(&self) -> Option<EstimateEpoch> {
         loop {
+            // ordering: Acquire — pairs with the writer's final Release
+            // store: seeing seq == s1 (even) makes the matching payload
+            // stores visible to the relaxed copy below.
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 == 0 {
                 return None;
@@ -129,9 +145,18 @@ impl EpochCell {
             }
             let mut words = [0u64; WORDS];
             for (out, slot) in words.iter_mut().zip(&self.words) {
+                // ordering: Relaxed — bracketed by the Acquire load above
+                // and the Acquire fence below; torn values are discarded
+                // by the recheck.
                 *out = slot.load(Ordering::Relaxed);
             }
+            // ordering: Acquire fence — orders the payload copy before the
+            // seq recheck; pairs with the writer's Release fence so a
+            // recheck that still reads s1 proves no writer went odd
+            // during the copy.
             fence(Ordering::Acquire);
+            // ordering: Relaxed — the fence above provides the edge; the
+            // recheck itself only needs the value.
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return Some(EstimateEpoch::decode(words));
             }
@@ -217,6 +242,8 @@ mod tests {
             readers.push(std::thread::spawn(move || {
                 let mut last = 0u64;
                 let mut seen = 0u64;
+                // ordering: Relaxed — stop flag only ends the loop; no
+                // data is published through it.
                 while stop.load(Ordering::Relaxed) == 0 {
                     if let Some(e) = cell.load() {
                         assert_eq!(e.edges_seen, 10 * e.version, "torn epoch");
@@ -229,12 +256,18 @@ mod tests {
                 seen
             }));
         }
-        for v in 1..=20_000u64 {
+        // Miri explores this test's interleavings orders of magnitude more
+        // slowly than native execution; scale the publication count down so
+        // `cargo miri test` stays tractable while still crossing epochs.
+        let rounds: u64 = if cfg!(miri) { 200 } else { 20_000 };
+        for v in 1..=rounds {
             cell.publish(&epoch(v, 10 * v, v as f64));
         }
+        // ordering: Relaxed — only signals loop exit; readers synchronize
+        // with publications via the cell's seqlock, not this flag.
         stop.store(1, Ordering::Relaxed);
         let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total > 0, "readers observed no epochs");
-        assert_eq!(cell.load().unwrap().version, 20_000);
+        assert_eq!(cell.load().unwrap().version, rounds);
     }
 }

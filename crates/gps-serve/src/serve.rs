@@ -488,6 +488,8 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut reads = 0u64;
                     let mut last = 0u64;
+                    // ordering: Relaxed — stop flag only ends the loop;
+                    // epochs synchronize through the board, not this flag.
                     while !stop.load(Ordering::Relaxed) {
                         if let Some(e) = handle.latest() {
                             assert!(e.version >= last);
@@ -501,6 +503,8 @@ mod tests {
             .collect();
         serve.push_stream(clique_chunks(1000));
         serve.finish();
+        // ordering: Relaxed — shutdown signal; readers' final state was
+        // already published via the board before finish() returned.
         stop.store(true, Ordering::Relaxed);
         let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(reads > 0);

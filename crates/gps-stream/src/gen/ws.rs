@@ -45,12 +45,11 @@ pub fn watts_strogatz(n: NodeId, k: usize, beta: f64, seed: u64) -> Vec<Edge> {
     for &e in &edges {
         seen.insert(e, ());
     }
-    #[allow(clippy::needless_range_loop)] // edges[i] is written below
-    for i in 0..edges.len() {
+    for slot in &mut edges {
         if rng.random::<f64>() >= beta {
             continue;
         }
-        let old = edges[i];
+        let old = *slot;
         let v = old.u();
         let mut target = rng.random_range(0..n);
         let mut tries = 0;
@@ -64,7 +63,7 @@ pub fn watts_strogatz(n: NodeId, k: usize, beta: f64, seed: u64) -> Vec<Edge> {
         let new = Edge::new(v, target);
         seen.remove(old);
         seen.insert(new, ());
-        edges[i] = new;
+        *slot = new;
     }
     edges
 }

@@ -67,6 +67,8 @@ fn main() {
                 let stop = stop.clone();
                 std::thread::spawn(move || {
                     let (mut reads, mut max_lag_version) = (0u64, 0u64);
+                    // ordering: Relaxed — stop flag only ends the loop;
+                    // epoch data arrives through the serve handle.
                     while !stop.load(Ordering::Relaxed) {
                         if let Some(epoch) = handle.latest() {
                             reads += 1;
@@ -91,6 +93,8 @@ fn main() {
         }
         serve.finish();
         let elapsed = start.elapsed();
+        // ordering: Relaxed — shutdown signal; reader results come back
+        // through join(), which synchronizes.
         stop.store(true, Ordering::Relaxed);
         let reads: u64 = handles.into_iter().map(|h| h.join().unwrap().0).sum();
 
