@@ -48,7 +48,10 @@ pub const RULE_IDS: &[&str] = &[
 const HOT_PATH_CRATES: &[&str] = &["gps-graph", "gps-core", "gps-engine"];
 
 /// Crates whose library code must propagate errors instead of panicking.
-const NO_UNWRAP_CRATES: &[&str] = &["gps-engine", "gps-serve"];
+/// `gps-chaos` is held to the same bar: a chaos harness that can itself
+/// panic outside a scripted fault would poison every determinism claim it
+/// makes about the engine.
+const NO_UNWRAP_CRATES: &[&str] = &["gps-engine", "gps-serve", "gps-chaos"];
 
 fn crate_of(path: &str) -> Option<&str> {
     path.strip_prefix("crates/")?.split('/').next()

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
-//!                [--baselines] [--engine] [--serve]
+//!                [--baselines] [--engine] [--serve] [--chaos]
 //!                [--check PATH [--min-ratio R]]
 //! ```
 //!
@@ -22,6 +22,12 @@
 //! - `--serve`: additionally measure `gps-serve` live-serving ingest at
 //!   0/1/4 concurrent reader threads, with epoch staleness (`serve`
 //!   section; schema stays v1-compatible).
+//! - `--chaos`: additionally measure crash recovery at S ∈ {2, 4} shards —
+//!   clean vs faulted ingest with a scripted mid-stream panic + checkpoint
+//!   restore, exact arrivals-lost/restart counts from the engine's
+//!   incident ledger, and the degraded-epoch count of a gated serving
+//!   probe under a scripted stall (`chaos` section; schema stays
+//!   v1-compatible).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -30,7 +36,7 @@
 
 use gps_bench::json::{self, Value};
 use gps_bench::perf::{
-    self, BaselineResult, EngineResult, PerfConfig, ScenarioResult, ServeResult,
+    self, BaselineResult, ChaosResult, EngineResult, PerfConfig, ScenarioResult, ServeResult,
 };
 use std::process::{Command, ExitCode};
 
@@ -42,6 +48,7 @@ struct Args {
     baselines: bool,
     engine: bool,
     serve: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         baselines: false,
         engine: false,
         serve: false,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--baselines" => args.baselines = true,
             "--engine" => args.engine = true,
             "--serve" => args.serve = true,
+            "--chaos" => args.chaos = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -82,7 +91,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
-                     [--baselines] [--engine] [--serve] [--check PATH [--min-ratio R]]"
+                     [--baselines] [--engine] [--serve] [--chaos] \
+                     [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -140,6 +150,22 @@ fn print_serve(r: &ServeResult) {
         r.reads,
         r.staleness_mean_edges,
         r.staleness_max_edges,
+    );
+}
+
+fn print_chaos(r: &ChaosResult) {
+    println!(
+        "{:<34} {:>9} edges  faulted {:>8.1} ns/e ({:>7.3} Me/s)  recovery {:>7.2} ms  [lost {}, {} restart{}, degraded {}/{} epochs]",
+        r.scenario,
+        r.edges,
+        r.faulted.ns_per_edge,
+        r.faulted.edges_per_sec / 1e6,
+        r.recovery_latency_ns as f64 / 1e6,
+        r.arrivals_lost,
+        r.restarts,
+        if r.restarts == 1 { "" } else { "s" },
+        r.degraded_epochs,
+        r.epochs,
     );
 }
 
@@ -264,6 +290,11 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    let chaos = if args.chaos && args.check.is_none() {
+        perf::run_chaos(&args.cfg, print_chaos)
+    } else {
+        Vec::new()
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -281,7 +312,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = perf::results_json(&args.cfg, &git_rev(), &results, &baselines, &engine, &serve);
+    let doc = perf::results_json(
+        &args.cfg,
+        &git_rev(),
+        &results,
+        &baselines,
+        &engine,
+        &serve,
+        &chaos,
+    );
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
         eprintln!("bench_baseline: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

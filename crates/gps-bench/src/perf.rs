@@ -19,21 +19,29 @@
 //! `ShardedGps` at `S ∈ {1, 2, 4, 8}` shards over a fixed total budget on
 //! the triangle-weight Holme–Kim scenario (optional `engine` section of
 //! the JSON document; schema unchanged).
+//!
+//! [`run_chaos`] adds the fault-injection grid: a scripted mid-stream
+//! crash + checkpoint restore at `S ∈ {2, 4}` (recovery latency measured
+//! externally as faulted-minus-clean wall time, exact loss/restart counts
+//! from the engine's incident ledger) plus a gated serving probe that
+//! counts degraded epochs published while one shard is stalled (optional
+//! `chaos` section; schema unchanged).
 
 use crate::json::Value;
 use gps_baselines::{
     JhaWedgeSampler, Mascot, TriangleEstimator, TriestBase, TriestImpr, UniformReservoir,
 };
+use gps_chaos::run_engine_scenario;
 use gps_core::weights::{TriadWeight, TriangleWeight, UniformWeight};
 use gps_core::GpsSampler;
-use gps_engine::ShardedGps;
+use gps_engine::{EngineConfig, EngineHealth, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
-use gps_serve::ServeEngine;
+use gps_serve::{ServeConfig, ServeEngine};
 use gps_stream::{gen, permuted};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Weight functions covered by the baseline (brackets the per-edge cost:
 /// uniform ≈ floor, triangle/triad pay the common-neighbor intersection).
@@ -594,6 +602,157 @@ pub fn run_serve(cfg: &PerfConfig, mut progress: impl FnMut(&ServeResult)) -> Ve
     results
 }
 
+/// Shard counts measured by the chaos grid (the ISSUE acceptance axis:
+/// crash recovery and degraded serving at `S ∈ {2, 4}`).
+pub const CHAOS_SHARDS: [usize; 2] = [2, 4];
+
+/// One shard count of the chaos scenario: the same full-stream sharded
+/// ingest as the engine grid, but with a scripted mid-stream worker crash
+/// that the supervisor must absorb via a checkpoint restore.
+#[derive(Clone, Debug)]
+pub struct ChaosResult {
+    /// Shard / worker count `S`.
+    pub shards: usize,
+    /// Stable machine-readable name, e.g. `chaos/holme_kim/triangle/m16000/s4`.
+    pub scenario: String,
+    /// Total reservoir budget `m` (split across shards).
+    pub capacity: usize,
+    /// Edges in the stream (arrivals offered per run).
+    pub edges: usize,
+    /// Best-of-iters ingest with supervision + checkpointing armed but no
+    /// fault injected — the honest denominator for recovery cost (both
+    /// runs pay the checkpoint cadence).
+    pub clean: Measurement,
+    /// Best-of-iters ingest with the scripted crash + restore inline.
+    pub faulted: Measurement,
+    /// External wall-clock estimate of one crash-and-restore cycle:
+    /// best faulted elapsed minus best clean elapsed, floored at zero
+    /// (the engine itself never reads time into its estimates, so the
+    /// latency is measured from outside).
+    pub recovery_latency_ns: u128,
+    /// Arrivals in the (checkpoint, crash] window the engine admits
+    /// losing — exact, from [`EngineHealth`]; deterministic per seed.
+    pub arrivals_lost: u64,
+    /// Worker restarts the supervisor performed (1 for the single
+    /// scripted crash).
+    pub restarts: u64,
+    /// Epochs a gated serving probe published while one shard was
+    /// scripted to stall (timing-dependent; context for the next field).
+    pub epochs: u64,
+    /// Of those, epochs published in degraded mode (partial contributing
+    /// set, honest per-color merge) once the publication gate expired.
+    pub degraded_epochs: u64,
+}
+
+fn time_chaos_once(
+    edges: &[Edge],
+    capacity: usize,
+    shards: usize,
+    seed: u64,
+    crash_at: Option<u64>,
+) -> (u128, EngineHealth) {
+    // Small batches so checkpoint boundaries actually precede the crash
+    // site — otherwise the "restore" would be a from-scratch replay and
+    // the loss window would swallow the whole substream so far.
+    let cfg = EngineConfig {
+        batch: 64,
+        checkpoint_every: 64,
+        ..EngineConfig::new(capacity, shards, seed)
+    };
+    let plan = match crash_at {
+        Some(at) => FaultPlan::new().panic_at(shards - 1, at),
+        None => FaultPlan::new(),
+    };
+    let start = Instant::now();
+    let out = run_engine_scenario(cfg, TriangleWeight::default(), edges.iter().copied(), plan);
+    let elapsed = start.elapsed().as_nanos();
+    std::hint::black_box(out.estimate.triangles.value);
+    (elapsed, out.health)
+}
+
+/// Runs a quick-scale serving engine with one shard scripted to stall for
+/// 400 ms behind a 50 ms publication gate (and a slowdown on shard 0 so a
+/// live shard keeps reporting through the stall window), then counts the
+/// epochs published and how many were degraded. Probe size is fixed at
+/// quick scale regardless of mode: the metric is the gate's behavior
+/// during the stall window, not throughput.
+fn probe_degraded_epochs(shards: usize, seed: u64) -> (u64, u64) {
+    let edges = StreamKind::HolmeKim.edges(true, seed);
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: 16,
+            epoch_every: 32,
+            checkpoint_every: 32,
+            ..EngineConfig::new(edges.len() / 4, shards, seed)
+        },
+        subscribe_depth: 1 << 15,
+        gate_timeout: Some(Duration::from_millis(50)),
+    };
+    let faults = FaultPlan::new()
+        .stall_at(shards - 1, 1, 400)
+        .slowdown_at(0, 1, 2_000, 250);
+    let mut serve = ServeEngine::with_config_and_faults(cfg, TriangleWeight::default(), faults);
+    let sub = serve.handle().subscribe().expect("engine is live");
+    serve.push_stream(edges.iter().copied());
+    serve.finish();
+    let mut epochs = 0u64;
+    let mut degraded = 0u64;
+    for epoch in sub {
+        epochs += 1;
+        if epoch.degraded() {
+            degraded += 1;
+        }
+    }
+    (epochs, degraded)
+}
+
+/// Measures crash recovery at `S ∈` [`CHAOS_SHARDS`] on the triangle-weight
+/// Holme–Kim scenario: each shard count runs the stream clean (supervision
+/// and checkpointing armed, no fault) and faulted (scripted panic on the
+/// last shard a quarter into its expected substream), best of `iters`
+/// each. Loss and restart counts come from the engine's deterministic
+/// incident ledger; a gated serving probe contributes the degraded-epoch
+/// count under a scripted stall.
+pub fn run_chaos(cfg: &PerfConfig, mut progress: impl FnMut(&ChaosResult)) -> Vec<ChaosResult> {
+    let edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    let m = engine_capacity(cfg.quick);
+    let mut results = Vec::new();
+    for shards in CHAOS_SHARDS {
+        // A quarter into the expected per-shard substream: far enough in
+        // that checkpoints exist, early enough that every shard count
+        // reaches it even with hash-partition imbalance.
+        let crash_at = (edges.len() / shards / 4).max(1) as u64;
+        let mut clean_best = u128::MAX;
+        let mut faulted_best = u128::MAX;
+        let mut health = EngineHealth::default();
+        for _ in 0..cfg.iters.max(1) {
+            clean_best = clean_best.min(time_chaos_once(&edges, m, shards, cfg.seed, None).0);
+            let (elapsed, h) = time_chaos_once(&edges, m, shards, cfg.seed, Some(crash_at));
+            faulted_best = faulted_best.min(elapsed);
+            // The ledger is deterministic per (seed, plan): identical
+            // across iterations, so keeping the last run's copy is exact.
+            health = h;
+        }
+        let (epochs, degraded_epochs) = probe_degraded_epochs(shards, cfg.seed);
+        let result = ChaosResult {
+            shards,
+            scenario: format!("chaos/holme_kim/triangle/m{m}/s{shards}"),
+            capacity: m,
+            edges: edges.len(),
+            clean: to_measurement(clean_best, edges.len()),
+            faulted: to_measurement(faulted_best, edges.len()),
+            recovery_latency_ns: faulted_best.saturating_sub(clean_best),
+            arrivals_lost: health.lost_arrivals,
+            restarts: health.incidents.iter().map(|i| u64::from(i.restarts)).sum(),
+            epochs,
+            degraded_epochs,
+        };
+        progress(&result);
+        results.push(result);
+    }
+    results
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -611,10 +770,11 @@ pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
 
 /// Builds the machine-readable baseline document. `baselines` (the ported
 /// `gps-baselines` grid from [`run_baselines`]), `engine` (the sharded
-/// scaling grid from [`run_engine`]) and `serve` (the live-serving grid
-/// from [`run_serve`]) are optional: when empty the `baseline_samplers` /
-/// `engine` / `serve` keys are omitted, keeping documents produced before
-/// those grids valid under the same schema.
+/// scaling grid from [`run_engine`]), `serve` (the live-serving grid
+/// from [`run_serve`]) and `chaos` (the fault-injection grid from
+/// [`run_chaos`]) are optional: when empty the `baseline_samplers` /
+/// `engine` / `serve` / `chaos` keys are omitted, keeping documents
+/// produced before those grids valid under the same schema.
 pub fn results_json(
     cfg: &PerfConfig,
     git_rev: &str,
@@ -622,6 +782,7 @@ pub fn results_json(
     baselines: &[BaselineResult],
     engine: &[EngineResult],
     serve: &[ServeResult],
+    chaos: &[ChaosResult],
 ) -> Value {
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
@@ -774,6 +935,41 @@ pub fn results_json(
             ]),
         ));
     }
+    if !chaos.is_empty() {
+        fields.push((
+            "chaos",
+            Value::object(vec![
+                ("stream", Value::String("holme_kim".into())),
+                ("weight", Value::String("triangle".into())),
+                ("capacity", Value::Number(chaos[0].capacity as f64)),
+                ("edges", Value::Number(chaos[0].edges as f64)),
+                (
+                    "shards",
+                    Value::Array(
+                        chaos
+                            .iter()
+                            .map(|r| {
+                                Value::object(vec![
+                                    ("name", Value::String(r.scenario.clone())),
+                                    ("shards", Value::Number(r.shards as f64)),
+                                    ("clean", measurement_json(&r.clean)),
+                                    ("faulted", measurement_json(&r.faulted)),
+                                    (
+                                        "recovery_latency_ns",
+                                        Value::Number(r.recovery_latency_ns as f64),
+                                    ),
+                                    ("arrivals_lost", Value::Number(r.arrivals_lost as f64)),
+                                    ("restarts", Value::Number(r.restarts as f64)),
+                                    ("epochs", Value::Number(r.epochs as f64)),
+                                    ("degraded_epochs", Value::Number(r.degraded_epochs as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     Value::object(fields)
 }
 
@@ -900,12 +1096,82 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
             _ => problems.push("serve section missing 'readers' entries".into()),
         }
     }
+    // Optional section (absent in documents predating the fault-tolerance
+    // work): the crash-recovery grid — clean vs faulted ingest, exact loss
+    // ledger counts, and the gated degraded-epoch probe.
+    if let Some(chaos) = doc.get("chaos") {
+        for field in ["stream", "weight", "capacity", "edges"] {
+            if chaos.get(field).is_none() {
+                problems.push(format!("chaos section missing '{field}'"));
+            }
+        }
+        match chaos.get("shards").and_then(Value::as_array) {
+            Some(entries) if !entries.is_empty() => {
+                for (i, entry) in entries.iter().enumerate() {
+                    if entry.get("name").is_none() {
+                        problems.push(format!("chaos entry {i} missing 'name'"));
+                    }
+                    match entry.get_f64("shards") {
+                        Some(s) if s >= 1.0 => {}
+                        _ => problems.push(format!("chaos entry {i} has invalid 'shards'")),
+                    }
+                    if entry.get("clean").is_none() {
+                        problems.push(format!("chaos entry {i} missing 'clean'"));
+                    }
+                    if entry.get("faulted").is_none() {
+                        problems.push(format!("chaos entry {i} missing 'faulted'"));
+                    }
+                    validate_measurement_objects(
+                        entry,
+                        &["clean", "faulted"],
+                        &format!("chaos entry {i}"),
+                        &mut problems,
+                    );
+                    // A supervised crash always loses at least the
+                    // panicking arrival and restarts the worker once —
+                    // zeros here mean the scripted fault never fired.
+                    for field in ["arrivals_lost", "restarts"] {
+                        match entry.get_f64(field) {
+                            Some(x) if x >= 1.0 => {}
+                            Some(_) => problems.push(format!(
+                                "chaos entry {i} {field} says the scripted crash never fired"
+                            )),
+                            None => problems.push(format!("chaos entry {i} missing '{field}'")),
+                        }
+                    }
+                    // Timing-dependent counters that may legitimately be
+                    // zero (an instant recovery, a race-free probe run).
+                    for field in ["recovery_latency_ns", "epochs", "degraded_epochs"] {
+                        match entry.get_f64(field) {
+                            Some(x) if x >= 0.0 => {}
+                            Some(_) => {
+                                problems.push(format!("chaos entry {i} {field} is negative"))
+                            }
+                            None => problems.push(format!("chaos entry {i} missing '{field}'")),
+                        }
+                    }
+                }
+            }
+            _ => problems.push("chaos section missing 'shards' entries".into()),
+        }
+    }
     problems
 }
 
 /// Checks the `compact`/`hashmap` measurement objects of one entry.
 fn validate_measurements(entry: &Value, what: &str, problems: &mut Vec<String>) {
-    for backend in ["compact", "hashmap"] {
+    validate_measurement_objects(entry, &["compact", "hashmap"], what, problems);
+}
+
+/// Checks the named measurement objects of one entry (those present; the
+/// caller reports which keys are required).
+fn validate_measurement_objects(
+    entry: &Value,
+    keys: &[&str],
+    what: &str,
+    problems: &mut Vec<String>,
+) {
+    for backend in keys {
         if let Some(m) = entry.get(backend) {
             for field in ["elapsed_ns", "ns_per_edge", "edges_per_sec"] {
                 match m.get_f64(field) {
@@ -976,10 +1242,12 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
         );
         assert!(doc.get("baseline_samplers").is_none());
         assert!(doc.get("engine").is_none());
         assert!(doc.get("serve").is_none());
+        assert!(doc.get("chaos").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -1013,10 +1281,41 @@ mod tests {
                 staleness_max_edges: 99,
             })
             .to_vec();
-        let doc = results_json(&cfg, "deadbeef", &[result], &[baseline], &engine, &serve);
+        let chaos = CHAOS_SHARDS
+            .map(|shards| ChaosResult {
+                shards,
+                scenario: format!("chaos/holme_kim/triangle/m128/s{shards}"),
+                capacity: 128,
+                edges: edges.len(),
+                clean: compact,
+                faulted: compact,
+                recovery_latency_ns: 120_000,
+                arrivals_lost: 33,
+                restarts: 1,
+                epochs: 40,
+                degraded_epochs: 3,
+            })
+            .to_vec();
+        let doc = results_json(
+            &cfg,
+            "deadbeef",
+            &[result],
+            &[baseline],
+            &engine,
+            &serve,
+            &chaos,
+        );
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
+        let chaos_entries = parsed
+            .get("chaos")
+            .and_then(|c| c.get("shards"))
+            .and_then(Value::as_array)
+            .expect("chaos section present");
+        assert_eq!(chaos_entries.len(), CHAOS_SHARDS.len());
+        assert_eq!(chaos_entries[0].get_f64("arrivals_lost"), Some(33.0));
+        assert_eq!(chaos_entries[0].get_f64("degraded_epochs"), Some(3.0));
         let entries = parsed
             .get("engine")
             .and_then(|e| e.get("shards"))
@@ -1063,6 +1362,25 @@ mod tests {
             assert_eq!(r.shards, s);
             assert!(r.measurement.edges_per_sec > 0.0);
             assert!(r.scenario.starts_with("engine/"));
+        }
+    }
+
+    #[test]
+    fn chaos_grid_measures_every_shard_count_and_records_the_crash() {
+        let cfg = tiny_cfg();
+        let mut seen = 0;
+        let results = run_chaos(&cfg, |_| seen += 1);
+        assert_eq!(results.len(), CHAOS_SHARDS.len());
+        assert_eq!(seen, CHAOS_SHARDS.len());
+        for (r, s) in results.iter().zip(CHAOS_SHARDS) {
+            assert_eq!(r.shards, s);
+            assert!(r.scenario.starts_with("chaos/"));
+            assert!(r.clean.edges_per_sec > 0.0);
+            assert!(r.faulted.edges_per_sec > 0.0);
+            // The scripted crash must actually fire and be on the ledger —
+            // a zero here would make the grid vacuous.
+            assert!(r.restarts >= 1, "s{s}: scripted crash never fired");
+            assert!(r.arrivals_lost >= 1, "s{s}: crash must lose its window");
         }
     }
 
@@ -1149,5 +1467,37 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("engine entry 0 missing 'edges_per_sec'")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [],
+                "chaos": {"stream": "holme_kim",
+                          "shards": [{"shards": 2, "restarts": 0,
+                                      "clean": {"elapsed_ns": -4},
+                                      "degraded_epochs": -1}]}}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos section missing 'weight'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 missing 'name'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 missing 'faulted'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 clean.elapsed_ns is not positive")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 restarts says the scripted crash never fired")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 missing 'arrivals_lost'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("chaos entry 0 degraded_epochs is negative")));
     }
 }

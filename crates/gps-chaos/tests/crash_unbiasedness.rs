@@ -1,0 +1,72 @@
+//! Chaos acceptance: estimates stay **unbiased after crash + restore**.
+//!
+//! A supervised crash rolls the shard back to its last checkpoint and
+//! replays the surviving queue; with a tight checkpoint cadence the lost
+//! window is a few arrivals out of thousands, so the HT estimators must
+//! keep tracking exact ground truth over many independent (coloring,
+//! sampling, stream-order, crash-site) draws — the same protocol and
+//! tolerances as the unfaulted engine suite in
+//! `gps-engine/tests/statistical.rs`. A recovery bug that reloaded the
+//! wrong sample, double-counted replayed arrivals, or broke HT
+//! normalization shifts the mean far outside the tolerance.
+
+use gps_chaos::run_engine_scenario;
+use gps_core::weights::TriangleWeight;
+use gps_engine::{EngineConfig, FaultPlan};
+use gps_graph::csr::CsrGraph;
+use gps_graph::exact;
+use gps_graph::types::Edge;
+use gps_stream::{gen, permuted};
+
+#[test]
+fn crashed_and_restored_estimates_stay_unbiased_at_s4() {
+    let edges = gen::collaboration(500, 420, (3, 6), 0.5, 11);
+    let g = CsrGraph::from_edges(&edges);
+    let tri_truth = exact::triangle_count(&g) as f64;
+    let wedge_truth = exact::wedge_count(&g) as f64;
+    assert!(tri_truth > 500.0, "stream must be triangle-rich");
+
+    let shards = 4usize;
+    let runs = 48u64;
+    let (mut tri_sum, mut wedge_sum) = (0.0, 0.0);
+    for run in 0..runs {
+        let stream: Vec<Edge> = permuted(&edges, 7_000 + run);
+        let cfg = EngineConfig {
+            batch: 16,
+            // Tight cadence: a crash loses at most one checkpoint
+            // interval — small against the shard's whole substream, so
+            // any residual bias from the lost window is far below the
+            // tolerance (unlike a recovery bug, which is not).
+            checkpoint_every: 8,
+            ..EngineConfig::new(edges.len() / 4, shards, 100 + run)
+        };
+        // Rotate the crash across shards and sites so no single recovery
+        // path can hide: shard `run % 4`, mid-substream.
+        let crash_shard = (run % shards as u64) as usize;
+        let crash_at = 40 + (run % 7) * 11;
+        let plan = FaultPlan::new().panic_at(crash_shard, crash_at);
+        let out = run_engine_scenario(cfg, TriangleWeight::default(), stream, plan);
+        assert!(
+            out.degraded(),
+            "run {run}: the scripted crash must have fired"
+        );
+        assert_eq!(
+            out.health.incidents.len(),
+            1,
+            "run {run}: exactly one crash"
+        );
+        assert_eq!(out.health.incidents[0].shard, crash_shard);
+        tri_sum += out.estimate.triangles.value;
+        wedge_sum += out.estimate.wedges.value;
+    }
+    let tri_mean = tri_sum / runs as f64;
+    let wedge_mean = wedge_sum / runs as f64;
+    assert!(
+        (tri_mean - tri_truth).abs() / tri_truth < 0.10,
+        "triangle mean {tri_mean} vs truth {tri_truth}"
+    );
+    assert!(
+        (wedge_mean - wedge_truth).abs() / wedge_truth < 0.10,
+        "wedge mean {wedge_mean} vs truth {wedge_truth}"
+    );
+}

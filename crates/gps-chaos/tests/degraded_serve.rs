@@ -1,0 +1,69 @@
+//! Chaos at the serving layer: a crashed shard restarts from its
+//! checkpoint *while epochs are being served*, and the books balance.
+//!
+//! The board must keep its guarantees through the crash: versions stay
+//! strictly monotone, the final epoch merges every shard, its watermark
+//! equals arrivals offered minus arrivals the engine admits losing, and
+//! the engine-level estimates carry the loss in wider — never narrower —
+//! intervals than the epoch's merge-only variances.
+
+use gps_core::weights::TriangleWeight;
+use gps_engine::{EngineConfig, FaultPlan};
+use gps_serve::{EstimateEpoch, ServeConfig, ServeEngine};
+use gps_stream::{gen, permuted};
+
+#[test]
+fn serving_engine_survives_a_crash_and_accounts_the_loss() {
+    let edges = permuted(&gen::collaboration(300, 260, (3, 6), 0.5, 11), 5);
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: 16,
+            epoch_every: 32,
+            checkpoint_every: 32,
+            ..EngineConfig::new(edges.len() / 4, 2, 13)
+        },
+        subscribe_depth: 4096,
+        gate_timeout: None,
+    };
+    let faults = FaultPlan::new().panic_at(1, 100);
+    let mut serve = ServeEngine::with_config_and_faults(cfg, TriangleWeight::default(), faults);
+    let handle = serve.handle();
+    let sub = handle.subscribe().expect("live engine");
+    serve.push_stream(edges.iter().copied());
+    serve.finish();
+
+    let health = serve.health().clone();
+    assert!(
+        health.degraded(),
+        "the scripted crash must be on the ledger"
+    );
+    assert_eq!(health.incidents.len(), 1);
+    assert_eq!(health.incidents[0].shard, 1);
+    assert_eq!(health.incidents[0].restarts, 1);
+    assert!(health.lost_arrivals > 0);
+
+    let epochs: Vec<EstimateEpoch> = sub.collect();
+    assert!(
+        epochs.windows(2).all(|w| w[0].version < w[1].version),
+        "versions must stay strictly monotone through the crash"
+    );
+    let last = epochs.last().expect("finish publishes a final epoch");
+    assert!(!last.degraded(), "ungated board only publishes full epochs");
+    // The watermark is what the engine actually consumed: everything
+    // offered, minus exactly the crash window it admits losing.
+    assert_eq!(last.edges_seen, serve.pushed() - health.lost_arrivals);
+
+    // The loss-aware engine estimate keeps the epoch's point values (the
+    // merge is the same) but must widen the intervals for the lost window.
+    let widened = serve.estimate_in_stream();
+    assert_eq!(
+        widened.triangles.value.to_bits(),
+        last.estimates.triangles.value.to_bits(),
+        "loss widening must not move the point estimate"
+    );
+    assert!(
+        widened.triangles.variance > last.estimates.triangles.variance,
+        "lost arrivals must widen, never narrow, the interval"
+    );
+    assert!(widened.wedges.variance > last.estimates.wedges.variance);
+}

@@ -197,6 +197,80 @@ impl TriadEstimates {
             cov,
         )
     }
+
+    /// [`merged_colored`] when only `parts.len()` of the `total` colors
+    /// reported (a degraded epoch: some shards are crashed, stalled, or not
+    /// yet recovered).
+    ///
+    /// Each reporting color alone yields an unbiased *global* estimate
+    /// (`S³·t̂_i` triangles, `S²·ŵ_i` wedges, with `S = total`); the merged
+    /// value is the mean of the reporting colors' global estimates —
+    /// still unbiased, since colors are exchangeable under the random edge
+    /// coloring, at the cost of averaging over fewer strata (variances grow
+    /// by roughly `S/k`). Variances keep the `max(conditional, empirical)`
+    /// structure of [`merged_colored`] with the conditional term rescaled by
+    /// `S⁶/k²` (triangles), `S⁴/k²` (wedges), and the covariance by `S⁵/k²`.
+    ///
+    /// With `parts.len() == total` this delegates to [`merged_colored`]
+    /// bit-for-bit, so full epochs are unchanged by routing through here.
+    ///
+    /// [`merged_colored`]: TriadEstimates::merged_colored
+    pub fn merged_colored_partial(parts: &[TriadEstimates], total: usize) -> TriadEstimates {
+        assert!(!parts.is_empty(), "need at least one reporting color");
+        assert!(
+            parts.len() <= total,
+            "more reporting colors than the coloring has"
+        );
+        if parts.len() == total {
+            return Self::merged_colored(parts);
+        }
+        let k = parts.len() as f64;
+        let s = total as f64;
+        let s3 = s * s * s;
+        let merged = Self::merged_strata(parts.iter().copied());
+        let triangles = merged.triangles.scaled(s3 / k);
+        let wedges = merged.wedges.scaled(s * s / k);
+        let cov = merged.tri_wedge_cov * s3 * s * s / (k * k);
+        let tri_between = variance_of_mean(parts.iter().map(|p| p.triangles.value * s3));
+        let wedge_between = variance_of_mean(parts.iter().map(|p| p.wedges.value * s * s));
+        Self::from_parts(
+            Estimate {
+                value: triangles.value,
+                variance: triangles.variance.max(tri_between),
+            },
+            Estimate {
+                value: wedges.value,
+                variance: wedges.variance.max(wedge_between),
+            },
+            cov,
+        )
+    }
+
+    /// Widens the confidence intervals to account for a known fraction of
+    /// the stream that the sampler never observed (arrivals lost between a
+    /// shard's last checkpoint and its crash).
+    ///
+    /// Each lost arrival could have contributed to the counts roughly in
+    /// proportion to the observed stream, so the point estimates are left
+    /// unbiased *given* exchangeability of the lost window and the
+    /// uncertainty is surfaced instead: one extra standard deviation equal
+    /// to `lost_fraction · value` is added in quadrature to the triangle and
+    /// wedge variances (a deliberate heuristic — the loss is adversarially
+    /// unbounded, so no estimator can be exact; the contract is *honest
+    /// flagging*, never a silently narrowed interval). The clustering
+    /// estimate is re-derived from the widened parts.
+    pub fn widened_for_loss(&self, lost_fraction: f64) -> TriadEstimates {
+        let f = lost_fraction.max(0.0);
+        let widen = |e: &Estimate| Estimate {
+            value: e.value,
+            variance: e.variance + (f * e.value) * (f * e.value),
+        };
+        Self::from_parts(
+            widen(&self.triangles),
+            widen(&self.wedges),
+            self.tri_wedge_cov,
+        )
+    }
 }
 
 /// Empirical variance of the **mean** of `xs`:
@@ -491,6 +565,140 @@ mod tests {
         let m = TriadEstimates::merged_colored(&[part, part]);
         assert_eq!(m.triangles.variance, 16.0 * 4.0);
         assert_eq!(m.wedges.variance, 4.0 * 6.0);
+    }
+
+    #[test]
+    fn merged_colored_partial_full_set_is_bit_identical_to_merged_colored() {
+        let parts = [
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 4.0,
+                    variance: 1.0,
+                },
+                Estimate {
+                    value: 24.0,
+                    variance: 2.0,
+                },
+                0.5,
+            ),
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 6.0,
+                    variance: 3.0,
+                },
+                Estimate {
+                    value: 36.0,
+                    variance: 4.0,
+                },
+                1.5,
+            ),
+        ];
+        let full = TriadEstimates::merged_colored(&parts);
+        let partial = TriadEstimates::merged_colored_partial(&parts, 2);
+        assert_eq!(
+            full.triangles.value.to_bits(),
+            partial.triangles.value.to_bits()
+        );
+        assert_eq!(
+            full.triangles.variance.to_bits(),
+            partial.triangles.variance.to_bits()
+        );
+        assert_eq!(full.wedges.value.to_bits(), partial.wedges.value.to_bits());
+        assert_eq!(
+            full.wedges.variance.to_bits(),
+            partial.wedges.variance.to_bits()
+        );
+        assert_eq!(
+            full.tri_wedge_cov.to_bits(),
+            partial.tri_wedge_cov.to_bits()
+        );
+    }
+
+    #[test]
+    fn merged_colored_partial_extrapolates_one_of_four_colors() {
+        // One reporting color out of S = 4: t̂ = 2 with v̂ = 0.5 →
+        // value S³·t̂ = 128, conditional variance S⁶·v̂ = 2048 (no
+        // between-term with k = 1).
+        let part = TriadEstimates::from_parts(
+            Estimate {
+                value: 2.0,
+                variance: 0.5,
+            },
+            Estimate {
+                value: 12.0,
+                variance: 1.0,
+            },
+            0.25,
+        );
+        let m = TriadEstimates::merged_colored_partial(&[part], 4);
+        assert_eq!(m.triangles.value, 128.0);
+        assert_eq!(m.triangles.variance, 2048.0);
+        // Wedges: S²·ŵ = 192, S⁴·v̂ = 256. Covariance: S⁵·ĉ = 256.
+        assert_eq!(m.wedges.value, 192.0);
+        assert_eq!(m.wedges.variance, 256.0);
+        assert_eq!(m.tri_wedge_cov, 256.0);
+    }
+
+    #[test]
+    fn merged_colored_partial_two_of_four_averages_per_color_globals() {
+        let parts = [
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 2.0,
+                    variance: 0.5,
+                },
+                Estimate {
+                    value: 12.0,
+                    variance: 1.0,
+                },
+                0.0,
+            ),
+            TriadEstimates::from_parts(
+                Estimate {
+                    value: 4.0,
+                    variance: 0.5,
+                },
+                Estimate {
+                    value: 20.0,
+                    variance: 1.0,
+                },
+                0.0,
+            ),
+        ];
+        let m = TriadEstimates::merged_colored_partial(&parts, 4);
+        // Mean of per-color globals S³·t̂ ∈ {128, 256} → 192; conditional
+        // S⁶/k²·Σv̂ = 4096/4·1 = 1024, between Σ(x−x̄)²/(k(k−1)) = 4096.
+        assert_eq!(m.triangles.value, 192.0);
+        assert_eq!(m.triangles.variance, 4096.0);
+        // Wedges: mean of S²·ŵ ∈ {192, 320} → 256.
+        assert_eq!(m.wedges.value, 256.0);
+    }
+
+    #[test]
+    fn widened_for_loss_grows_variance_and_keeps_values() {
+        let base = TriadEstimates::from_parts(
+            Estimate {
+                value: 100.0,
+                variance: 25.0,
+            },
+            Estimate {
+                value: 600.0,
+                variance: 100.0,
+            },
+            10.0,
+        );
+        let w = base.widened_for_loss(0.1);
+        assert_eq!(w.triangles.value, 100.0);
+        assert_eq!(w.triangles.variance, 25.0 + 100.0);
+        assert_eq!(w.wedges.value, 600.0);
+        assert_eq!(w.wedges.variance, 100.0 + 3600.0);
+        assert_eq!(w.tri_wedge_cov, 10.0);
+        // Zero loss changes nothing.
+        let same = base.widened_for_loss(0.0);
+        assert_eq!(same.triangles.variance, base.triangles.variance);
+        // Negative input (float noise) is clamped, never shrinks.
+        let clamped = base.widened_for_loss(-0.5);
+        assert_eq!(clamped.triangles.variance, base.triangles.variance);
     }
 
     #[test]

@@ -23,6 +23,50 @@ use crate::slab::SlotId;
 use crate::weights::EdgeWeight;
 use gps_graph::types::Edge;
 
+/// Portable snapshot of every Algorithm-3 accumulator an
+/// [`InStreamEstimator`] carries beyond its sampler: the five global
+/// count/variance accumulators plus the per-sampled-edge covariance
+/// accumulators `C̃_k(△), C̃_k(Λ)` (paper Alg 3 lines 39–40).
+///
+/// Together with the sampler's own persisted state this makes a resumed
+/// estimator *exact*: [`InStreamEstimator::resume`] reinstates everything,
+/// so estimates after the handover are bit-identical to an uninterrupted
+/// run at the same watermark — unlike [`InStreamEstimator::from_sampler`],
+/// which re-seeds from a post-stream estimate and loses the cross-snapshot
+/// covariance terms. The `gps-sample v2` persist section carries this
+/// state on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InStreamState {
+    /// Triangle count accumulator `Ñ(△)`.
+    pub n_tri: f64,
+    /// Triangle variance accumulator `Ṽ(△)`.
+    pub v_tri: f64,
+    /// Wedge count accumulator `Ñ(Λ)`.
+    pub n_wedge: f64,
+    /// Wedge variance accumulator `Ṽ(Λ)`.
+    pub v_wedge: f64,
+    /// Triangle–wedge covariance accumulator `Ṽ(△,Λ)`.
+    pub tri_wedge_cov: f64,
+    /// Per sampled edge `(C̃_k(△), C̃_k(Λ))`, parallel to the
+    /// [`GpsSampler::edges`] iteration order of the sampler the state was
+    /// exported from.
+    pub per_edge: Vec<(f64, f64)>,
+}
+
+impl InStreamState {
+    /// The state of a fresh estimator over an empty sampler.
+    pub fn empty() -> Self {
+        InStreamState {
+            n_tri: 0.0,
+            v_tri: 0.0,
+            n_wedge: 0.0,
+            v_wedge: 0.0,
+            tri_wedge_cov: 0.0,
+            per_edge: Vec::new(),
+        }
+    }
+}
+
 /// GPS sampler plus in-stream triangle/wedge count and variance
 /// accumulators (paper Algorithm 3).
 pub struct InStreamEstimator<W> {
@@ -105,6 +149,77 @@ impl<W: EdgeWeight> InStreamEstimator<W> {
     /// persist it — the snapshot formats store samples, not accumulators).
     pub fn into_sampler(self) -> GpsSampler<W> {
         self.sampler
+    }
+
+    /// Exports the full Algorithm-3 accumulator state. Pair with the
+    /// sampler's persisted sample (the `gps-sample v2` section does both)
+    /// and [`InStreamEstimator::resume`] for an exact handover.
+    pub fn export_state(&self) -> InStreamState {
+        InStreamState {
+            n_tri: self.n_tri,
+            v_tri: self.v_tri,
+            n_wedge: self.n_wedge,
+            v_wedge: self.v_wedge,
+            tri_wedge_cov: self.tri_wedge_cov,
+            per_edge: self
+                .sampler
+                .slab()
+                .iter()
+                .map(|(_, r)| (r.cov_tri, r.cov_wedge))
+                .collect(),
+        }
+    }
+
+    /// Consumes the estimator, returning the sampler and the exported
+    /// accumulator state in one move (the engine's checkpoint/`finish`
+    /// paths use this to hand both halves over without cloning).
+    pub fn into_parts(self) -> (GpsSampler<W>, InStreamState) {
+        let state = self.export_state();
+        (self.sampler, state)
+    }
+
+    /// Exact resume: wraps `sampler` and reinstates a previously
+    /// [`export_state`]ed accumulator snapshot, including the per-edge
+    /// covariance accumulators (written back in [`GpsSampler::edges`]
+    /// order, which restored samplers preserve).
+    ///
+    /// Subsequent estimates are bit-identical to the estimator the state
+    /// was exported from — the exactness contract the `gps-sample v2`
+    /// persist section and engine checkpoints rely on.
+    ///
+    /// # Panics
+    ///
+    /// If `state.per_edge` does not have exactly one entry per sampled
+    /// edge (the persist layer validates this before calling; direct
+    /// callers pairing a sampler with a state from elsewhere have a logic
+    /// error).
+    ///
+    /// [`export_state`]: InStreamEstimator::export_state
+    pub fn resume(mut sampler: GpsSampler<W>, state: InStreamState) -> Self {
+        let (slab, _adj, _z) = sampler.estimator_parts();
+        assert_eq!(
+            state.per_edge.len(),
+            slab.len(),
+            "in-stream state covers {} edges but the sampler holds {}",
+            state.per_edge.len(),
+            slab.len()
+        );
+        let slots: Vec<SlotId> = slab.iter().map(|(slot, _)| slot).collect();
+        for (slot, &(cov_tri, cov_wedge)) in slots.into_iter().zip(&state.per_edge) {
+            let record = slab.get_mut(slot);
+            record.cov_tri = cov_tri;
+            record.cov_wedge = cov_wedge;
+        }
+        InStreamEstimator {
+            sampler,
+            n_tri: state.n_tri,
+            v_tri: state.v_tri,
+            n_wedge: state.n_wedge,
+            v_wedge: state.v_wedge,
+            tri_wedge_cov: state.tri_wedge_cov,
+            tri_buf: Vec::new(),
+            wedge_buf: Vec::new(),
+        }
     }
 
     /// Processes one arrival: snapshot-estimates the subgraphs the edge
@@ -365,6 +480,114 @@ mod tests {
         assert!((est.triangle_count() - 5.0).abs() < 1e-12);
         let sampler = est.into_sampler();
         assert_eq!(sampler.len(), 8);
+    }
+
+    fn eviction_stream() -> Vec<Edge> {
+        let mut edges = vec![];
+        for base in 0..30u32 {
+            edges.push(Edge::new(base, base + 1));
+            edges.push(Edge::new(base, base + 2));
+            edges.push(Edge::new(base + 1, base + 2));
+        }
+        edges
+    }
+
+    #[test]
+    fn export_resume_continues_bit_identically_to_uninterrupted_run() {
+        // Split the stream mid-way, export/resume the accumulator state on
+        // the *same* sampler (RNG state carried over), and finish the
+        // stream: every estimate must be bit-identical to the uninterrupted
+        // run — the exactness contract `from_sampler` cannot offer.
+        let edges = eviction_stream();
+        let split = 50;
+        let mut full = InStreamEstimator::new(8, TriangleWeight::default(), 11);
+        full.process_stream(edges.iter().copied());
+
+        let mut first = InStreamEstimator::new(8, TriangleWeight::default(), 11);
+        first.process_stream(edges[..split].iter().copied());
+        assert!(
+            first.sampler().threshold() > 0.0,
+            "split must land after evictions started"
+        );
+        let (sampler, state) = first.into_parts();
+        let mut resumed = InStreamEstimator::resume(sampler, state);
+        resumed.process_stream(edges[split..].iter().copied());
+
+        let (a, b) = (full.estimates(), resumed.estimates());
+        assert_eq!(a.triangles.value.to_bits(), b.triangles.value.to_bits());
+        assert_eq!(
+            a.triangles.variance.to_bits(),
+            b.triangles.variance.to_bits()
+        );
+        assert_eq!(a.wedges.value.to_bits(), b.wedges.value.to_bits());
+        assert_eq!(a.wedges.variance.to_bits(), b.wedges.variance.to_bits());
+        assert_eq!(a.tri_wedge_cov.to_bits(), b.tri_wedge_cov.to_bits());
+    }
+
+    #[test]
+    fn resume_after_sampler_round_trip_is_exact_at_watermark() {
+        // Persist-style round trip: rebuild the sampler from raw records
+        // (fresh RNG — statistically equivalent, not bit-identical going
+        // forward) and reinstate the exported state. At the save watermark
+        // the estimates must be bit-identical to the original estimator.
+        let edges = eviction_stream();
+        let mut orig = InStreamEstimator::new(8, TriangleWeight::default(), 11);
+        orig.process_stream(edges.iter().copied().take(60));
+        let state = orig.export_state();
+        let before = orig.estimates();
+        let sampler = orig.sampler();
+        let records: Vec<_> = sampler
+            .edges()
+            .map(|s| (s.edge, s.weight, s.priority))
+            .collect();
+        let rebuilt = GpsSampler::restore_with_backend(
+            8,
+            TriangleWeight::default(),
+            11,
+            sampler.threshold(),
+            sampler.arrivals(),
+            records,
+            sampler.backend(),
+        );
+        let resumed = InStreamEstimator::resume(rebuilt, state.clone());
+        let after = resumed.estimates();
+        assert_eq!(
+            before.triangles.value.to_bits(),
+            after.triangles.value.to_bits()
+        );
+        assert_eq!(
+            before.triangles.variance.to_bits(),
+            after.triangles.variance.to_bits()
+        );
+        assert_eq!(before.wedges.value.to_bits(), after.wedges.value.to_bits());
+        assert_eq!(
+            before.wedges.variance.to_bits(),
+            after.wedges.variance.to_bits()
+        );
+        assert_eq!(
+            before.tri_wedge_cov.to_bits(),
+            after.tri_wedge_cov.to_bits()
+        );
+        // And the round trip preserved the per-edge accumulators exactly.
+        assert_eq!(resumed.export_state(), state);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-stream state covers")]
+    fn resume_rejects_mismatched_per_edge_length() {
+        let mut sampler = GpsSampler::new(8, UniformWeight, 1);
+        sampler.process_stream(k4_edges());
+        let mut state = InStreamState::empty();
+        state.per_edge.push((0.0, 0.0));
+        let _ = InStreamEstimator::resume(sampler, state);
+    }
+
+    #[test]
+    fn empty_state_matches_fresh_estimator() {
+        assert_eq!(
+            InStreamEstimator::new(4, UniformWeight, 0).export_state(),
+            InStreamState::empty()
+        );
     }
 
     #[test]

@@ -614,6 +614,12 @@ impl<W: EdgeWeight> GpsSampler<W> {
     pub(crate) fn estimator_parts(&mut self) -> (&mut Slab, &AdjacencyBackend<SlotId>, f64) {
         (&mut self.slab, &self.adj, self.z_star)
     }
+
+    /// Read-only slab: in-stream state export walks the per-edge covariance
+    /// accumulators in the same slot order as [`GpsSampler::edges`].
+    pub(crate) fn slab(&self) -> &Slab {
+        &self.slab
+    }
 }
 
 #[cfg(test)]

@@ -60,17 +60,40 @@
 //! ## Snapshots
 //!
 //! [`ShardedGps::save`] composes the existing `gps_core::persist` format
-//! per shard — an engine header followed by one `gps-sample v1` section per
-//! shard — so sharded reference samples outlive the process like
-//! single-reservoir ones do ([`snapshot`]).
+//! per shard — an engine header followed by one `gps-sample` section per
+//! shard (`v2` with in-stream accumulators in estimating mode, `v1`
+//! otherwise) — so sharded reference samples outlive the process like
+//! single-reservoir ones do, and a restored serving engine resumes its
+//! in-stream estimates **exactly** ([`snapshot`]).
+//!
+//! ## Fault tolerance
+//!
+//! Workers are supervised: a panic inside a worker is contained with
+//! `catch_unwind` and surfaces as a typed [`EngineError`] — or, with
+//! checkpointing enabled ([`EngineConfig::checkpoint_every`]), the shard
+//! restarts from its last persisted checkpoint and only the arrivals since
+//! it are lost. Loss is never silent: [`ShardedGps::health`] itemizes
+//! every [`ShardIncident`], and estimates from a degraded run widen their
+//! variances by the lost fraction so confidence intervals stay honest.
+//! Bounded queues gain deadlines ([`EngineConfig::push_timeout`] →
+//! [`PushError::Backpressure`]; [`EngineConfig::finish_timeout`] writes
+//! stragglers off from their checkpoints). The whole failure surface is
+//! testable deterministically through [`FaultPlan`] ([`fault`]): faults
+//! trigger at exact per-shard arrival counts, so chaos runs are
+//! bit-reproducible.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 pub mod partition;
 pub mod snapshot;
 
-pub use engine::{EngineConfig, EpochHook, ShardReport, ShardedGps, DEFAULT_EPOCH_EVERY};
+pub use engine::{
+    EngineConfig, EngineError, EngineHealth, EpochHook, PushError, ShardIncident, ShardReport,
+    ShardedGps, DEFAULT_EPOCH_EVERY,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use partition::{shard_seed, EdgePartitioner};
 pub use snapshot::{load_engine, load_engine_file, SavedEngine};

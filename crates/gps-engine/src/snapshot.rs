@@ -6,7 +6,7 @@
 //! every future arrival — including duplicates of already-sampled edges —
 //! to the shard that owns it). The format composes the existing
 //! single-reservoir machinery: an engine header followed by one
-//! `gps-sample v1` section per shard, in shard order, parsed back with
+//! `gps-sample` section per shard, in shard order, parsed back with
 //! `gps_core::persist::load_section`:
 //!
 //! ```text
@@ -14,10 +14,26 @@
 //! seed 42
 //! shards 4
 //! capacity 16000
-//! <gps-sample v1 section of shard 0>
+//! crc 1b7c3a9f00e2d415
+//! <gps-sample section of shard 0>
 //! ...
-//! <gps-sample v1 section of shard 3>
+//! <gps-sample section of shard 3>
 //! ```
+//!
+//! The `crc` header line (FNV-1a over the canonical header values and the
+//! raw section bytes) makes *any* corruption — truncation anywhere, any
+//! bit flip — a guaranteed [`PersistError`] instead of a silently
+//! different restore; a corruption property test pins this. The line is
+//! optional on load, so hand-written or pre-crc files still parse (their
+//! protection is then only the structural validation).
+//!
+//! A plain engine writes `gps-sample v1` sections; an **estimating** engine
+//! writes `v2` sections that additionally carry each shard's in-stream
+//! accumulators and per-edge covariance contributions, so a restored
+//! serving engine's in-stream estimates are **bit-identical** to the
+//! original's at the save watermark — not merely re-seeded from the
+//! post-stream estimate. (This is also the substrate the engine's crash
+//! checkpoints are built on; see the `gps-engine` crate docs.)
 //!
 //! Like `GpsSampler::restore`, a restored engine estimates identically to
 //! the original (up to float summation order from adjacency rebuild) and
@@ -34,6 +50,27 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Magic first line of the engine container format.
 const MAGIC: &str = "gps-engine v1";
+
+/// FNV-1a over `bytes`, continuing from `h` (seed with [`FNV_OFFSET`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The container checksum: FNV-1a over the canonical header value lines
+/// (`seed …`, `shards …`, `capacity …`) followed by the raw bytes of every
+/// section. Hashing the *canonical re-rendering* of the parsed header
+/// values (rather than the header bytes as written) keeps the check
+/// order-independent of cosmetic whitespace while still catching any edit
+/// that changes a parsed value.
+fn container_crc(seed: u64, shards: usize, capacity: usize, sections: &[u8]) -> u64 {
+    let header = format!("seed {seed}\nshards {shards}\ncapacity {capacity}\n");
+    fnv1a(fnv1a(FNV_OFFSET, header.as_bytes()), sections)
+}
 
 /// A sharded sample loaded from disk, ready to become an engine again.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,8 +109,10 @@ impl SavedEngine {
 
     /// Rebuilds a running engine in **in-stream estimating** mode (see
     /// [`ShardedGps::with_estimation`]): each worker wraps its restored
-    /// sampler in an `InStreamEstimator` seeded from the sample's
-    /// post-stream estimate, so live estimates continue from the saved
+    /// sampler in an `InStreamEstimator` — resumed *exactly* from the
+    /// saved accumulators when the snapshot carries `gps-sample v2`
+    /// sections, seeded from the sample's post-stream estimate otherwise —
+    /// so live estimates continue from the saved
     /// state instead of restarting at zero, and `hook` resumes receiving
     /// [`ShardReport`]s (`gps-serve` uses this to keep a `QueryHandle`'s
     /// epochs flowing across a snapshot/restore cycle).
@@ -124,23 +163,21 @@ impl SavedEngine {
         let mut cfg = EngineConfig::new(self.capacity, self.shards.len(), self.seed);
         cfg.backend = backend;
         cfg.epoch_every = epoch_every;
-        let samplers = self
-            .shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                GpsSampler::restore_with_backend(
-                    shard.capacity,
-                    weight_fn.clone(),
-                    shard_seed(cfg.seed, i),
-                    shard.threshold,
-                    shard.arrivals,
-                    shard.records,
-                    backend,
-                )
-            })
-            .collect();
-        let mut engine = ShardedGps::launch(cfg, samplers, mode);
+        let mut samplers = Vec::with_capacity(self.shards.len());
+        let mut states = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            samplers.push(GpsSampler::restore_with_backend(
+                shard.capacity,
+                weight_fn.clone(),
+                shard_seed(cfg.seed, i),
+                shard.threshold,
+                shard.arrivals,
+                shard.records,
+                backend,
+            ));
+            states.push(shard.in_stream);
+        }
+        let mut engine = ShardedGps::launch(cfg, weight_fn, samplers, states, mode, None);
         engine.set_pushed(pushed);
         engine
     }
@@ -149,18 +186,29 @@ impl SavedEngine {
 impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
     /// Writes the engine's estimation state to `writer` (finishing the
     /// engine first if needed): the engine header, then one persisted
-    /// sample section per shard.
+    /// sample section per shard — `gps-sample v2` (with the shard's
+    /// in-stream accumulator state, for exact resume) when the engine ran
+    /// in estimating mode, `v1` otherwise.
     pub fn save<Out: Write>(&mut self, writer: Out) -> Result<(), PersistError> {
         self.finish();
-        let (cfg, samplers, _) = self.parts();
+        let (cfg, samplers, states, _) = self.parts();
+        // Sections are staged in memory so the checksum can cover their
+        // exact bytes; engine snapshots are sample-sized, not stream-sized.
+        let mut sections = Vec::new();
+        for (sampler, state) in samplers.iter().zip(states) {
+            match state {
+                Some(state) => persist::save_with_state(sampler, state, &mut sections)?,
+                None => persist::save(sampler, &mut sections)?,
+            }
+        }
+        let crc = container_crc(cfg.seed, cfg.shards, cfg.capacity, &sections);
         let mut w = BufWriter::new(writer);
         writeln!(w, "{MAGIC}")?;
         writeln!(w, "seed {}", cfg.seed)?;
         writeln!(w, "shards {}", cfg.shards)?;
         writeln!(w, "capacity {}", cfg.capacity)?;
-        for sampler in samplers {
-            persist::save(sampler, &mut w)?;
-        }
+        writeln!(w, "crc {crc:016x}")?;
+        w.write_all(&sections)?;
         w.flush()?;
         Ok(())
     }
@@ -214,9 +262,33 @@ pub fn load_engine<R: Read>(reader: R) -> Result<SavedEngine, PersistError> {
     if num_shards == 0 || num_shards > MAX_SHARDS {
         return Err(parse_err(&format!("shards {num_shards}")));
     }
+    // Optional `crc` header line; everything after it is section bytes.
+    line.clear();
+    r.read_line(&mut line)?;
+    let declared_crc = line
+        .trim_end()
+        .strip_prefix("crc ")
+        .map(|h| u64::from_str_radix(h, 16).map_err(|_| parse_err(&line)))
+        .transpose()?;
+    let mut sections = Vec::new();
+    if declared_crc.is_none() {
+        // No checksum (pre-crc or hand-written file): the line we just
+        // consumed is the first section's magic line.
+        sections.extend_from_slice(line.as_bytes());
+    }
+    r.read_to_end(&mut sections)?;
+    if let Some(declared) = declared_crc {
+        let actual = container_crc(seed, num_shards, capacity, &sections);
+        if actual != declared {
+            return Err(parse_err(&format!(
+                "crc {declared:016x} (sections hash to {actual:016x})"
+            )));
+        }
+    }
+    let mut body: &[u8] = &sections;
     let mut shards = Vec::with_capacity(num_shards);
     for _ in 0..num_shards {
-        shards.push(persist::load_section(&mut r)?);
+        shards.push(persist::load_section(&mut body)?);
     }
     // Validate the header/body consistency here, so corrupt files error at
     // load time instead of panicking later in `into_engine`.
@@ -316,6 +388,74 @@ mod tests {
     }
 
     #[test]
+    fn serving_round_trip_resumes_in_stream_estimates_exactly() {
+        use crate::engine::EngineConfig;
+        let mut engine = ShardedGps::with_estimation(
+            EngineConfig::new(24, 3, 9),
+            TriangleWeight::default(),
+            None,
+        );
+        let mut edges = vec![];
+        for base in 0..40u32 {
+            edges.push(Edge::new(base, base + 1));
+            edges.push(Edge::new(base, base + 2));
+            edges.push(Edge::new(base + 1, base + 2));
+        }
+        engine.push_stream(edges);
+        engine.finish();
+        let original = engine.estimate_in_stream();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let saved = load_engine(buf.as_slice()).unwrap();
+        // Estimating engines write v2 sections: every shard carries its
+        // in-stream accumulator state.
+        assert!(saved.shards.iter().all(|s| s.in_stream.is_some()));
+        let mut restored = saved.into_serving_engine(
+            TriangleWeight::default(),
+            BackendKind::Compact,
+            None,
+            crate::engine::DEFAULT_EPOCH_EVERY,
+        );
+        // Exact resume: at the save watermark the restored engine's
+        // in-stream estimates are bit-identical to the original's — the
+        // accumulators were restored, not re-seeded from the post-stream
+        // estimate.
+        let again = restored.estimate_in_stream();
+        assert_eq!(
+            original.triangles.value.to_bits(),
+            again.triangles.value.to_bits()
+        );
+        assert_eq!(
+            original.triangles.variance.to_bits(),
+            again.triangles.variance.to_bits()
+        );
+        assert_eq!(
+            original.wedges.value.to_bits(),
+            again.wedges.value.to_bits()
+        );
+        assert_eq!(
+            original.wedges.variance.to_bits(),
+            again.wedges.variance.to_bits()
+        );
+        assert_eq!(
+            original.tri_wedge_cov.to_bits(),
+            again.tri_wedge_cov.to_bits()
+        );
+    }
+
+    #[test]
+    fn plain_engine_still_writes_v1_sections() {
+        let mut engine = loaded_engine();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let saved = load_engine(buf.as_slice()).unwrap();
+        assert!(saved.shards.iter().all(|s| s.in_stream.is_none()));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("gps-sample v1"));
+        assert!(!text.contains("gps-sample v2"));
+    }
+
+    #[test]
     fn rejects_garbage_input() {
         assert!(matches!(
             load_engine("nonsense".as_bytes()),
@@ -348,16 +488,49 @@ mod tests {
         let mut buf = Vec::new();
         engine.save(&mut buf).unwrap();
         // The engine header is the first "capacity" line; the per-shard
-        // sections declare their own. Corrupt the header only.
-        let text = String::from_utf8(buf)
+        // sections declare their own. Corrupt the header only — and drop
+        // the checksum line (which would catch the edit first) so this
+        // exercises the structural capacity-sum check crc-less files rely
+        // on.
+        let text: String = String::from_utf8(buf)
             .unwrap()
-            .replacen("capacity 24", "capacity 99", 1);
+            .replacen("capacity 24", "capacity 99", 1)
+            .lines()
+            .filter(|l| !l.starts_with("crc "))
+            .map(|l| format!("{l}\n"))
+            .collect();
         match load_engine(text.as_bytes()) {
             Err(PersistError::Parse { content, .. }) => {
                 assert!(content.contains("capacity 99"), "{content}");
             }
             other => panic!("expected capacity-mismatch Parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checksum_catches_header_and_section_edits() {
+        let mut engine = loaded_engine();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\ncrc "), "save must write a checksum line");
+        // A value edit that is structurally valid (both headers stay
+        // consistent) is still rejected by the checksum.
+        let seed_edit = text.replacen("seed 9", "seed 8", 1);
+        assert!(load_engine(seed_edit.as_bytes()).is_err());
+        // So is any section-byte edit, even one that would parse.
+        let idx = text.find("gps-sample").unwrap();
+        let mut bytes = text.clone().into_bytes();
+        bytes[idx + 30] ^= 0x01;
+        assert!(load_engine(bytes.as_slice()).is_err());
+        // Dropping the crc line entirely keeps the file loadable
+        // (pre-checksum compatibility).
+        let no_crc: String = text
+            .lines()
+            .filter(|l| !l.starts_with("crc "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(load_engine(no_crc.as_bytes()).is_ok());
     }
 
     #[test]

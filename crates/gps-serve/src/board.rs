@@ -15,9 +15,25 @@ use gps_core::{Estimate, TriadEstimates};
 use gps_engine::ShardReport;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn zero_triad() -> TriadEstimates {
     TriadEstimates::from_parts(Estimate::exact(0.0), Estimate::exact(0.0), 0.0)
+}
+
+/// Contributing-mask bit for `shard` (shards ≥ 64 share the top bit; see
+/// [`EstimateEpoch::contributing`]).
+fn shard_bit(shard: usize) -> u64 {
+    1u64 << shard.min(63)
+}
+
+/// Mask with one bit per shard, saturating at 64 tracked shards.
+fn full_mask(shards: usize) -> u64 {
+    if shards >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << shards) - 1
+    }
 }
 
 /// Publisher-side state, serialized by the board mutex.
@@ -26,6 +42,9 @@ struct BoardState {
     /// silent shard merges as a zero estimate at position 0, which is
     /// exactly its in-stream accumulator state at that point).
     per_shard: Vec<Option<ShardReport>>,
+    /// When each shard last reported (drives the liveness window of the
+    /// publication gate; meaningless — and unread — without a gate).
+    reported_at: Vec<Option<Instant>>,
     /// Last assigned epoch version (monotone over the board's lifetime,
     /// across engine restores).
     version: u64,
@@ -40,6 +59,13 @@ struct BoardState {
     /// their reports carry a stale generation and are discarded instead
     /// of contaminating the current engine's epochs.
     generation: u64,
+    /// Publication-gate timeout: how long after (re)opening the board
+    /// waits for *every* shard to report before it starts publishing
+    /// degraded epochs from the reporting shards only. `None` gates
+    /// forever (the pre-fault-tolerance behavior).
+    gate: Option<Duration>,
+    /// When the current gate expires (re-armed by [`Board::reopen`]).
+    gate_deadline: Option<Instant>,
     /// Live subscription senders; lossy on full, pruned on disconnect.
     subscribers: Vec<SyncSender<EstimateEpoch>>,
 }
@@ -60,15 +86,18 @@ impl Board {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, gate: Option<Duration>) -> Self {
         Board {
             cell: EpochCell::new(),
             state: Mutex::new(BoardState {
                 per_shard: vec![None; shards],
+                reported_at: vec![None; shards],
                 version: 0,
                 latest: None,
                 closed: false,
                 generation: 0,
+                gate,
+                gate_deadline: gate.map(|d| Instant::now() + d),
                 subscribers: Vec::new(),
             }),
             wake: Condvar::new(),
@@ -83,11 +112,19 @@ impl Board {
     /// queues (nothing joins them) and would otherwise publish after
     /// `close()` or into a successor engine's board.
     ///
-    /// No epoch is published until **every** shard has reported at least
-    /// once since the board (re)opened: a partial merge would understate
-    /// both the watermark and the estimates — on the restore path it would
-    /// make them visibly regress. Workers report immediately at launch, so
-    /// the gate clears before any new stream is consumed.
+    /// Without a publication gate (`gate == None`), no epoch is published
+    /// until **every** shard has reported at least once since the board
+    /// (re)opened: a partial merge would understate both the watermark and
+    /// the estimates — on the restore path it would make them visibly
+    /// regress. Workers report immediately at launch, so the gate clears
+    /// before any new stream is consumed.
+    ///
+    /// With a gate, the board degrades instead of withholding: once the
+    /// gate deadline has passed, reports still publish while some shard is
+    /// silent or stale — a *degraded* epoch merged from the live shards
+    /// only (see [`Board::live_shards`]), stamped with the contributing
+    /// mask so readers can tell. When the missing shard reports again the
+    /// next publication is full.
     pub(crate) fn publish_report(&self, generation: u64, report: ShardReport) {
         let mut state = self.locked();
         if state.closed || generation != state.generation {
@@ -95,10 +132,17 @@ impl Board {
         }
         let slot = report.shard;
         assert!(slot < state.per_shard.len(), "report from unknown shard");
+        let now = Instant::now();
         state.per_shard[slot] = Some(report);
-        if state.per_shard.iter().all(Option::is_some) {
-            self.publish_merged(&mut state);
+        state.reported_at[slot] = Some(now);
+        let live = self.live_shards(&state, now);
+        if live.len() == state.per_shard.len() {
+            self.publish_full(&mut state);
+        } else if state.gate_deadline.is_some_and(|d| now >= d) && !live.is_empty() {
+            self.publish_partial(&mut state, &live);
         }
+        // Otherwise: still inside the gate window with shards missing —
+        // keep withholding until they report or the deadline passes.
     }
 
     /// Generation the board currently accepts reports for.
@@ -106,9 +150,34 @@ impl Board {
         self.locked().generation
     }
 
-    /// Merges the current per-shard snapshots and publishes (caller holds
-    /// the lock).
-    fn publish_merged(&self, state: &mut BoardState) {
+    /// Indices of shards with a *live* report at `now`: one that exists
+    /// and — when a publication gate is configured — is no older than the
+    /// gate timeout (a permanently stalled or crashed-and-recovering shard
+    /// stops reporting, so its last report ages out of the window and the
+    /// board degrades around it). Without a gate every received report
+    /// counts indefinitely, reproducing the ungated behavior exactly.
+    ///
+    /// The shard that just reported always qualifies: its `reported_at`
+    /// equals the `now` captured by the caller, so even a zero gate keeps
+    /// `elapsed <= window` true for it.
+    fn live_shards(&self, state: &BoardState, now: Instant) -> Vec<usize> {
+        (0..state.per_shard.len())
+            .filter(|&i| {
+                state.per_shard[i].is_some()
+                    && match (state.gate, state.reported_at[i]) {
+                        (Some(window), Some(at)) => now.duration_since(at) <= window,
+                        (Some(_), None) => false,
+                        (None, _) => true,
+                    }
+            })
+            .collect()
+    }
+
+    /// Merges every per-shard snapshot and publishes a full epoch (caller
+    /// holds the lock). Shards that never reported merge as zero estimates
+    /// at position 0 — exactly their state — so this is also the forced
+    /// final publication of [`Board::close`].
+    fn publish_full(&self, state: &mut BoardState) {
         let parts: Vec<TriadEstimates> = state
             .per_shard
             .iter()
@@ -119,12 +188,47 @@ impl Board {
             .iter()
             .map(|r| r.map(|r| r.arrivals).unwrap_or(0))
             .sum();
+        let contributing = full_mask(parts.len());
+        let estimates = TriadEstimates::merged_colored(&parts);
+        self.publish_epoch(state, edges_seen, contributing, estimates);
+    }
+
+    /// Merges only the `live` shards' snapshots and publishes a degraded
+    /// epoch (caller holds the lock; `live` must be non-empty). Estimates
+    /// extrapolate from the reporting colors via
+    /// [`TriadEstimates::merged_colored_partial`] — unbiased, with honestly
+    /// widened variances — and the watermark covers the reporting
+    /// substreams only, so it can sit below a prior full epoch's until the
+    /// silent shard returns.
+    fn publish_partial(&self, state: &mut BoardState, live: &[usize]) {
+        let parts: Vec<TriadEstimates> = live
+            .iter()
+            .filter_map(|&i| state.per_shard[i].map(|r| r.estimates))
+            .collect();
+        let edges_seen: u64 = live
+            .iter()
+            .filter_map(|&i| state.per_shard[i].map(|r| r.arrivals))
+            .sum();
+        let contributing = live.iter().fold(0u64, |mask, &i| mask | shard_bit(i));
+        let estimates = TriadEstimates::merged_colored_partial(&parts, state.per_shard.len());
+        self.publish_epoch(state, edges_seen, contributing, estimates);
+    }
+
+    /// Stamps, records, and fans out one epoch (caller holds the lock).
+    fn publish_epoch(
+        &self,
+        state: &mut BoardState,
+        edges_seen: u64,
+        contributing: u64,
+        estimates: TriadEstimates,
+    ) {
         state.version += 1;
         let epoch = EstimateEpoch {
             version: state.version,
             edges_seen,
-            shards: parts.len() as u64,
-            estimates: TriadEstimates::merged_colored(&parts),
+            shards: state.per_shard.len() as u64,
+            contributing,
+            estimates,
         };
         state.latest = Some(epoch);
         self.cell.publish(&epoch);
@@ -157,7 +261,7 @@ impl Board {
             return;
         }
         if state.latest.is_none() {
-            self.publish_merged(&mut state);
+            self.publish_full(&mut state);
         }
         state.closed = true;
         state.subscribers.clear();
@@ -183,6 +287,11 @@ impl Board {
         state.closed = false;
         state.generation += 1;
         state.per_shard = vec![None; shards];
+        state.reported_at = vec![None; shards];
+        // Re-arm the publication gate: the restored engine gets a fresh
+        // grace window for all of its workers to file initial reports
+        // before the board starts degrading around the missing ones.
+        state.gate_deadline = state.gate.map(|d| Instant::now() + d);
         state.generation
     }
 
@@ -206,6 +315,39 @@ impl Board {
                 return None;
             }
             state = self.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// [`Board::wait_for_edges`] with a deadline: blocks until an epoch
+    /// with `edges_seen >= n` is published and returns it, or `None` once
+    /// `timeout` has elapsed or the board closes first — whichever comes
+    /// sooner. Tolerates both lock poisoning and spurious wakeups (the
+    /// deadline is re-derived on every pass, never decremented in place).
+    pub(crate) fn wait_for_edges_timeout(
+        &self,
+        n: u64,
+        timeout: Duration,
+    ) -> Option<EstimateEpoch> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.locked();
+        loop {
+            if let Some(epoch) = state.latest {
+                if epoch.edges_seen >= n {
+                    return Some(epoch);
+                }
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            state = self
+                .wake
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
 
@@ -252,7 +394,7 @@ mod tests {
 
     #[test]
     fn watermark_sums_shards_and_versions_increase() {
-        let board = Board::new(2);
+        let board = Board::new(2, None);
         assert!(board.latest().is_none());
         // Publication is gated until every shard has reported once.
         board.publish_report(0, report(0, 100, 1.0));
@@ -260,6 +402,8 @@ mod tests {
         board.publish_report(0, report(1, 50, 2.0));
         let e1 = board.latest().unwrap();
         assert_eq!((e1.version, e1.edges_seen), (1, 150));
+        assert_eq!(e1.contributing, 0b11);
+        assert!(!e1.degraded(), "ungated full merges are never degraded");
         // S = 2 triangles rescale by S²·Σ = 4·3.
         assert_eq!(e1.estimates.triangles.value, 12.0);
         board.publish_report(0, report(0, 120, 1.0));
@@ -269,7 +413,7 @@ mod tests {
 
     #[test]
     fn close_publishes_final_epoch_and_is_idempotent() {
-        let board = Board::new(1);
+        let board = Board::new(1, None);
         board.close();
         let final_epoch = board.latest().unwrap();
         assert_eq!(final_epoch.edges_seen, 0);
@@ -281,7 +425,7 @@ mod tests {
 
     #[test]
     fn wait_for_edges_returns_none_on_close_below_watermark() {
-        let board = std::sync::Arc::new(Board::new(1));
+        let board = std::sync::Arc::new(Board::new(1, None));
         let waiter = {
             let board = board.clone();
             std::thread::spawn(move || board.wait_for_edges(1_000))
@@ -295,7 +439,7 @@ mod tests {
 
     #[test]
     fn subscriptions_prime_drop_when_full_and_end_on_close() {
-        let board = Board::new(1);
+        let board = Board::new(1, None);
         board.publish_report(0, report(0, 1, 0.0));
         let rx = board.subscribe(2).unwrap();
         // Primed with the current epoch.
@@ -317,7 +461,7 @@ mod tests {
 
     #[test]
     fn reopen_keeps_versions_monotone_and_gates_partial_merges() {
-        let board = Board::new(2);
+        let board = Board::new(2, None);
         board.publish_report(0, report(0, 5, 0.0));
         board.close();
         let at_close = board.latest().unwrap();
@@ -335,7 +479,7 @@ mod tests {
 
     #[test]
     fn straggler_reports_are_dropped_after_close_and_across_generations() {
-        let board = Board::new(1);
+        let board = Board::new(1, None);
         board.publish_report(0, report(0, 5, 1.0));
         board.close();
         let final_version = board.latest().unwrap().version;
@@ -359,7 +503,7 @@ mod tests {
         // Resume then abandon before every restored worker reports: the
         // close-time publication must not merge zero-filled slots below
         // the standing pre-restore epoch.
-        let board = Board::new(1);
+        let board = Board::new(1, None);
         board.publish_report(0, report(0, 50, 3.0));
         board.close();
         let standing = board.latest().unwrap();
@@ -374,6 +518,78 @@ mod tests {
     #[test]
     #[should_panic(expected = "still owned by a running engine")]
     fn reopen_of_open_board_panics() {
-        Board::new(1).reopen(1);
+        Board::new(1, None).reopen(1);
+    }
+
+    #[test]
+    fn expired_gate_publishes_degraded_epochs_from_reporting_shards() {
+        // Zero gate: the deadline is already behind us at the first
+        // report, so the board publishes immediately from whichever shard
+        // spoke — degraded, with an honest contributing mask.
+        let board = Board::new(3, Some(Duration::ZERO));
+        board.publish_report(0, report(1, 40, 6.0));
+        let e = board.latest().unwrap();
+        assert_eq!(e.version, 1);
+        assert_eq!(e.shards, 3);
+        assert_eq!(e.contributing, 0b010);
+        assert_eq!(e.contributing_count(), 1);
+        assert!(e.degraded());
+        // Watermark covers the reporting substream only.
+        assert_eq!(e.edges_seen, 40);
+        // One of S = 3 colors extrapolates by S³: 27·6.
+        assert_eq!(e.estimates.triangles.value, 162.0);
+        // A second reporting shard joins the merge (zero gate keeps the
+        // earlier reporter out of the live window — only the current
+        // reporter is provably fresh; the sleep guarantees the clock moved
+        // past shard 1's report even on coarse monotonic clocks).
+        std::thread::sleep(Duration::from_millis(2));
+        board.publish_report(0, report(0, 10, 6.0));
+        let e2 = board.latest().unwrap();
+        assert_eq!(e2.version, 2);
+        assert_eq!(e2.contributing, 0b001);
+        assert_eq!(e2.edges_seen, 10);
+    }
+
+    #[test]
+    fn unexpired_gate_withholds_then_full_reports_publish_undegraded() {
+        // A generous gate behaves like the ungated board until every shard
+        // reports, then publishes full, undegraded epochs.
+        let board = Board::new(2, Some(Duration::from_secs(3600)));
+        board.publish_report(0, report(0, 10, 1.0));
+        assert!(
+            board.latest().is_none(),
+            "inside the gate window no partial epoch may publish"
+        );
+        board.publish_report(0, report(1, 5, 2.0));
+        let e = board.latest().unwrap();
+        assert_eq!(e.contributing, 0b11);
+        assert!(!e.degraded());
+        assert_eq!(e.edges_seen, 15);
+    }
+
+    #[test]
+    fn wait_for_edges_timeout_returns_satisfying_epoch_before_deadline() {
+        let board = std::sync::Arc::new(Board::new(1, None));
+        let waiter = {
+            let board = board.clone();
+            std::thread::spawn(move || board.wait_for_edges_timeout(100, Duration::from_secs(30)))
+        };
+        board.publish_report(0, report(0, 150, 0.0));
+        let got = waiter.join().unwrap().expect("epoch before deadline");
+        assert_eq!(got.edges_seen, 150);
+        // An already-satisfied watermark answers without waiting at all.
+        let quick = board.wait_for_edges_timeout(1, Duration::ZERO);
+        assert_eq!(quick.unwrap().edges_seen, 150);
+    }
+
+    #[test]
+    fn wait_for_edges_timeout_expires_on_an_open_board() {
+        let board = Board::new(1, None);
+        board.publish_report(0, report(0, 10, 0.0));
+        // Board stays open and never reaches the watermark: the call must
+        // come back `None` after the deadline instead of hanging.
+        let got = board.wait_for_edges_timeout(1_000, Duration::from_millis(25));
+        assert!(got.is_none(), "deadline expiry must return None");
+        assert!(!board.is_closed());
     }
 }

@@ -36,13 +36,38 @@ pub struct EstimateEpoch {
     pub edges_seen: u64,
     /// Shard count `S` of the producing engine.
     pub shards: u64,
+    /// Bitmask of the shards whose reports this epoch merges (bit `i` set
+    /// ⇔ shard `i` contributed; shards beyond index 63 are not
+    /// individually tracked — the engine's worker-thread counts are far
+    /// below that). A **full** epoch has every shard's bit set; a
+    /// **degraded** one (published past the gate deadline while some shard
+    /// was stalled or recovering) merges only the reporting shards, with
+    /// the missing strata's loss reflected in the widened variances of
+    /// [`TriadEstimates::merged_colored_partial`].
+    pub contributing: u64,
     /// Merged triangle / wedge / clustering estimates with variances.
     pub estimates: TriadEstimates,
 }
 
-/// Words of the seqlock payload: version, edges_seen, shards, and the five
-/// independent floats of a `TriadEstimates` (clustering is re-derived).
-const WORDS: usize = 8;
+impl EstimateEpoch {
+    /// How many shards contributed reports to this epoch.
+    pub fn contributing_count(&self) -> u32 {
+        self.contributing.count_ones()
+    }
+
+    /// True when some shard did **not** contribute: the epoch was published
+    /// past the gate deadline from the reporting shards only. Watermark and
+    /// estimates cover the reporting substreams; the variances already
+    /// carry the partial-merge widening, so intervals stay honest.
+    pub fn degraded(&self) -> bool {
+        u64::from(self.contributing_count()) != self.shards.min(64)
+    }
+}
+
+/// Words of the seqlock payload: version, edges_seen, shards, the
+/// contributing-shard mask, and the five independent floats of a
+/// `TriadEstimates` (clustering is re-derived).
+const WORDS: usize = 9;
 
 impl EstimateEpoch {
     fn encode(&self) -> [u64; WORDS] {
@@ -50,6 +75,7 @@ impl EstimateEpoch {
             self.version,
             self.edges_seen,
             self.shards,
+            self.contributing,
             self.estimates.triangles.value.to_bits(),
             self.estimates.triangles.variance.to_bits(),
             self.estimates.wedges.value.to_bits(),
@@ -63,16 +89,17 @@ impl EstimateEpoch {
             version: words[0],
             edges_seen: words[1],
             shards: words[2],
+            contributing: words[3],
             estimates: TriadEstimates::from_parts(
                 Estimate {
-                    value: f64::from_bits(words[3]),
-                    variance: f64::from_bits(words[4]),
+                    value: f64::from_bits(words[4]),
+                    variance: f64::from_bits(words[5]),
                 },
                 Estimate {
-                    value: f64::from_bits(words[5]),
-                    variance: f64::from_bits(words[6]),
+                    value: f64::from_bits(words[6]),
+                    variance: f64::from_bits(words[7]),
                 },
-                f64::from_bits(words[7]),
+                f64::from_bits(words[8]),
             ),
         }
     }
@@ -173,6 +200,7 @@ mod tests {
             version,
             edges_seen: edges,
             shards: 4,
+            contributing: 0b1011,
             estimates: TriadEstimates::from_parts(
                 Estimate {
                     value: tri,
@@ -200,6 +228,9 @@ mod tests {
         assert_eq!(got.version, 7);
         assert_eq!(got.edges_seen, 1234);
         assert_eq!(got.shards, 4);
+        assert_eq!(got.contributing, 0b1011);
+        assert_eq!(got.contributing_count(), 3);
+        assert!(got.degraded(), "3 of 4 shards contributing is degraded");
         assert_eq!(got.estimates.triangles.value.to_bits(), 56.5f64.to_bits());
         assert_eq!(
             got.estimates.triangles.variance.to_bits(),

@@ -5,11 +5,12 @@ use crate::epoch::EstimateEpoch;
 use gps_core::weights::EdgeWeight;
 use gps_core::TriadEstimates;
 use gps_engine::snapshot::SavedEngine;
-use gps_engine::{EngineConfig, EpochHook, ShardedGps};
+use gps_engine::{EngineConfig, EngineHealth, EpochHook, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Serving-layer configuration: the wrapped engine's config plus the
 /// query-side knobs.
@@ -22,15 +23,29 @@ pub struct ServeConfig {
     /// a subscriber lags: epochs are cumulative, so dropped intermediates
     /// are restated by the next delivered epoch.
     pub subscribe_depth: usize,
+    /// Publication-gate deadline for graceful degradation. `None` (the
+    /// default) publishes only *full* epochs — every shard merged — and a
+    /// stalled or crashed shard simply freezes the epoch stream until it
+    /// recovers. `Some(gate)` bounds how long readers can be starved:
+    /// once the gate has elapsed, epochs publish from the shards that
+    /// reported within the last `gate` — stamped degraded via
+    /// [`EstimateEpoch::contributing`], with honestly widened variances —
+    /// and recover to full epochs as soon as the missing shard reports
+    /// again. Choose a gate comfortably above the expected inter-report
+    /// gap ([`EngineConfig::epoch_every`] arrivals at your ingest rate),
+    /// or a healthy-but-slow stream will be flagged degraded.
+    pub gate_timeout: Option<Duration>,
 }
 
 impl ServeConfig {
     /// Defaults: engine defaults ([`EngineConfig::new`]) plus a
-    /// 16-epoch subscription queue.
+    /// 16-epoch subscription queue and no publication gate (full epochs
+    /// only).
     pub fn new(capacity: usize, shards: usize, seed: u64) -> Self {
         ServeConfig {
             engine: EngineConfig::new(capacity, shards, seed),
             subscribe_depth: 16,
+            gate_timeout: None,
         }
     }
 }
@@ -78,9 +93,31 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_config(cfg: ServeConfig, weight_fn: W) -> Self {
-        let board = Arc::new(Board::new(cfg.engine.shards));
+        let board = Arc::new(Board::new(cfg.engine.shards, cfg.gate_timeout));
         let hook = Self::hook_for(&board, board.generation());
         let engine = ShardedGps::with_estimation(cfg.engine, weight_fn, Some(hook));
+        ServeEngine {
+            engine,
+            board,
+            subscribe_depth: cfg.subscribe_depth,
+        }
+    }
+
+    /// [`ServeEngine::with_config`] with a scripted [`FaultPlan`] injected
+    /// into the wrapped engine — the serving-layer entry point of the
+    /// deterministic chaos harness. The plan's panics, stalls, slowdowns,
+    /// and checkpoint corruptions hit the shard workers exactly as in
+    /// [`ShardedGps::with_estimation_and_faults`]; combined with
+    /// [`ServeConfig::gate_timeout`] this is how the degraded-epoch path
+    /// is driven under test.
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::with_config`].
+    pub fn with_config_and_faults(cfg: ServeConfig, weight_fn: W, faults: FaultPlan) -> Self {
+        let board = Arc::new(Board::new(cfg.engine.shards, cfg.gate_timeout));
+        let hook = Self::hook_for(&board, board.generation());
+        let engine =
+            ShardedGps::with_estimation_and_faults(cfg.engine, weight_fn, Some(hook), faults);
         ServeEngine {
             engine,
             board,
@@ -92,8 +129,15 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// handle's board**: epoch versions continue monotonically from where
     /// the saved engine's final epoch left off, the watermark picks up at
     /// the saved stream position, and estimates continue from the restored
-    /// samples (each worker's estimator is seeded from its shard's
-    /// post-stream estimate — see `InStreamEstimator::from_sampler`).
+    /// samples. A snapshot saved by a serving engine carries the v2
+    /// sections (in-stream accumulators and per-edge covariance ledgers),
+    /// so the resumed estimators continue **bit-exactly** where the saved
+    /// ones stopped; a v1 (plain) snapshot falls back to re-seeding each
+    /// estimator from its shard's post-stream estimate
+    /// (`InStreamEstimator::from_sampler`). The publication gate
+    /// ([`ServeConfig::gate_timeout`]) carries over from the board's
+    /// original configuration and is re-armed, so the restored workers get
+    /// a fresh grace window before any degraded epoch can publish.
     /// Stragglers of the previous engine (e.g. after a drop without
     /// finish) cannot publish into the resumed board — reopening bumps the
     /// accepted report generation. Subscriptions ended when the previous
@@ -204,6 +248,16 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
         &self.engine
     }
 
+    /// Fault-tolerance ledger of the wrapped engine: per-shard incidents
+    /// (panics, stalls, corrupt checkpoints, restart counts) and the total
+    /// arrivals lost to crash windows. `health().degraded()` is the
+    /// serving-side signal that estimates carry loss-widened intervals —
+    /// distinct from [`EstimateEpoch::degraded`], which flags a *single
+    /// epoch* merged without every shard.
+    pub fn health(&self) -> &EngineHealth {
+        self.engine.health()
+    }
+
     /// Arrivals pushed so far (stream position `t` at the producer; the
     /// published watermark trails this by at most the in-flight batches).
     pub fn pushed(&self) -> u64 {
@@ -250,6 +304,16 @@ impl QueryHandle {
     /// the stream ever reaching `n` arrivals.
     pub fn wait_for_edges(&self, n: u64) -> Option<EstimateEpoch> {
         self.board.wait_for_edges(n)
+    }
+
+    /// [`QueryHandle::wait_for_edges`] with a deadline: returns the first
+    /// epoch whose watermark covers `n` arrivals, or `None` once `timeout`
+    /// elapses or the engine finishes below the watermark — whichever
+    /// comes first. The bounded wait is what a serving tier should use
+    /// against a possibly-degraded engine: a crashed or stalled shard can
+    /// delay the watermark indefinitely, and this never hangs with it.
+    pub fn wait_for_edges_timeout(&self, n: u64, timeout: Duration) -> Option<EstimateEpoch> {
+        self.board.wait_for_edges_timeout(n, timeout)
     }
 
     /// Subscribes to the epoch stream over a bounded queue: the
@@ -390,6 +454,7 @@ mod tests {
                     ..EngineConfig::new(100, 2, 4)
                 },
                 subscribe_depth: 16,
+                gate_timeout: None,
             },
             UniformWeight,
         );
@@ -417,6 +482,7 @@ mod tests {
                     ..EngineConfig::new(50, 2, 7)
                 },
                 subscribe_depth: 1024,
+                gate_timeout: None,
             },
             UniformWeight,
         );
@@ -450,6 +516,7 @@ mod tests {
                     ..EngineConfig::new(50, 2, 19)
                 },
                 subscribe_depth: 1,
+                gate_timeout: None,
             },
             UniformWeight,
         );
@@ -478,6 +545,7 @@ mod tests {
                     ..EngineConfig::new(200, 4, 11)
                 },
                 subscribe_depth: 8,
+                gate_timeout: None,
             },
             TriangleWeight::default(),
         );
@@ -522,5 +590,49 @@ mod tests {
         drop(serve);
         assert!(waiter.join().unwrap().is_none());
         assert!(handle.is_closed());
+    }
+
+    #[test]
+    fn stalled_shard_degrades_epochs_then_recovers_to_full() {
+        // Graceful-degradation acceptance path: shard 1 parks for 400 ms
+        // at its first arrival, far past the 50 ms publication gate. While
+        // it is down, shard 0 (slowed to ~2 ms/arrival so it is still
+        // consuming when the gate expires) keeps reporting, and the board
+        // must publish *degraded* epochs carrying only shard 0's bit.
+        // After the stall ends, shard 1 drains its queue, reports, and the
+        // epoch stream must recover to full, undegraded epochs.
+        let cfg = ServeConfig {
+            engine: EngineConfig {
+                batch: 8,
+                epoch_every: 16,
+                ..EngineConfig::new(60, 2, 5)
+            },
+            subscribe_depth: 4096,
+            gate_timeout: Some(Duration::from_millis(50)),
+        };
+        let faults = FaultPlan::new()
+            .stall_at(1, 1, 400)
+            .slowdown_at(0, 1, 2_000, 250);
+        let mut serve = ServeEngine::with_config_and_faults(cfg, UniformWeight, faults);
+        let handle = serve.handle();
+        let sub = handle.subscribe().expect("live engine");
+        serve.push_stream(clique_chunks(400));
+        serve.finish();
+        let epochs: Vec<EstimateEpoch> = sub.collect();
+        assert!(
+            epochs
+                .iter()
+                .any(|e| e.degraded() && e.contributing == 0b01),
+            "gate must publish shard-0-only epochs while shard 1 stalls"
+        );
+        let last = epochs.last().expect("finish publishes a final epoch");
+        assert!(
+            !last.degraded(),
+            "after recovery the epoch stream must be full again"
+        );
+        assert_eq!(last.contributing, 0b11);
+        assert_eq!(last.edges_seen, serve.pushed());
+        // A stall is a delay, not a failure: no incident, no lost arrivals.
+        assert!(!serve.health().degraded());
     }
 }

@@ -77,6 +77,7 @@ proptest! {
                 },
                 // Deep enough that no epoch of this stream is ever dropped.
                 subscribe_depth: 4096,
+                gate_timeout: None,
             },
             TriangleWeight::default(),
         );
