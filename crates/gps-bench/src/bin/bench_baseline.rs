@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
-//!                [--baselines] [--engine] [--serve] [--chaos]
+//!                [--baselines] [--engine] [--serve] [--chaos] [--sim]
 //!                [--check PATH [--min-ratio R]]
 //! ```
 //!
@@ -28,6 +28,11 @@
 //!   incident ledger, and the degraded-epoch count of a gated serving
 //!   probe under a scripted stall (`chaos` section; schema stays
 //!   v1-compatible).
+//! - `--sim`: additionally run the `gps-sim` discrete-event scale-out
+//!   sweep — S ∈ {16, 64, 256} simulated shard-nodes (quick: {16, 64}) ×
+//!   keyspace skew × fault scenario, in virtual time over the production
+//!   sampler/estimator/merge code (`sim` section; schema stays
+//!   v1-compatible and the numbers are bit-deterministic per seed).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -49,6 +54,7 @@ struct Args {
     engine: bool,
     serve: bool,
     chaos: bool,
+    sim: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         engine: false,
         serve: false,
         chaos: false,
+        sim: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--engine" => args.engine = true,
             "--serve" => args.serve = true,
             "--chaos" => args.chaos = true,
+            "--sim" => args.sim = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -91,7 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
-                     [--baselines] [--engine] [--serve] [--chaos] \
+                     [--baselines] [--engine] [--serve] [--chaos] [--sim] \
                      [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
@@ -166,6 +174,23 @@ fn print_chaos(r: &ChaosResult) {
         if r.restarts == 1 { "" } else { "s" },
         r.degraded_epochs,
         r.epochs,
+    );
+}
+
+fn print_sim(p: &gps_sim::SweepPoint) {
+    println!(
+        "{:<34} {:>9} edges  tri ARE {:>6.3} (cov {})  wedge ARE {:>6.3} (cov {})  [{}/{} degraded epochs, stale max {:.2} ms, lost {}, tree {}]",
+        p.name(),
+        p.pushed,
+        p.tri_are,
+        u8::from(p.tri_covered),
+        p.wedge_are,
+        u8::from(p.wedge_covered),
+        p.degraded_epochs,
+        p.epochs,
+        p.staleness_max_ns as f64 / 1e6,
+        p.lost_arrivals,
+        if p.tree_identical { "ok" } else { "DIVERGED" },
     );
 }
 
@@ -295,6 +320,11 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    let sim = if args.sim && args.check.is_none() {
+        perf::run_sim(&args.cfg, print_sim)
+    } else {
+        Vec::new()
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -316,10 +346,13 @@ fn main() -> ExitCode {
         &args.cfg,
         &git_rev(),
         &results,
-        &baselines,
-        &engine,
-        &serve,
-        &chaos,
+        perf::OptionalGrids {
+            baselines: &baselines,
+            engine: &engine,
+            serve: &serve,
+            chaos: &chaos,
+            sim: &sim,
+        },
     );
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
         eprintln!("bench_baseline: cannot write {}: {e}", args.out);

@@ -37,7 +37,7 @@ use gps_core::GpsSampler;
 use gps_engine::{EngineConfig, EngineHealth, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
-use gps_serve::{ServeConfig, ServeEngine};
+use gps_serve::{ClockMode, ServeConfig, ServeEngine};
 use gps_stream::{gen, permuted};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -687,6 +687,7 @@ fn probe_degraded_epochs(shards: usize, seed: u64) -> (u64, u64) {
         },
         subscribe_depth: 1 << 15,
         gate_timeout: Some(Duration::from_millis(50)),
+        clock: ClockMode::Wall,
     };
     let faults = FaultPlan::new()
         .stall_at(shards - 1, 1, 400)
@@ -753,6 +754,36 @@ pub fn run_chaos(cfg: &PerfConfig, mut progress: impl FnMut(&ChaosResult)) -> Ve
     results
 }
 
+/// Shard counts swept by the simulated scale-out grid per mode. Full mode
+/// reaches `S = 256` — far beyond physical cores; the simulator runs nodes
+/// as events, not threads, so the axis is pure algorithm behavior.
+pub fn sim_shards(quick: bool) -> &'static [usize] {
+    if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    }
+}
+
+/// Runs the `gps-sim` discrete-event scale-out sweep: shard counts from
+/// [`sim_shards`] × keyspace skew (hash vs Zipf) × fault scenario (clean /
+/// straggler / crash-restore), every point in **virtual time** over the
+/// production sampler/estimator/merge code. Unlike the wall-clock grids,
+/// every number here is bit-deterministic per seed.
+pub fn run_sim(
+    cfg: &PerfConfig,
+    mut progress: impl FnMut(&gps_sim::SweepPoint),
+) -> Vec<gps_sim::SweepPoint> {
+    let (n_edges, capacity) = if cfg.quick {
+        (6_000, 3_000)
+    } else {
+        (20_000, 8_192)
+    };
+    gps_sim::sweep(sim_shards(cfg.quick), n_edges, capacity, cfg.seed, |p| {
+        progress(p)
+    })
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -768,22 +799,39 @@ fn round2(x: f64) -> f64 {
 /// Schema tag checked by the CI smoke run.
 pub const SCHEMA: &str = "gps-bench/bench-baseline/v1";
 
-/// Builds the machine-readable baseline document. `baselines` (the ported
-/// `gps-baselines` grid from [`run_baselines`]), `engine` (the sharded
-/// scaling grid from [`run_engine`]), `serve` (the live-serving grid
-/// from [`run_serve`]) and `chaos` (the fault-injection grid from
-/// [`run_chaos`]) are optional: when empty the `baseline_samplers` /
-/// `engine` / `serve` / `chaos` keys are omitted, keeping documents
-/// produced before those grids valid under the same schema.
+/// The optional grids of a baseline document, bundled for
+/// [`results_json`]. Each defaults to empty, and an empty grid's key is
+/// omitted from the JSON, keeping documents produced before that grid
+/// existed valid under the same schema.
+#[derive(Clone, Copy, Default)]
+pub struct OptionalGrids<'a> {
+    /// Ported `gps-baselines` grid from [`run_baselines`] (`baseline_samplers` key).
+    pub baselines: &'a [BaselineResult],
+    /// Sharded-ingest scaling grid from [`run_engine`] (`engine` key).
+    pub engine: &'a [EngineResult],
+    /// Live-serving grid from [`run_serve`] (`serve` key).
+    pub serve: &'a [ServeResult],
+    /// Fault-injection grid from [`run_chaos`] (`chaos` key).
+    pub chaos: &'a [ChaosResult],
+    /// Simulated scale-out sweep from [`run_sim`] (`sim` key).
+    pub sim: &'a [gps_sim::SweepPoint],
+}
+
+/// Builds the machine-readable baseline document; the [`OptionalGrids`]
+/// sections are emitted only when non-empty.
 pub fn results_json(
     cfg: &PerfConfig,
     git_rev: &str,
     results: &[ScenarioResult],
-    baselines: &[BaselineResult],
-    engine: &[EngineResult],
-    serve: &[ServeResult],
-    chaos: &[ChaosResult],
+    grids: OptionalGrids<'_>,
 ) -> Value {
+    let OptionalGrids {
+        baselines,
+        engine,
+        serve,
+        chaos,
+        sim,
+    } = grids;
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
         ("git_rev", Value::String(git_rev.into())),
@@ -962,6 +1010,61 @@ pub fn results_json(
                                     ("restarts", Value::Number(r.restarts as f64)),
                                     ("epochs", Value::Number(r.epochs as f64)),
                                     ("degraded_epochs", Value::Number(r.degraded_epochs as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if !sim.is_empty() {
+        fields.push((
+            "sim",
+            Value::object(vec![
+                ("edges", Value::Number(sim[0].pushed as f64)),
+                (
+                    "points",
+                    Value::Array(
+                        sim.iter()
+                            .map(|p| {
+                                // Booleans as 0/1: the document stays in the
+                                // numbers-and-strings subset the rest of the
+                                // schema uses.
+                                Value::object(vec![
+                                    ("name", Value::String(p.name())),
+                                    ("shards", Value::Number(p.shards as f64)),
+                                    ("aggregators", Value::Number(p.aggregators as f64)),
+                                    ("skew", Value::String(p.skew.into())),
+                                    ("scenario", Value::String(p.scenario.into())),
+                                    ("seed", Value::Number(p.seed as f64)),
+                                    ("pushed", Value::Number(p.pushed as f64)),
+                                    ("exact_triangles", Value::Number(p.exact_triangles as f64)),
+                                    ("exact_wedges", Value::Number(p.exact_wedges as f64)),
+                                    ("tri_are", Value::Number(round2(p.tri_are))),
+                                    ("wedge_are", Value::Number(round2(p.wedge_are))),
+                                    (
+                                        "tri_covered",
+                                        Value::Number(f64::from(u8::from(p.tri_covered))),
+                                    ),
+                                    (
+                                        "wedge_covered",
+                                        Value::Number(f64::from(u8::from(p.wedge_covered))),
+                                    ),
+                                    ("epochs", Value::Number(p.epochs as f64)),
+                                    ("degraded_epochs", Value::Number(p.degraded_epochs as f64)),
+                                    ("staleness_max_ns", Value::Number(p.staleness_max_ns as f64)),
+                                    (
+                                        "staleness_mean_ns",
+                                        Value::Number(p.staleness_mean_ns as f64),
+                                    ),
+                                    ("arrivals_lost", Value::Number(p.lost_arrivals as f64)),
+                                    ("restarts", Value::Number(p.restarts as f64)),
+                                    (
+                                        "tree_identical",
+                                        Value::Number(f64::from(u8::from(p.tree_identical))),
+                                    ),
+                                    ("finished_at_ns", Value::Number(p.finished_at_ns as f64)),
                                 ])
                             })
                             .collect(),
@@ -1155,6 +1258,63 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
             _ => problems.push("chaos section missing 'shards' entries".into()),
         }
     }
+    // Optional section (absent in documents predating gps-sim): the
+    // discrete-event scale-out sweep — virtual-time quality numbers, so
+    // the checks are about ledger shape, not wall-clock positivity.
+    if let Some(sim) = doc.get("sim") {
+        if sim.get("edges").is_none() {
+            problems.push("sim section missing 'edges'".into());
+        }
+        match sim.get("points").and_then(Value::as_array) {
+            Some(points) if !points.is_empty() => {
+                for (i, p) in points.iter().enumerate() {
+                    for field in ["name", "skew", "scenario"] {
+                        if p.get_str(field).is_none() {
+                            problems.push(format!("sim point {i} missing '{field}'"));
+                        }
+                    }
+                    match p.get_f64("shards") {
+                        Some(s) if s >= 1.0 => {}
+                        _ => problems.push(format!("sim point {i} has invalid 'shards'")),
+                    }
+                    // The merge-tree identity is the simulator's core
+                    // claim: a 0 here means the tree merge diverged from
+                    // the flat merge and the document must not validate.
+                    match p.get_f64("tree_identical") {
+                        Some(x) => {
+                            if x != 1.0 {
+                                problems.push(format!(
+                                    "sim point {i} tree_identical says the merge tree diverged"
+                                ));
+                            }
+                        }
+                        None => problems.push(format!("sim point {i} missing 'tree_identical'")),
+                    }
+                    for field in [
+                        "pushed",
+                        "tri_are",
+                        "wedge_are",
+                        "tri_covered",
+                        "wedge_covered",
+                        "epochs",
+                        "degraded_epochs",
+                        "staleness_max_ns",
+                        "staleness_mean_ns",
+                        "arrivals_lost",
+                        "restarts",
+                        "finished_at_ns",
+                    ] {
+                        match p.get_f64(field) {
+                            Some(x) if x >= 0.0 => {}
+                            Some(_) => problems.push(format!("sim point {i} {field} is negative")),
+                            None => problems.push(format!("sim point {i} missing '{field}'")),
+                        }
+                    }
+                }
+            }
+            _ => problems.push("sim section missing 'points' entries".into()),
+        }
+    }
     problems
 }
 
@@ -1239,15 +1399,13 @@ mod tests {
             &cfg,
             "deadbeef",
             std::slice::from_ref(&result),
-            &[],
-            &[],
-            &[],
-            &[],
+            OptionalGrids::default(),
         );
         assert!(doc.get("baseline_samplers").is_none());
         assert!(doc.get("engine").is_none());
         assert!(doc.get("serve").is_none());
         assert!(doc.get("chaos").is_none());
+        assert!(doc.get("sim").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -1296,14 +1454,39 @@ mod tests {
                 degraded_epochs: 3,
             })
             .to_vec();
+        let sim = vec![gps_sim::SweepPoint {
+            shards: 16,
+            aggregators: 2,
+            skew: "hash",
+            scenario: "clean",
+            seed: 7,
+            pushed: 6_000,
+            exact_triangles: 900,
+            exact_wedges: 40_000,
+            tri_are: 0.12,
+            wedge_are: 0.01,
+            tri_covered: true,
+            wedge_covered: true,
+            epochs: 12,
+            degraded_epochs: 1,
+            staleness_max_ns: 5_000_000,
+            staleness_mean_ns: 800_000,
+            lost_arrivals: 0,
+            restarts: 0,
+            tree_identical: true,
+            finished_at_ns: 9_000_000,
+        }];
         let doc = results_json(
             &cfg,
             "deadbeef",
             &[result],
-            &[baseline],
-            &engine,
-            &serve,
-            &chaos,
+            OptionalGrids {
+                baselines: &[baseline],
+                engine: &engine,
+                serve: &serve,
+                chaos: &chaos,
+                sim: &sim,
+            },
         );
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
@@ -1331,6 +1514,39 @@ mod tests {
         assert_eq!(readers.len(), SERVE_READERS.len());
         assert_eq!(readers[0].get_f64("reads"), Some(0.0));
         assert_eq!(readers[0].get_f64("rate_vs_r0"), Some(1.0));
+        let points = parsed
+            .get("sim")
+            .and_then(|s| s.get("points"))
+            .and_then(Value::as_array)
+            .expect("sim section present");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get_str("name"), Some("sim/s16/hash/clean"));
+        assert_eq!(points[0].get_f64("tree_identical"), Some(1.0));
+        assert_eq!(points[0].get_f64("wedge_covered"), Some(1.0));
+    }
+
+    #[test]
+    fn sim_sweep_runs_the_quick_grid_deterministically() {
+        let cfg = tiny_cfg();
+        let mut seen = 0;
+        let points = run_sim(&cfg, |_| seen += 1);
+        // 2 shard counts × 2 skews × 3 scenarios in quick mode.
+        assert_eq!(points.len(), 12);
+        assert_eq!(seen, 12);
+        for p in &points {
+            assert!(p.tree_identical, "{}: merge tree diverged", p.name());
+            assert!(p.epochs > 0, "{}: no publishes", p.name());
+            match p.scenario {
+                "crash_restore" => assert!(p.lost_arrivals > 0 && p.restarts == 1),
+                _ => assert!(p.lost_arrivals == 0 && p.restarts == 0),
+            }
+        }
+        // Virtual time makes the whole sweep reproducible bit-for-bit.
+        let again = run_sim(&cfg, |_| {});
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(a.tri_are.to_bits(), b.tri_are.to_bits(), "{}", a.name());
+            assert_eq!(a.finished_at_ns, b.finished_at_ns, "{}", a.name());
+        }
     }
 
     #[test]
@@ -1499,5 +1715,29 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("chaos entry 0 degraded_epochs is negative")));
+
+        let doc = json::parse(
+            r#"{"schema": "gps-bench/bench-baseline/v1", "git_rev": "x", "mode": "full",
+                "scenarios": [],
+                "sim": {"points": [{"shards": 16, "skew": "hash",
+                                    "tree_identical": 0, "tri_are": -0.5}]}}"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sim section missing 'edges'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sim point 0 missing 'name'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sim point 0 tree_identical says the merge tree diverged")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sim point 0 tri_are is negative")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sim point 0 missing 'restarts'")));
     }
 }

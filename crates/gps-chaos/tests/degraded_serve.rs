@@ -6,10 +6,16 @@
 //! equals arrivals offered minus arrivals the engine admits losing, and
 //! the engine-level estimates carry the loss in wider — never narrower —
 //! intervals than the epoch's merge-only variances.
+//!
+//! The gated scenario runs on the deterministic clock hook
+//! ([`ClockMode::Manual`]): the publication gate compares *virtual*
+//! timestamps that never move unless the test moves them, so the
+//! gate-expiry branch is exercised — or provably not exercised — without
+//! any sleep-tuned margins against real scheduling.
 
 use gps_core::weights::TriangleWeight;
 use gps_engine::{EngineConfig, FaultPlan};
-use gps_serve::{EstimateEpoch, ServeConfig, ServeEngine};
+use gps_serve::{ClockMode, EstimateEpoch, ServeConfig, ServeEngine};
 use gps_stream::{gen, permuted};
 
 #[test]
@@ -24,6 +30,7 @@ fn serving_engine_survives_a_crash_and_accounts_the_loss() {
         },
         subscribe_depth: 4096,
         gate_timeout: None,
+        clock: ClockMode::Wall,
     };
     let faults = FaultPlan::new().panic_at(1, 100);
     let mut serve = ServeEngine::with_config_and_faults(cfg, TriangleWeight::default(), faults);
@@ -66,4 +73,55 @@ fn serving_engine_survives_a_crash_and_accounts_the_loss() {
         "lost arrivals must widen, never narrow, the interval"
     );
     assert!(widened.wedges.variance > last.estimates.wedges.variance);
+}
+
+/// A *gated* serving engine on the manual clock, crashed mid-stream:
+/// virtual time never reaches the gate deadline, so the board must keep
+/// withholding partial merges — every published epoch is full — while the
+/// crash, checkpoint restore, and loss accounting all proceed underneath.
+/// Deterministic by construction: the gate can never expire, no matter how
+/// slowly the restore path runs on a loaded machine.
+#[test]
+fn unexpired_virtual_gate_keeps_epochs_full_through_a_crash() {
+    let edges = permuted(&gen::collaboration(300, 260, (3, 6), 0.5, 11), 6);
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: 16,
+            epoch_every: 32,
+            checkpoint_every: 32,
+            ..EngineConfig::new(edges.len() / 4, 2, 17)
+        },
+        subscribe_depth: 4096,
+        gate_timeout: Some(std::time::Duration::from_millis(50)),
+        clock: ClockMode::Manual,
+    };
+    let faults = FaultPlan::new().panic_at(1, 100);
+    let mut serve = ServeEngine::with_config_and_faults(cfg, TriangleWeight::default(), faults);
+    let handle = serve.handle();
+    let sub = handle.subscribe().expect("live engine");
+    serve.push_stream(edges.iter().copied());
+    serve.finish();
+
+    let health = serve.health().clone();
+    assert!(
+        health.degraded(),
+        "the scripted crash must be on the ledger"
+    );
+    assert!(health.lost_arrivals > 0);
+
+    let epochs: Vec<EstimateEpoch> = sub.collect();
+    assert!(!epochs.is_empty());
+    assert!(
+        epochs.windows(2).all(|w| w[0].version < w[1].version),
+        "versions stay strictly monotone"
+    );
+    // Virtual now stays at 0, strictly inside the 50 ms gate: the expired-
+    // gate branch is unreachable, so no partial merge may ever publish.
+    assert!(
+        epochs.iter().all(|e| !e.degraded()),
+        "an unexpired gate must withhold every partial merge"
+    );
+    let last = epochs.last().expect("final epoch");
+    assert_eq!(last.contributing, 0b11);
+    assert_eq!(last.edges_seen, serve.pushed() - health.lost_arrivals);
 }

@@ -38,10 +38,9 @@
 //! carrying the same message (from the panicking wrappers).
 
 use crate::fault::FaultPlan;
-use crate::partition::{shard_seed, splitmix64, EdgePartitioner};
-use gps_core::persist::{self, SavedSample};
+use crate::partition::{shard_seed, EdgePartitioner};
 use gps_core::weights::EdgeWeight;
-use gps_core::{post_stream, GpsSampler, InStreamEstimator, InStreamState, TriadEstimates};
+use gps_core::{post_stream, GpsSampler, InStreamState, TriadEstimates};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
 use std::cell::Cell;
@@ -253,124 +252,10 @@ pub struct ShardReport {
 /// worker thread — keep it cheap; `gps-serve` publishes an epoch from it.
 pub type EpochHook = Arc<dyn Fn(ShardReport) + Send + Sync>;
 
-/// What each worker runs per edge: a bare sampler (`GPSUpdate` only) or an
-/// in-stream estimator (snapshot estimation inside the engine, paper Alg 3
-/// per shard) with an optional report hook.
-enum Runner<W> {
-    Plain(GpsSampler<W>),
-    Live {
-        shard: usize,
-        est: InStreamEstimator<W>,
-        hook: Option<EpochHook>,
-        every: u64,
-        next: u64,
-    },
-}
-
-impl<W: EdgeWeight> Runner<W> {
-    #[inline]
-    fn process(&mut self, edge: Edge) {
-        match self {
-            Runner::Plain(sampler) => {
-                sampler.process(edge);
-            }
-            Runner::Live { est, .. } => {
-                est.process(edge);
-            }
-        }
-    }
-
-    fn arrivals(&self) -> u64 {
-        match self {
-            Runner::Plain(sampler) => sampler.arrivals(),
-            Runner::Live { est, .. } => est.sampler().arrivals(),
-        }
-    }
-
-    /// Serializes the runner's full recovery state: a `gps-sample v1`
-    /// section for a plain shard, a `v2` section (sampler + in-stream
-    /// accumulators, restoring exactly) for an estimating one.
-    fn checkpoint_bytes(&self) -> Vec<u8> {
-        let mut bytes = Vec::new();
-        let res = match self {
-            Runner::Plain(sampler) => persist::save(sampler, &mut bytes),
-            Runner::Live { est, .. } => persist::save_estimator(est, &mut bytes),
-        };
-        // Writing into a Vec cannot fail; if it somehow does, the empty
-        // slot restores through the corrupt-checkpoint path (restart from
-        // scratch, loss accounted) instead of panicking the worker.
-        if res.is_err() {
-            bytes.clear();
-        }
-        bytes
-    }
-
-    /// Fires the hook unconditionally with the shard's current state —
-    /// once at worker start, so the board sees every shard's position
-    /// before any new stream is consumed (on the restore path this is the
-    /// restored watermark, keeping resumed epochs from regressing).
-    fn report_now(&self) {
-        if let Runner::Live {
-            shard,
-            est,
-            hook: Some(hook),
-            ..
-        } = self
-        {
-            hook(ShardReport {
-                shard: *shard,
-                arrivals: est.sampler().arrivals(),
-                estimates: est.estimates(),
-            });
-        }
-    }
-
-    /// Fires the hook if this shard crossed its next reporting position
-    /// (called between batches, so reports align with batch boundaries).
-    fn maybe_report(&mut self) {
-        if let Runner::Live {
-            shard,
-            est,
-            hook: Some(hook),
-            every,
-            next,
-        } = self
-        {
-            let arrivals = est.sampler().arrivals();
-            if arrivals >= *next {
-                while *next <= arrivals {
-                    *next += *every;
-                }
-                hook(ShardReport {
-                    shard: *shard,
-                    arrivals,
-                    estimates: est.estimates(),
-                });
-            }
-        }
-    }
-
-    /// Final report + teardown at drain end.
-    fn into_parts(self) -> (GpsSampler<W>, Option<TriadEstimates>, Option<InStreamState>) {
-        match self {
-            Runner::Plain(sampler) => (sampler, None, None),
-            Runner::Live {
-                shard, est, hook, ..
-            } => {
-                let finals = est.estimates();
-                if let Some(hook) = hook {
-                    hook(ShardReport {
-                        shard,
-                        arrivals: est.sampler().arrivals(),
-                        estimates: finals,
-                    });
-                }
-                let (sampler, state) = est.into_parts();
-                (sampler, Some(finals), Some(state))
-            }
-        }
-    }
-}
+/// What each worker runs per edge — factored into [`crate::shard`] so
+/// thread-free hosts (the `gps-sim` discrete-event nodes) drive the exact
+/// same logic.
+use crate::shard::ShardRunner as Runner;
 
 /// Worker construction mode (see [`ShardedGps::with_estimation`]).
 pub(crate) enum WorkerMode {
@@ -860,20 +745,9 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         hook: Option<EpochHook>,
     ) -> Runner<W> {
         if self.estimating {
-            let next = sampler.arrivals() + self.cfg.epoch_every;
-            let est = match state {
-                Some(state) => InStreamEstimator::resume(sampler, state),
-                None => InStreamEstimator::from_sampler(sampler),
-            };
-            Runner::Live {
-                shard,
-                est,
-                hook,
-                every: self.cfg.epoch_every,
-                next,
-            }
+            Runner::estimating(shard, sampler, state, hook, self.cfg.epoch_every)
         } else {
-            Runner::Plain(sampler)
+            Runner::plain(sampler)
         }
     }
 
@@ -889,42 +763,19 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         with_hook: bool,
     ) -> (Runner<W>, u64, bool) {
         let bytes = locked(&self.workers[shard].ckpt).clone();
-        let seed = splitmix64(shard_seed(self.cfg.seed, shard) ^ u64::from(restarts));
+        let seed = crate::shard::restart_seed(self.cfg.seed, shard, restarts);
         let hook = if with_hook { self.hook.clone() } else { None };
-        match persist::load(bytes.as_slice()) {
-            Ok(SavedSample {
-                capacity,
-                arrivals,
-                threshold,
-                records,
-                in_stream,
-            }) => {
-                let sampler = GpsSampler::restore_with_backend(
-                    capacity,
-                    self.weight_fn.clone(),
-                    seed,
-                    threshold,
-                    arrivals,
-                    records,
-                    self.cfg.backend,
-                );
-                (
-                    self.runner_for(shard, sampler, in_stream, hook),
-                    arrivals,
-                    false,
-                )
-            }
-            Err(_) => {
-                let capacity = Self::shard_capacity(self.cfg.capacity, self.cfg.shards, shard);
-                let sampler = GpsSampler::with_backend(
-                    capacity,
-                    self.weight_fn.clone(),
-                    seed,
-                    self.cfg.backend,
-                );
-                (self.runner_for(shard, sampler, None, hook), 0, true)
-            }
-        }
+        Runner::from_checkpoint(
+            shard,
+            &bytes,
+            self.weight_fn.clone(),
+            seed,
+            self.cfg.backend,
+            Self::shard_capacity(self.cfg.capacity, self.cfg.shards, shard),
+            self.estimating,
+            hook,
+            self.cfg.epoch_every,
+        )
     }
 
     /// Offers one stream arrival to the engine (routes it to its shard;

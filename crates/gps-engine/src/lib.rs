@@ -88,6 +88,7 @@
 pub mod engine;
 pub mod fault;
 pub mod partition;
+pub mod shard;
 pub mod snapshot;
 
 pub use engine::{
@@ -96,4 +97,5 @@ pub use engine::{
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use partition::{shard_seed, EdgePartitioner};
+pub use shard::ShardRunner;
 pub use snapshot::{load_engine, load_engine_file, SavedEngine};

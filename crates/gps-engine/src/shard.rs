@@ -1,0 +1,346 @@
+//! The per-shard runner: what one shard executes per edge, with no
+//! threading attached.
+//!
+//! [`ShardRunner`] is the exact logic a [`ShardedGps`](crate::ShardedGps)
+//! worker thread drives — a bare [`GpsSampler`] (`GPSUpdate` only) or an
+//! [`InStreamEstimator`] (paper Algorithm 3 per shard) plus the engine's
+//! checkpoint and epoch-report plumbing — factored out of the worker loop
+//! so a host that is *not* a thread can drive it too. The discrete-event
+//! simulator in `gps-sim` builds S ≫ cores shard-nodes on this type: every
+//! edge processed, checkpoint serialized, and restart seed derived in the
+//! sim goes through the same code the production engine runs, which is
+//! what makes the sim a test harness over production logic rather than a
+//! model of it.
+//!
+//! The contract worth spelling out:
+//!
+//! - [`ShardRunner::checkpoint_bytes`] is the engine's recovery checkpoint
+//!   format verbatim: a `gps_core::persist` `gps-sample v1` section for a
+//!   plain shard, `v2` (sampler + in-stream accumulators, restoring
+//!   *exactly*) for an estimating one.
+//! - [`ShardRunner::from_checkpoint`] is the engine's restart path
+//!   verbatim, including the corrupt-checkpoint fallback to a from-scratch
+//!   shard and the deterministic restart RNG stream
+//!   ([`restart_seed`]).
+
+use crate::engine::{EpochHook, ShardReport};
+use crate::partition::{shard_seed, splitmix64};
+use gps_core::persist::{self, SavedSample};
+use gps_core::weights::EdgeWeight;
+use gps_core::{GpsSampler, InStreamEstimator, InStreamState, TriadEstimates};
+use gps_graph::types::Edge;
+use gps_graph::BackendKind;
+
+/// The deterministic RNG seed a shard restarts with after its
+/// `restarts`-th recovery: the restart ordinal folded into the shard's
+/// base seed, so every restart draws a fresh — but reproducible — RNG
+/// stream (`restarts == 0` is *not* the original stream; the original
+/// shard seed is `shard_seed(engine_seed, shard)` unmixed).
+pub fn restart_seed(engine_seed: u64, shard: usize, restarts: u32) -> u64 {
+    splitmix64(shard_seed(engine_seed, shard) ^ u64::from(restarts))
+}
+
+/// What each shard runs per edge: a bare sampler (`GPSUpdate` only) or an
+/// in-stream estimator (snapshot estimation inside the engine, paper Alg 3
+/// per shard) with an optional report hook. See the [module docs](self).
+pub struct ShardRunner<W> {
+    inner: Inner<W>,
+}
+
+enum Inner<W> {
+    Plain(GpsSampler<W>),
+    Live {
+        shard: usize,
+        est: InStreamEstimator<W>,
+        hook: Option<EpochHook>,
+        every: u64,
+        next: u64,
+    },
+}
+
+impl<W: EdgeWeight> ShardRunner<W> {
+    /// A plain (post-stream-estimation-only) runner over `sampler`.
+    pub fn plain(sampler: GpsSampler<W>) -> Self {
+        ShardRunner {
+            inner: Inner::Plain(sampler),
+        }
+    }
+
+    /// An in-stream estimating runner for `shard`: wraps `sampler` in an
+    /// [`InStreamEstimator`] — resumed *exactly* from `state` when given,
+    /// seeded from the sampler's post-stream estimate otherwise — and
+    /// fires `hook` every `every` per-shard arrivals (report positions are
+    /// anchored at the sampler's current arrival watermark, so a resumed
+    /// shard keeps its cadence instead of restarting it).
+    pub fn estimating(
+        shard: usize,
+        sampler: GpsSampler<W>,
+        state: Option<InStreamState>,
+        hook: Option<EpochHook>,
+        every: u64,
+    ) -> Self {
+        let next = sampler.arrivals() + every;
+        let est = match state {
+            Some(state) => InStreamEstimator::resume(sampler, state),
+            None => InStreamEstimator::from_sampler(sampler),
+        };
+        ShardRunner {
+            inner: Inner::Live {
+                shard,
+                est,
+                hook,
+                every,
+                next,
+            },
+        }
+    }
+
+    /// Rebuilds a runner for `shard` from recovery-checkpoint `bytes` (as
+    /// written by [`ShardRunner::checkpoint_bytes`]). Returns the runner,
+    /// the arrival watermark it restarts from, and whether the checkpoint
+    /// was corrupt — in which case the shard restarts from scratch with
+    /// budget `scratch_capacity` at watermark 0, exactly like the engine's
+    /// supervisor. `estimating` selects the runner kind (a v2 section's
+    /// in-stream state is dropped for a plain runner); `every` is the
+    /// report cadence for estimating runners.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_checkpoint(
+        shard: usize,
+        bytes: &[u8],
+        weight_fn: W,
+        seed: u64,
+        backend: BackendKind,
+        scratch_capacity: usize,
+        estimating: bool,
+        hook: Option<EpochHook>,
+        every: u64,
+    ) -> (Self, u64, bool) {
+        let build = |sampler: GpsSampler<W>, state: Option<InStreamState>| {
+            if estimating {
+                Self::estimating(shard, sampler, state, hook, every)
+            } else {
+                Self::plain(sampler)
+            }
+        };
+        match persist::load(bytes) {
+            Ok(SavedSample {
+                capacity,
+                arrivals,
+                threshold,
+                records,
+                in_stream,
+            }) => {
+                let sampler = GpsSampler::restore_with_backend(
+                    capacity, weight_fn, seed, threshold, arrivals, records, backend,
+                );
+                (build(sampler, in_stream), arrivals, false)
+            }
+            Err(_) => {
+                let sampler = GpsSampler::with_backend(scratch_capacity, weight_fn, seed, backend);
+                (build(sampler, None), 0, true)
+            }
+        }
+    }
+
+    /// Feeds one stream arrival through the shard (sampler `GPSUpdate`, or
+    /// snapshot-estimation update then `GPSUpdate` in estimating mode).
+    #[inline]
+    pub fn process(&mut self, edge: Edge) {
+        match &mut self.inner {
+            Inner::Plain(sampler) => {
+                sampler.process(edge);
+            }
+            Inner::Live { est, .. } => {
+                est.process(edge);
+            }
+        }
+    }
+
+    /// Arrivals this shard has consumed (its substream position).
+    pub fn arrivals(&self) -> u64 {
+        self.sampler().arrivals()
+    }
+
+    /// The underlying sampler (read-only).
+    pub fn sampler(&self) -> &GpsSampler<W> {
+        match &self.inner {
+            Inner::Plain(sampler) => sampler,
+            Inner::Live { est, .. } => est.sampler(),
+        }
+    }
+
+    /// Current in-stream (snapshot) estimates of this shard's own
+    /// monochromatic subgraph counts; `None` for a plain runner.
+    pub fn estimates(&self) -> Option<TriadEstimates> {
+        match &self.inner {
+            Inner::Plain(_) => None,
+            Inner::Live { est, .. } => Some(est.estimates()),
+        }
+    }
+
+    /// Serializes the runner's full recovery state: a `gps-sample v1`
+    /// section for a plain shard, a `v2` section (sampler + in-stream
+    /// accumulators, restoring exactly) for an estimating one.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let res = match &self.inner {
+            Inner::Plain(sampler) => persist::save(sampler, &mut bytes),
+            Inner::Live { est, .. } => persist::save_estimator(est, &mut bytes),
+        };
+        // Writing into a Vec cannot fail; if it somehow does, the empty
+        // slot restores through the corrupt-checkpoint path (restart from
+        // scratch, loss accounted) instead of panicking the worker.
+        if res.is_err() {
+            bytes.clear();
+        }
+        bytes
+    }
+
+    /// Fires the hook unconditionally with the shard's current state —
+    /// once at worker start, so the board sees every shard's position
+    /// before any new stream is consumed (on the restore path this is the
+    /// restored watermark, keeping resumed epochs from regressing).
+    pub fn report_now(&self) {
+        if let Inner::Live {
+            shard,
+            est,
+            hook: Some(hook),
+            ..
+        } = &self.inner
+        {
+            hook(ShardReport {
+                shard: *shard,
+                arrivals: est.sampler().arrivals(),
+                estimates: est.estimates(),
+            });
+        }
+    }
+
+    /// Fires the hook if this shard crossed its next reporting position
+    /// (called between batches, so reports align with batch boundaries).
+    pub fn maybe_report(&mut self) {
+        if let Inner::Live {
+            shard,
+            est,
+            hook: Some(hook),
+            every,
+            next,
+        } = &mut self.inner
+        {
+            let arrivals = est.sampler().arrivals();
+            if arrivals >= *next {
+                while *next <= arrivals {
+                    *next += *every;
+                }
+                hook(ShardReport {
+                    shard: *shard,
+                    arrivals,
+                    estimates: est.estimates(),
+                });
+            }
+        }
+    }
+
+    /// Final report + teardown at drain end.
+    pub fn into_parts(self) -> (GpsSampler<W>, Option<TriadEstimates>, Option<InStreamState>) {
+        match self.inner {
+            Inner::Plain(sampler) => (sampler, None, None),
+            Inner::Live {
+                shard, est, hook, ..
+            } => {
+                let finals = est.estimates();
+                if let Some(hook) = hook {
+                    hook(ShardReport {
+                        shard,
+                        arrivals: est.sampler().arrivals(),
+                        estimates: finals,
+                    });
+                }
+                let (sampler, state) = est.into_parts();
+                (sampler, Some(finals), Some(state))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::weights::TriangleWeight;
+
+    fn stream(n: u32) -> impl Iterator<Item = Edge> {
+        (0..n).flat_map(|b| {
+            [
+                Edge::new(b, b + 1),
+                Edge::new(b, b + 2),
+                Edge::new(b + 1, b + 2),
+            ]
+        })
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_estimates_exactly() {
+        let sampler = GpsSampler::new(32, TriangleWeight::default(), 7);
+        let mut runner = ShardRunner::estimating(0, sampler, None, None, 1 << 30);
+        for e in stream(60) {
+            runner.process(e);
+        }
+        let bytes = runner.checkpoint_bytes();
+        let before = runner.estimates().expect("estimating runner");
+        let (restored, watermark, corrupt) = ShardRunner::from_checkpoint(
+            0,
+            &bytes,
+            TriangleWeight::default(),
+            restart_seed(7, 0, 1),
+            BackendKind::Compact,
+            32,
+            true,
+            None,
+            1 << 30,
+        );
+        assert!(!corrupt);
+        assert_eq!(watermark, runner.arrivals());
+        let after = restored.estimates().expect("estimating runner");
+        assert_eq!(
+            before.triangles.value.to_bits(),
+            after.triangles.value.to_bits()
+        );
+        assert_eq!(
+            before.triangles.variance.to_bits(),
+            after.triangles.variance.to_bits()
+        );
+        assert_eq!(before.wedges.value.to_bits(), after.wedges.value.to_bits());
+        assert_eq!(
+            before.tri_wedge_cov.to_bits(),
+            after.tri_wedge_cov.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_scratch() {
+        let (runner, watermark, corrupt) = ShardRunner::from_checkpoint(
+            3,
+            b"not a checkpoint",
+            TriangleWeight::default(),
+            restart_seed(7, 3, 1),
+            BackendKind::Compact,
+            16,
+            false,
+            None,
+            2048,
+        );
+        assert!(corrupt);
+        assert_eq!(watermark, 0);
+        assert_eq!(runner.arrivals(), 0);
+        assert!(runner.estimates().is_none(), "plain runner: no estimates");
+    }
+
+    #[test]
+    fn restart_seeds_differ_by_ordinal_and_shard() {
+        let a = restart_seed(42, 0, 1);
+        let b = restart_seed(42, 0, 2);
+        let c = restart_seed(42, 1, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -10,12 +10,13 @@
 //!
 //! [`QueryHandle`]: crate::QueryHandle
 
+use crate::clock::{duration_ns, Clock};
 use crate::epoch::{EpochCell, EstimateEpoch};
 use gps_core::{Estimate, TriadEstimates};
 use gps_engine::ShardReport;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn zero_triad() -> TriadEstimates {
     TriadEstimates::from_parts(Estimate::exact(0.0), Estimate::exact(0.0), 0.0)
@@ -42,9 +43,10 @@ struct BoardState {
     /// silent shard merges as a zero estimate at position 0, which is
     /// exactly its in-stream accumulator state at that point).
     per_shard: Vec<Option<ShardReport>>,
-    /// When each shard last reported (drives the liveness window of the
-    /// publication gate; meaningless — and unread — without a gate).
-    reported_at: Vec<Option<Instant>>,
+    /// When each shard last reported, in clock nanoseconds (drives the
+    /// liveness window of the publication gate; meaningless — and unread —
+    /// without a gate).
+    reported_at: Vec<Option<u64>>,
     /// Last assigned epoch version (monotone over the board's lifetime,
     /// across engine restores).
     version: u64,
@@ -59,13 +61,14 @@ struct BoardState {
     /// their reports carry a stale generation and are discarded instead
     /// of contaminating the current engine's epochs.
     generation: u64,
-    /// Publication-gate timeout: how long after (re)opening the board
-    /// waits for *every* shard to report before it starts publishing
-    /// degraded epochs from the reporting shards only. `None` gates
-    /// forever (the pre-fault-tolerance behavior).
-    gate: Option<Duration>,
-    /// When the current gate expires (re-armed by [`Board::reopen`]).
-    gate_deadline: Option<Instant>,
+    /// Publication-gate timeout in clock nanoseconds: how long after
+    /// (re)opening the board waits for *every* shard to report before it
+    /// starts publishing degraded epochs from the reporting shards only.
+    /// `None` gates forever (the pre-fault-tolerance behavior).
+    gate_ns: Option<u64>,
+    /// When the current gate expires, in clock nanoseconds (re-armed by
+    /// [`Board::reopen`]).
+    gate_deadline: Option<u64>,
     /// Live subscription senders; lossy on full, pruned on disconnect.
     subscribers: Vec<SyncSender<EstimateEpoch>>,
 }
@@ -75,6 +78,8 @@ pub(crate) struct Board {
     cell: EpochCell,
     state: Mutex<BoardState>,
     wake: Condvar,
+    /// Time source for the gate and the bounded waits (see `clock`).
+    clock: Clock,
 }
 
 impl Board {
@@ -86,7 +91,9 @@ impl Board {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    pub(crate) fn new(shards: usize, gate: Option<Duration>) -> Self {
+    pub(crate) fn new(shards: usize, gate: Option<Duration>, clock: Clock) -> Self {
+        let gate_ns = gate.map(duration_ns);
+        let now = clock.now_ns();
         Board {
             cell: EpochCell::new(),
             state: Mutex::new(BoardState {
@@ -96,12 +103,28 @@ impl Board {
                 latest: None,
                 closed: false,
                 generation: 0,
-                gate,
-                gate_deadline: gate.map(|d| Instant::now() + d),
+                gate_ns,
+                gate_deadline: gate_ns.map(|d| now.saturating_add(d)),
                 subscribers: Vec::new(),
             }),
             wake: Condvar::new(),
+            clock,
         }
+    }
+
+    /// Advances a manual clock (see [`crate::ClockMode::Manual`]) and wakes
+    /// every blocked waiter so expired deadlines are observed immediately.
+    /// No-op on a wall clock.
+    pub(crate) fn advance_clock(&self, d: Duration) -> bool {
+        // Advance under the lock so a waiter cannot read the clock between
+        // our bump and our notify, then miss the wakeup.
+        let state = self.locked();
+        let moved = self.clock.advance(d);
+        drop(state);
+        if moved {
+            self.wake.notify_all();
+        }
+        moved
     }
 
     /// Epoch-hook target: folds one shard's report in and publishes the
@@ -132,7 +155,7 @@ impl Board {
         }
         let slot = report.shard;
         assert!(slot < state.per_shard.len(), "report from unknown shard");
-        let now = Instant::now();
+        let now = self.clock.now_ns();
         state.per_shard[slot] = Some(report);
         state.reported_at[slot] = Some(now);
         let live = self.live_shards(&state, now);
@@ -160,12 +183,12 @@ impl Board {
     /// The shard that just reported always qualifies: its `reported_at`
     /// equals the `now` captured by the caller, so even a zero gate keeps
     /// `elapsed <= window` true for it.
-    fn live_shards(&self, state: &BoardState, now: Instant) -> Vec<usize> {
+    fn live_shards(&self, state: &BoardState, now: u64) -> Vec<usize> {
         (0..state.per_shard.len())
             .filter(|&i| {
                 state.per_shard[i].is_some()
-                    && match (state.gate, state.reported_at[i]) {
-                        (Some(window), Some(at)) => now.duration_since(at) <= window,
+                    && match (state.gate_ns, state.reported_at[i]) {
+                        (Some(window), Some(at)) => now.saturating_sub(at) <= window,
                         (Some(_), None) => false,
                         (None, _) => true,
                     }
@@ -291,7 +314,8 @@ impl Board {
         // Re-arm the publication gate: the restored engine gets a fresh
         // grace window for all of its workers to file initial reports
         // before the board starts degrading around the missing ones.
-        state.gate_deadline = state.gate.map(|d| Instant::now() + d);
+        let now = self.clock.now_ns();
+        state.gate_deadline = state.gate_ns.map(|d| now.saturating_add(d));
         state.generation
     }
 
@@ -328,7 +352,7 @@ impl Board {
         n: u64,
         timeout: Duration,
     ) -> Option<EstimateEpoch> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now_ns().saturating_add(duration_ns(timeout));
         let mut state = self.locked();
         loop {
             if let Some(epoch) = state.latest {
@@ -339,15 +363,20 @@ impl Board {
             if state.closed {
                 return None;
             }
-            let now = Instant::now();
+            let now = self.clock.now_ns();
             if now >= deadline {
                 return None;
             }
-            state = self
-                .wake
-                .wait_timeout(state, deadline - now)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            state = if self.clock.is_manual() {
+                // Manual time cannot expire on its own: park until an
+                // epoch, a close, or an `advance_clock` wakes us.
+                self.wake.wait(state).unwrap_or_else(|e| e.into_inner())
+            } else {
+                self.wake
+                    .wait_timeout(state, Duration::from_nanos(deadline - now))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            };
         }
     }
 
@@ -376,6 +405,15 @@ impl Board {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ClockMode;
+
+    fn wall_board(shards: usize, gate: Option<Duration>) -> Board {
+        Board::new(shards, gate, Clock::new(ClockMode::Wall))
+    }
+
+    fn manual_board(shards: usize, gate: Option<Duration>) -> Board {
+        Board::new(shards, gate, Clock::new(ClockMode::Manual))
+    }
 
     fn report(shard: usize, arrivals: u64, tri: f64) -> ShardReport {
         ShardReport {
@@ -394,7 +432,7 @@ mod tests {
 
     #[test]
     fn watermark_sums_shards_and_versions_increase() {
-        let board = Board::new(2, None);
+        let board = wall_board(2, None);
         assert!(board.latest().is_none());
         // Publication is gated until every shard has reported once.
         board.publish_report(0, report(0, 100, 1.0));
@@ -413,7 +451,7 @@ mod tests {
 
     #[test]
     fn close_publishes_final_epoch_and_is_idempotent() {
-        let board = Board::new(1, None);
+        let board = wall_board(1, None);
         board.close();
         let final_epoch = board.latest().unwrap();
         assert_eq!(final_epoch.edges_seen, 0);
@@ -425,7 +463,7 @@ mod tests {
 
     #[test]
     fn wait_for_edges_returns_none_on_close_below_watermark() {
-        let board = std::sync::Arc::new(Board::new(1, None));
+        let board = std::sync::Arc::new(wall_board(1, None));
         let waiter = {
             let board = board.clone();
             std::thread::spawn(move || board.wait_for_edges(1_000))
@@ -439,7 +477,7 @@ mod tests {
 
     #[test]
     fn subscriptions_prime_drop_when_full_and_end_on_close() {
-        let board = Board::new(1, None);
+        let board = wall_board(1, None);
         board.publish_report(0, report(0, 1, 0.0));
         let rx = board.subscribe(2).unwrap();
         // Primed with the current epoch.
@@ -461,7 +499,7 @@ mod tests {
 
     #[test]
     fn reopen_keeps_versions_monotone_and_gates_partial_merges() {
-        let board = Board::new(2, None);
+        let board = wall_board(2, None);
         board.publish_report(0, report(0, 5, 0.0));
         board.close();
         let at_close = board.latest().unwrap();
@@ -479,7 +517,7 @@ mod tests {
 
     #[test]
     fn straggler_reports_are_dropped_after_close_and_across_generations() {
-        let board = Board::new(1, None);
+        let board = wall_board(1, None);
         board.publish_report(0, report(0, 5, 1.0));
         board.close();
         let final_version = board.latest().unwrap().version;
@@ -503,7 +541,7 @@ mod tests {
         // Resume then abandon before every restored worker reports: the
         // close-time publication must not merge zero-filled slots below
         // the standing pre-restore epoch.
-        let board = Board::new(1, None);
+        let board = wall_board(1, None);
         board.publish_report(0, report(0, 50, 3.0));
         board.close();
         let standing = board.latest().unwrap();
@@ -518,15 +556,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "still owned by a running engine")]
     fn reopen_of_open_board_panics() {
-        Board::new(1, None).reopen(1);
+        wall_board(1, None).reopen(1);
     }
 
     #[test]
     fn expired_gate_publishes_degraded_epochs_from_reporting_shards() {
-        // Zero gate: the deadline is already behind us at the first
-        // report, so the board publishes immediately from whichever shard
-        // spoke — degraded, with an honest contributing mask.
-        let board = Board::new(3, Some(Duration::ZERO));
+        // Zero gate on a manual clock: the deadline equals "now" at the
+        // first report, so the board publishes immediately from whichever
+        // shard spoke — degraded, with an honest contributing mask.
+        let board = manual_board(3, Some(Duration::ZERO));
         board.publish_report(0, report(1, 40, 6.0));
         let e = board.latest().unwrap();
         assert_eq!(e.version, 1);
@@ -540,9 +578,9 @@ mod tests {
         assert_eq!(e.estimates.triangles.value, 162.0);
         // A second reporting shard joins the merge (zero gate keeps the
         // earlier reporter out of the live window — only the current
-        // reporter is provably fresh; the sleep guarantees the clock moved
-        // past shard 1's report even on coarse monotonic clocks).
-        std::thread::sleep(Duration::from_millis(2));
+        // reporter is provably fresh once virtual time has moved past
+        // shard 1's report; no sleep, no coarse-clock caveat).
+        board.advance_clock(Duration::from_nanos(1));
         board.publish_report(0, report(0, 10, 6.0));
         let e2 = board.latest().unwrap();
         assert_eq!(e2.version, 2);
@@ -554,7 +592,7 @@ mod tests {
     fn unexpired_gate_withholds_then_full_reports_publish_undegraded() {
         // A generous gate behaves like the ungated board until every shard
         // reports, then publishes full, undegraded epochs.
-        let board = Board::new(2, Some(Duration::from_secs(3600)));
+        let board = manual_board(2, Some(Duration::from_secs(3600)));
         board.publish_report(0, report(0, 10, 1.0));
         assert!(
             board.latest().is_none(),
@@ -569,7 +607,7 @@ mod tests {
 
     #[test]
     fn wait_for_edges_timeout_returns_satisfying_epoch_before_deadline() {
-        let board = std::sync::Arc::new(Board::new(1, None));
+        let board = std::sync::Arc::new(manual_board(1, None));
         let waiter = {
             let board = board.clone();
             std::thread::spawn(move || board.wait_for_edges_timeout(100, Duration::from_secs(30)))
@@ -584,12 +622,32 @@ mod tests {
 
     #[test]
     fn wait_for_edges_timeout_expires_on_an_open_board() {
-        let board = Board::new(1, None);
+        let board = std::sync::Arc::new(manual_board(1, None));
         board.publish_report(0, report(0, 10, 0.0));
         // Board stays open and never reaches the watermark: the call must
-        // come back `None` after the deadline instead of hanging.
-        let got = board.wait_for_edges_timeout(1_000, Duration::from_millis(25));
-        assert!(got.is_none(), "deadline expiry must return None");
+        // come back `None` once virtual time passes the deadline instead
+        // of hanging. Advancing in a loop is ordering-insensitive: the
+        // waiter's deadline is fixed at entry, and each advance moves
+        // virtual time another full timeout, so whichever side runs first
+        // the deadline is passed after at most two advances.
+        let waiter = {
+            let board = board.clone();
+            std::thread::spawn(move || {
+                board.wait_for_edges_timeout(1_000, Duration::from_millis(25))
+            })
+        };
+        while !waiter.is_finished() {
+            board.advance_clock(Duration::from_millis(26));
+            std::thread::yield_now();
+        }
+        assert!(
+            waiter.join().unwrap().is_none(),
+            "deadline expiry must return None"
+        );
         assert!(!board.is_closed());
+        // A zero timeout on an unsatisfied watermark expires synchronously.
+        assert!(board
+            .wait_for_edges_timeout(1_000, Duration::ZERO)
+            .is_none());
     }
 }

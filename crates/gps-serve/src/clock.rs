@@ -1,0 +1,114 @@
+//! Deterministic time source for the board's gate and deadline logic.
+//!
+//! The publication gate and the bounded watermark wait are the only places
+//! in the serving layer that consult time, and they only ever *compare*
+//! timestamps — time never feeds an estimate value. That makes the clock
+//! swappable: production uses the monotonic wall clock, while tests (and
+//! discrete-event harnesses) drive a **manual** clock whose "now" moves
+//! only when the test says so, turning every gate-expiry and
+//! timeout-expiry branch into a deterministic, sleep-free assertion.
+//!
+//! All timestamps are u64 nanoseconds since the clock's creation, so the
+//! board's deadline arithmetic is identical under either mode. This module
+//! is the one sanctioned `Instant::now` site in the crate — the
+//! `no-wallclock-in-determinism` lint in gps-analyze knows it by path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which time source a [`ServeEngine`](crate::ServeEngine)'s board runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Monotonic wall clock ([`Instant`]); the production default.
+    #[default]
+    Wall,
+    /// Virtual clock starting at 0 ns and advancing only via
+    /// [`ServeEngine::advance_clock`](crate::ServeEngine::advance_clock) /
+    /// [`QueryHandle::advance_clock`](crate::QueryHandle::advance_clock).
+    /// Blocking waits under this mode park until an epoch, a close, or a
+    /// clock advance wakes them — nothing expires on its own.
+    Manual,
+}
+
+/// The board's time source (see the [module docs](self)).
+pub(crate) enum Clock {
+    /// Anchored wall clock: now = elapsed since the anchor.
+    Wall(Instant),
+    /// Virtual nanoseconds, advanced explicitly.
+    Manual(AtomicU64),
+}
+
+impl Clock {
+    pub(crate) fn new(mode: ClockMode) -> Self {
+        match mode {
+            ClockMode::Wall => Clock::Wall(Instant::now()),
+            ClockMode::Manual => Clock::Manual(AtomicU64::new(0)),
+        }
+    }
+
+    /// Nanoseconds since the clock started. Monotone in both modes.
+    pub(crate) fn now_ns(&self) -> u64 {
+        match self {
+            // Saturating: u64 ns covers ~584 years of uptime.
+            Clock::Wall(anchor) => u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            // ordering: Relaxed — readers re-derive deadlines on every
+            // wakeup; the board's mutex orders time reads against the
+            // state they gate.
+            Clock::Manual(ns) => ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Moves a manual clock forward by `d`. Returns whether anything moved
+    /// (a wall clock cannot be steered and reports `false`).
+    pub(crate) fn advance(&self, d: Duration) -> bool {
+        match self {
+            Clock::Wall(_) => false,
+            Clock::Manual(ns) => {
+                // ordering: Relaxed — see now_ns; the caller notifies the
+                // board's condvar after advancing.
+                ns.fetch_add(duration_ns(d), Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Whether blocking waits must rely on explicit wakeups (manual mode)
+    /// instead of timed condvar waits.
+    pub(crate) fn is_manual(&self) -> bool {
+        matches!(self, Clock::Manual(_))
+    }
+}
+
+/// `Duration` → saturating u64 nanoseconds (the board's deadline unit).
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let clock = Clock::new(ClockMode::Manual);
+        assert_eq!(clock.now_ns(), 0);
+        assert!(clock.advance(Duration::from_millis(5)));
+        assert_eq!(clock.now_ns(), 5_000_000);
+        assert!(clock.is_manual());
+    }
+
+    #[test]
+    fn wall_clock_refuses_steering_and_runs_forward() {
+        let clock = Clock::new(ClockMode::Wall);
+        assert!(!clock.advance(Duration::from_secs(1)));
+        assert!(!clock.is_manual());
+        let a = clock.now_ns();
+        assert!(clock.now_ns() >= a, "monotone");
+    }
+
+    #[test]
+    fn duration_conversion_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(7)), 7);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -48,8 +48,10 @@
 #![forbid(unsafe_code)]
 
 mod board;
+mod clock;
 mod epoch;
 mod serve;
 
+pub use clock::ClockMode;
 pub use epoch::EstimateEpoch;
 pub use serve::{EpochSubscription, QueryHandle, ServeConfig, ServeEngine};

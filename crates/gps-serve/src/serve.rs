@@ -1,6 +1,7 @@
 //! The serving engine and its query handles.
 
 use crate::board::Board;
+use crate::clock::{Clock, ClockMode};
 use crate::epoch::EstimateEpoch;
 use gps_core::weights::EdgeWeight;
 use gps_core::TriadEstimates;
@@ -35,6 +36,12 @@ pub struct ServeConfig {
     /// gap ([`EngineConfig::epoch_every`] arrivals at your ingest rate),
     /// or a healthy-but-slow stream will be flagged degraded.
     pub gate_timeout: Option<Duration>,
+    /// Time source for the gate and the bounded watermark waits.
+    /// [`ClockMode::Wall`] (the default) is production behavior;
+    /// [`ClockMode::Manual`] freezes time at 0 until
+    /// [`ServeEngine::advance_clock`] moves it — deterministic tests and
+    /// discrete-event harnesses drive every deadline explicitly.
+    pub clock: ClockMode,
 }
 
 impl ServeConfig {
@@ -46,6 +53,7 @@ impl ServeConfig {
             engine: EngineConfig::new(capacity, shards, seed),
             subscribe_depth: 16,
             gate_timeout: None,
+            clock: ClockMode::Wall,
         }
     }
 }
@@ -93,7 +101,11 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_config(cfg: ServeConfig, weight_fn: W) -> Self {
-        let board = Arc::new(Board::new(cfg.engine.shards, cfg.gate_timeout));
+        let board = Arc::new(Board::new(
+            cfg.engine.shards,
+            cfg.gate_timeout,
+            Clock::new(cfg.clock),
+        ));
         let hook = Self::hook_for(&board, board.generation());
         let engine = ShardedGps::with_estimation(cfg.engine, weight_fn, Some(hook));
         ServeEngine {
@@ -114,7 +126,11 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_config_and_faults(cfg: ServeConfig, weight_fn: W, faults: FaultPlan) -> Self {
-        let board = Arc::new(Board::new(cfg.engine.shards, cfg.gate_timeout));
+        let board = Arc::new(Board::new(
+            cfg.engine.shards,
+            cfg.gate_timeout,
+            Clock::new(cfg.clock),
+        ));
         let hook = Self::hook_for(&board, board.generation());
         let engine =
             ShardedGps::with_estimation_and_faults(cfg.engine, weight_fn, Some(hook), faults);
@@ -273,6 +289,15 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     pub fn is_finished(&self) -> bool {
         self.engine.is_finished()
     }
+
+    /// Advances a [`ClockMode::Manual`] board clock by `d` and wakes every
+    /// blocked waiter, so expired gate and wait deadlines are observed
+    /// immediately. Returns `false` (and moves nothing) on the wall clock.
+    /// This is the test-side lever of the deterministic clock hook; see
+    /// [`ServeConfig::clock`].
+    pub fn advance_clock(&self, d: Duration) -> bool {
+        self.board.advance_clock(d)
+    }
 }
 
 impl<W> Drop for ServeEngine<W> {
@@ -338,6 +363,13 @@ impl QueryHandle {
     /// Whether the producing engine has finished (and not been resumed).
     pub fn is_closed(&self) -> bool {
         self.board.is_closed()
+    }
+
+    /// Advances a [`ClockMode::Manual`] board clock by `d`; see
+    /// [`ServeEngine::advance_clock`] (the board — and so the clock — is
+    /// shared by every handle and the engine). `false` on the wall clock.
+    pub fn advance_clock(&self, d: Duration) -> bool {
+        self.board.advance_clock(d)
     }
 }
 
@@ -455,6 +487,7 @@ mod tests {
                 },
                 subscribe_depth: 16,
                 gate_timeout: None,
+                clock: ClockMode::Wall,
             },
             UniformWeight,
         );
@@ -483,6 +516,7 @@ mod tests {
                 },
                 subscribe_depth: 1024,
                 gate_timeout: None,
+                clock: ClockMode::Wall,
             },
             UniformWeight,
         );
@@ -517,6 +551,7 @@ mod tests {
                 },
                 subscribe_depth: 1,
                 gate_timeout: None,
+                clock: ClockMode::Wall,
             },
             UniformWeight,
         );
@@ -546,6 +581,7 @@ mod tests {
                 },
                 subscribe_depth: 8,
                 gate_timeout: None,
+                clock: ClockMode::Wall,
             },
             TriangleWeight::default(),
         );
@@ -594,13 +630,18 @@ mod tests {
 
     #[test]
     fn stalled_shard_degrades_epochs_then_recovers_to_full() {
-        // Graceful-degradation acceptance path: shard 1 parks for 400 ms
-        // at its first arrival, far past the 50 ms publication gate. While
-        // it is down, shard 0 (slowed to ~2 ms/arrival so it is still
-        // consuming when the gate expires) keeps reporting, and the board
-        // must publish *degraded* epochs carrying only shard 0's bit.
-        // After the stall ends, shard 1 drains its queue, reports, and the
-        // epoch stream must recover to full, undegraded epochs.
+        // Graceful-degradation acceptance path, on the deterministic
+        // clock: shard 1 parks for 400 ms of *wall* time at its first
+        // arrival (thread scheduling scaffolding only), while the 50 ms
+        // publication gate runs on frozen *virtual* time. The test first
+        // waits for the launch-time full epoch — proof both shards'
+        // initial reports are on the board — then advances virtual time
+        // past the gate, aging shard 1's report out of the liveness
+        // window. Every epoch shard 0 publishes while shard 1 is parked is
+        // then provably degraded (no sleep-tuned margin between gate and
+        // scheduling: the gate can neither expire early nor late). When
+        // the stall ends, shard 1 drains, reports at the same virtual
+        // instant, and the stream must recover to full epochs.
         let cfg = ServeConfig {
             engine: EngineConfig {
                 batch: 8,
@@ -609,13 +650,17 @@ mod tests {
             },
             subscribe_depth: 4096,
             gate_timeout: Some(Duration::from_millis(50)),
+            clock: ClockMode::Manual,
         };
-        let faults = FaultPlan::new()
-            .stall_at(1, 1, 400)
-            .slowdown_at(0, 1, 2_000, 250);
+        let faults = FaultPlan::new().stall_at(1, 1, 400);
         let mut serve = ServeEngine::with_config_and_faults(cfg, UniformWeight, faults);
         let handle = serve.handle();
         let sub = handle.subscribe().expect("live engine");
+        // Launch reports from both shards produce the first (full) epoch.
+        handle.wait_for_edges(0).expect("launch epoch");
+        // Virtual time now jumps past the gate: both standing reports age
+        // out, and only shards reporting *after* this instant are live.
+        assert!(serve.advance_clock(Duration::from_millis(51)));
         serve.push_stream(clique_chunks(400));
         serve.finish();
         let epochs: Vec<EstimateEpoch> = sub.collect();

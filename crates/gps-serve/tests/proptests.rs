@@ -8,7 +8,7 @@ use gps_core::weights::TriangleWeight;
 use gps_core::{InStreamEstimator, TriadEstimates};
 use gps_engine::EngineConfig;
 use gps_graph::types::Edge;
-use gps_serve::{EstimateEpoch, ServeConfig, ServeEngine};
+use gps_serve::{ClockMode, EstimateEpoch, ServeConfig, ServeEngine};
 use proptest::prelude::*;
 
 /// Random edge stream; duplicates allowed (the duplicate skip must agree).
@@ -78,6 +78,7 @@ proptest! {
                 // Deep enough that no epoch of this stream is ever dropped.
                 subscribe_depth: 4096,
                 gate_timeout: None,
+                clock: ClockMode::Wall,
             },
             TriangleWeight::default(),
         );

@@ -1,0 +1,61 @@
+//! The simulated network: per-link latency and jitter distributions.
+//!
+//! Every message between simulated hosts takes `base_ns` plus a uniform
+//! jitter draw from a **seeded** RNG — the only randomness in the
+//! simulator besides the production code's own sampling, and seeded like
+//! everything else, so delivery orders are bit-reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A one-way link's latency model: `base_ns + U[0, jitter_ns)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Deterministic floor of every delivery, in virtual nanoseconds.
+    pub base_ns: u64,
+    /// Upper bound (exclusive) of the uniform jitter added per message;
+    /// `0` disables jitter entirely.
+    pub jitter_ns: u64,
+}
+
+impl Link {
+    /// A jitter-free link.
+    pub fn fixed(base_ns: u64) -> Self {
+        Link {
+            base_ns,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Samples one delivery delay.
+    pub fn delay(&self, rng: &mut SmallRng) -> u64 {
+        let jitter = if self.jitter_ns > 0 {
+            rng.random_range(0..self.jitter_ns)
+        } else {
+            0
+        };
+        self.base_ns.saturating_add(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delays_are_seeded_and_bounded() {
+        let link = Link {
+            base_ns: 100,
+            jitter_ns: 50,
+        };
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let d = link.delay(&mut a);
+            assert_eq!(d, link.delay(&mut b), "same seed, same delays");
+            assert!((100..150).contains(&d));
+        }
+        assert_eq!(Link::fixed(42).delay(&mut a), 42);
+    }
+}

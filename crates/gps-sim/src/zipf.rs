@@ -1,0 +1,152 @@
+//! Zipf-skewed key streams for partition-skew experiments.
+//!
+//! The engine's [`EdgePartitioner`](gps_engine::EdgePartitioner) hashes
+//! edge keys, so a *uniform* keyspace balances shards almost perfectly —
+//! the interesting adversary is a skewed keyspace where a few hot
+//! node pairs dominate the stream. A Zipf(α) draw over node ids produces
+//! exactly that: hot nodes appear in a large fraction of edges, their hot
+//! edges repeat many times, and every repeat of an edge lands on the same
+//! shard (routing is content-addressed), concentrating load.
+
+use gps_graph::types::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Zipf(α) sampler over `0..n` via inverse-CDF binary search.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights `Σ_{j≤i} 1/(j+1)^α`.
+    cdf: Vec<f64>,
+    /// Total unnormalized mass (the last cumulative weight).
+    total: f64,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `0..n` with exponent `alpha ≥ 0`
+    /// (`alpha = 0` is uniform; 0.8–1.2 is the classic heavy-tail range).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(total);
+        }
+        Zipf { cdf, total }
+    }
+
+    /// Draws one rank in `0..n` (rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let x = rng.random::<f64>() * self.total;
+        // First index whose cumulative weight exceeds x.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] > x {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as u32
+    }
+}
+
+/// A stream of `n_edges` edges whose endpoints are independent Zipf(α)
+/// draws over `nodes` node ids (self-pairs rejected). Hot nodes produce
+/// hot, frequently **repeated** edges — the skewed-keyspace regime for
+/// partition-balance experiments, where every repeat of an edge routes to
+/// the same shard. Seeded and deterministic.
+///
+/// For estimation-quality experiments use [`zipf_edges_distinct`]: GPS
+/// models a simple graph stream, so exact ground truth deduplicates and a
+/// stream with repeats would disagree with it by construction.
+pub fn zipf_edges(nodes: usize, n_edges: usize, alpha: f64, seed: u64) -> Vec<Edge> {
+    let zipf = Zipf::new(nodes, alpha);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_edges);
+    while out.len() < n_edges {
+        let u = zipf.sample(&mut rng);
+        let v = zipf.sample(&mut rng);
+        if u != v {
+            out.push(Edge::new(u, v));
+        }
+    }
+    out
+}
+
+/// Like [`zipf_edges`] but every edge is distinct (repeat draws are
+/// rejected): a *simple* graph stream whose degree distribution is
+/// Zipf-skewed — hot hubs with huge degrees, so wedge counts are dominated
+/// by a few nodes. This is the skew regime for estimation-quality
+/// experiments, where ground truth must match the stream exactly.
+///
+/// # Panics
+/// Panics if the distinct-pair space is too small to yield `n_edges`
+/// within a bounded number of draws.
+pub fn zipf_edges_distinct(nodes: usize, n_edges: usize, alpha: f64, seed: u64) -> Vec<Edge> {
+    let zipf = Zipf::new(nodes, alpha);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n_edges * 2);
+    let mut out = Vec::with_capacity(n_edges);
+    let mut attempts = 0usize;
+    let budget = n_edges.saturating_mul(200);
+    while out.len() < n_edges {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "distinct-pair space too small for {n_edges} edges over {nodes} nodes"
+        );
+        let u = zipf.sample(&mut rng);
+        let v = zipf.sample(&mut rng);
+        if u != v {
+            let e = Edge::new(u, v);
+            if seen.insert(e.key()) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_seeded_and_skewed() {
+        let a = zipf_edges(200, 5_000, 1.0, 9);
+        let b = zipf_edges(200, 5_000, 1.0, 9);
+        assert_eq!(a, b, "same seed, same stream");
+        // Rank 0 must be far hotter than the median rank.
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hits0 = 0usize;
+        let mut hits500 = 0usize;
+        for _ in 0..20_000 {
+            match zipf.sample(&mut rng) {
+                0 => hits0 += 1,
+                500 => hits500 += 1,
+                _ => {}
+            }
+        }
+        assert!(hits0 > 20 * (hits500 + 1), "rank 0 ({hits0}) must dominate");
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "uniform-ish bucket, got {c}");
+        }
+    }
+}

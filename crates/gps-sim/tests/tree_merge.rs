@@ -1,0 +1,70 @@
+//! Acceptance (a): the two-level merge tree is **bit-identical** to the
+//! flat `merged_colored` merge on clean runs at `S ∈ {16, 64, 256}` —
+//! and, because aggregators only forward (all arithmetic happens once at
+//! the root, over leaves in leaf order), the identity survives stragglers
+//! and crash/restore too.
+
+use gps_core::weights::TriangleWeight;
+use gps_sim::{run_cluster, stream_for, SimConfig, SimFaults, Skew};
+
+fn clean_run(shards: usize, aggregators: usize, seed: u64) -> gps_sim::SimOutcome {
+    let edges = stream_for(Skew::Hash, 10_000, seed);
+    let mut cfg = SimConfig::new(shards, aggregators, 4_096, seed);
+    cfg.epoch_every = ((10_000 / shards / 4) as u64).clamp(8, 256);
+    run_cluster(&cfg, &SimFaults::none(), TriangleWeight::default(), &edges)
+}
+
+#[test]
+fn tree_merge_is_bit_identical_to_flat_at_s16() {
+    let out = clean_run(16, 4, 11);
+    assert!(out.tree_matches_flat(), "S=16: tree and flat merges differ");
+    assert!(out.epochs.len() > 2, "publishes must have happened");
+}
+
+#[test]
+fn tree_merge_is_bit_identical_to_flat_at_s64() {
+    let out = clean_run(64, 8, 12);
+    assert!(out.tree_matches_flat(), "S=64: tree and flat merges differ");
+}
+
+#[test]
+fn tree_merge_is_bit_identical_to_flat_at_s256() {
+    let out = clean_run(256, 32, 13);
+    assert!(
+        out.tree_matches_flat(),
+        "S=256: tree and flat merges differ"
+    );
+    assert_eq!(out.pushed, 10_000);
+}
+
+#[test]
+fn tree_identity_is_independent_of_aggregator_fanout() {
+    // Same cluster, different K: the published grouping changes but the
+    // root's arithmetic is over the same leaf order, so all fanouts agree
+    // with each other bit-for-bit.
+    let base = clean_run(64, 2, 14);
+    for aggregators in [4, 8, 16, 64] {
+        let out = clean_run(64, aggregators, 14);
+        assert_eq!(
+            out.fingerprint(),
+            base.fingerprint(),
+            "K={aggregators} changed the merged bits"
+        );
+    }
+}
+
+#[test]
+fn tree_identity_survives_stragglers_and_crashes() {
+    let edges = stream_for(Skew::Zipf(1.0), 10_000, 15);
+    let mut cfg = SimConfig::new(64, 8, 4_096, 15);
+    cfg.epoch_every = 32;
+    cfg.checkpoint_every = 16;
+    let faults = SimFaults::none()
+        .straggler(2, 5_000_000)
+        .crash_at(1, 40, 2_000_000)
+        .crash_at(5, 60, 3_000_000);
+    let out = run_cluster(&cfg, &faults, TriangleWeight::default(), &edges);
+    assert!(out.tree_matches_flat(), "faulted run: merges differ");
+    assert_eq!(out.restarts, 2);
+    assert!(out.lost_arrivals > 0, "crashes must lose arrivals");
+}
