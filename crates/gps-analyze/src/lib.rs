@@ -9,8 +9,10 @@
 //!    crates, no ambient-entropy RNG, no wall-clock reads in the
 //!    estimation path, no `.unwrap()` in engine/serve library code,
 //!    `#![forbid(unsafe_code)]` in every crate root, a justification
-//!    comment on every atomic `Ordering::` use, and no undocumented
-//!    `#[allow]`. Exceptions are explicit, reasoned entries in
+//!    comment on every atomic `Ordering::` use, no undocumented
+//!    `#[allow]`, and every telemetry metric name registered in library
+//!    code documented (exactly once) in `docs/observability.md`.
+//!    Exceptions are explicit, reasoned entries in
 //!    `crates/gps-analyze/analyze.allow`; stale entries are themselves
 //!    errors.
 //! 2. **The lockfile audit** ([`deps::audit_lockfile`]) — Cargo.lock must
@@ -136,6 +138,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     let allow = Allowlist::parse(&allow_text)?;
     let files = scanned_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let mut violations = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -145,7 +148,14 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
         let text = std::fs::read_to_string(file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
         violations.extend(lint_source(&rel, &text));
+        sources.push((rel, text));
     }
+    // The metric-name catalog check is cross-file (registration sites vs
+    // docs/observability.md), so it runs once over the whole scanned set.
+    // A missing catalog reads as empty: every registered metric is then an
+    // undocumented-name violation, which is the failure mode we want.
+    let catalog = std::fs::read_to_string(root.join("docs/observability.md")).unwrap_or_default();
+    violations.extend(rules::rule_metric_registry(&sources, &catalog));
     let resolve = |path: &str, line: usize| -> Option<String> {
         let text = std::fs::read_to_string(root.join(path)).ok()?;
         text.lines().nth(line.checked_sub(1)?).map(str::to_owned)

@@ -40,6 +40,7 @@ pub const RULE_IDS: &[&str] = &[
     "forbid-unsafe-everywhere",
     "atomics-justified",
     "no-stray-allow",
+    "metric-name-registry",
 ];
 
 /// Crates whose hot paths must stay free of std hash collections (the
@@ -329,6 +330,123 @@ fn has_adjacent_ordering_comment(m: &MaskedFile, i: usize) -> bool {
         }
     }
     false
+}
+
+/// `metric-name-registry`: every telemetry metric registered in crate
+/// library code (`.counter("…")`, `.gauge("…")`, `.histogram("…")` with a
+/// string-literal name) must be documented with a one-line meaning in
+/// `docs/observability.md`, and each name must have exactly one
+/// registration call site — `gps-telemetry` deduplicates by name at
+/// runtime, so a second call site silently aliases the first handle and
+/// the two "metrics" become one ledger.
+///
+/// Cross-file by nature, so it runs once over the scanned set
+/// ([`crate::lint_workspace`] calls it after the per-file pass) instead of
+/// inside [`lint_source`]; fixture tests call it directly with synthetic
+/// files and a synthetic catalog. Lookup helpers (`counter_value`,
+/// `gauge_value`, `histogram_sample`) don't match the registration
+/// patterns, so read sites never register names.
+pub fn rule_metric_registry(files: &[(String, String)], catalog: &str) -> Vec<Violation> {
+    const RULE: &str = "metric-name-registry";
+    let mut out = Vec::new();
+    // (name, path, 0-based line) in scan order.
+    let mut sites: Vec<(String, String, usize)> = Vec::new();
+    for (path, text) in files {
+        if is_compat(path) {
+            continue;
+        }
+        let in_src = path.starts_with("crates/")
+            && path
+                .splitn(3, '/')
+                .nth(2)
+                .is_some_and(|r| r.starts_with("src/"));
+        if !in_src {
+            continue;
+        }
+        let m = mask(text);
+        let tests = cfg_test_lines(&m.code);
+        let raw: Vec<&str> = text.lines().collect();
+        for (i, line) in m.code.iter().enumerate() {
+            if tests[i] {
+                continue;
+            }
+            let code: Vec<char> = line.chars().collect();
+            for pat in [".counter(\"", ".gauge(\"", ".histogram(\""] {
+                for at in find_all(&code, pat) {
+                    let start = at + pat.chars().count();
+                    // The code view masks literal interiors but keeps the
+                    // delimiters at their source columns, so the closing
+                    // quote in the view locates the literal in the raw line.
+                    let Some(len) = code[start..].iter().position(|&c| c == '"') else {
+                        continue;
+                    };
+                    let name: String = raw
+                        .get(i)
+                        .map(|r| r.chars().skip(start).take(len).collect())
+                        .unwrap_or_default();
+                    if !name.is_empty() {
+                        sites.push((name, path.clone(), i));
+                    }
+                }
+            }
+        }
+    }
+    for (k, (name, path, line)) in sites.iter().enumerate() {
+        if let Some((_, first_path, first_line)) = sites[..k].iter().find(|(n, _, _)| n == name) {
+            push(
+                &mut out,
+                RULE,
+                path,
+                *line,
+                format!(
+                    "duplicate registration of metric `{name}` (first registered at \
+                     {first_path}:{}; reuse that handle — the registry aliases by name)",
+                    first_line + 1
+                ),
+            );
+            continue; // don't also report the duplicate as undocumented
+        }
+        if !documented(catalog, name) {
+            push(
+                &mut out,
+                RULE,
+                path,
+                *line,
+                format!(
+                    "metric `{name}` is not documented in docs/observability.md \
+                     (add a catalog line: - `{name}` — meaning)"
+                ),
+            );
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// All char positions where `pat` (ASCII) starts in `chars`.
+fn find_all(chars: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    if chars.len() < p.len() {
+        return Vec::new();
+    }
+    (0..=chars.len() - p.len())
+        .filter(|&i| chars[i..i + p.len()] == p[..])
+        .collect()
+}
+
+/// Is `name` documented in the catalog — a line carrying the backticked
+/// name *and* a non-empty meaning after it (separator punctuation alone
+/// does not count as a meaning)?
+fn documented(catalog: &str, name: &str) -> bool {
+    let tick = format!("`{name}`");
+    catalog.lines().any(|l| {
+        l.find(&tick).is_some_and(|pos| {
+            l[pos + tick.len()..]
+                .trim_matches(|c: char| c.is_whitespace() || "—–-:|.".contains(c))
+                .chars()
+                .any(|c| c.is_alphanumeric())
+        })
+    })
 }
 
 /// `no-stray-allow`: `#[allow(…)]` / `#![allow(…)]` in first-party source

@@ -1,0 +1,26 @@
+//! Fixture: telemetry metric registrations for the metric-name-registry
+//! rule. Linted with a synthetic catalog that documents
+//! `gps_fix_documented_total`, `gps_fix_depth`, and `gps_fix_latency_ns`,
+//! and carries `gps_fix_bare_name_total` with no meaning after the name.
+
+pub fn register(reg: &Registry) {
+    let _a = reg.counter("gps_fix_documented_total", Stability::Stable);
+    let _b = reg.counter("gps_fix_undocumented_total", Stability::Stable);
+    let _c = reg.gauge("gps_fix_depth", Stability::Timing);
+    let _d = reg.histogram("gps_fix_latency_ns", Stability::Stable);
+    let _e = reg.counter("gps_fix_documented_total", Stability::Stable);
+    let _f = reg.counter("gps_fix_bare_name_total", Stability::Stable);
+    // A read-path lookup must not count as a registration:
+    let _v = snap.counter_value("gps_fix_never_registered_total");
+    // Nor a name that only appears in prose: `gps_fix_comment_only_total`,
+    // or in a plain string: "gps_fix_string_only_total".
+    let _s = "gps_fix_string_only_total";
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only(reg: &Registry) {
+        // Test-code registrations are out of scope for the catalog.
+        reg.counter("gps_fix_test_only_total", Stability::Stable);
+    }
+}

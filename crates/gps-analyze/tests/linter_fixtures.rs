@@ -114,6 +114,60 @@ fn stray_allow_fixture_exact_lines() {
 }
 
 #[test]
+fn metric_registry_fixture_exact_lines() {
+    let text = fixture("metrics.rs");
+    let catalog = "# Observability\n\n\
+                   - `gps_fix_documented_total` — a documented demo counter.\n\
+                   - `gps_fix_depth` — a documented demo gauge.\n\
+                   - `gps_fix_latency_ns` — a documented demo histogram.\n\
+                   - `gps_fix_bare_name_total` —\n";
+    let files = vec![("crates/gps-serve/src/fixture.rs".to_owned(), text.clone())];
+    let got: Vec<(usize, String)> = gps_analyze::rules::rule_metric_registry(&files, catalog)
+        .into_iter()
+        .map(|v| {
+            assert_eq!(v.rule, "metric-name-registry");
+            (v.line, v.msg)
+        })
+        .collect();
+    assert_eq!(got.len(), 3, "{got:?}");
+    // Line 8: registered but absent from the catalog.
+    assert_eq!(got[0].0, 8);
+    assert!(got[0].1.contains("`gps_fix_undocumented_total`"));
+    assert!(got[0].1.contains("not documented"));
+    // Line 11: second registration of a documented name.
+    assert_eq!(got[1].0, 11);
+    assert!(got[1].1.contains("duplicate registration"));
+    assert!(got[1].1.contains("crates/gps-serve/src/fixture.rs:7"));
+    // Line 12: cataloged, but with no meaning after the name.
+    assert_eq!(got[2].0, 12);
+    assert!(got[2].1.contains("`gps_fix_bare_name_total`"));
+    // The documented names, the lookup helper, the prose/string mentions,
+    // and the cfg(test) registration must all stay silent — covered by the
+    // exact count above.
+}
+
+#[test]
+fn metric_registry_rule_is_scoped_to_crate_lib_code() {
+    let text = fixture("metrics.rs");
+    let catalog = "";
+    // Outside crates/*/src — integration tests, examples, the facade —
+    // registrations are free-form and the rule must not fire even with an
+    // empty catalog.
+    for path in [
+        "crates/gps-serve/tests/fixture.rs",
+        "examples/fixture.rs",
+        "src/lib.rs",
+        "crates/compat/rand/src/fixture.rs",
+    ] {
+        let files = vec![(path.to_owned(), text.clone())];
+        assert!(
+            gps_analyze::rules::rule_metric_registry(&files, catalog).is_empty(),
+            "{path} must be out of scope"
+        );
+    }
+}
+
+#[test]
 fn masked_fixture_is_fully_clean() {
     let text = fixture("masked.rs");
     let got = shape("crates/gps-core/src/lib.rs", &text);

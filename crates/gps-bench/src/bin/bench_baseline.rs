@@ -8,7 +8,7 @@
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
 //!                [--baselines] [--engine] [--serve] [--chaos] [--sim]
-//!                [--check PATH [--min-ratio R]]
+//!                [--telemetry] [--check PATH [--min-ratio R]]
 //! ```
 //!
 //! - `--quick`: reduced streams and capacities (CI smoke scale).
@@ -33,6 +33,11 @@
 //!   keyspace skew × fault scenario, in virtual time over the production
 //!   sampler/estimator/merge code (`sim` section; schema stays
 //!   v1-compatible and the numbers are bit-deterministic per seed).
+//! - `--telemetry`: additionally capture the engine's deterministic
+//!   `Stable`-class telemetry counters from one clean, checkpointed run,
+//!   plus the fingerprint that pins the whole stable snapshot
+//!   (`telemetry` section; schema stays v1-compatible and `--check`
+//!   validates its shape).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -42,6 +47,7 @@
 use gps_bench::json::{self, Value};
 use gps_bench::perf::{
     self, BaselineResult, ChaosResult, EngineResult, PerfConfig, ScenarioResult, ServeResult,
+    TelemetryResult,
 };
 use std::process::{Command, ExitCode};
 
@@ -55,6 +61,7 @@ struct Args {
     serve: bool,
     chaos: bool,
     sim: bool,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         serve: false,
         chaos: false,
         sim: false,
+        telemetry: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => args.serve = true,
             "--chaos" => args.chaos = true,
             "--sim" => args.sim = true,
+            "--telemetry" => args.telemetry = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -100,7 +109,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
                      [--baselines] [--engine] [--serve] [--chaos] [--sim] \
-                     [--check PATH [--min-ratio R]]"
+                     [--telemetry] [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -191,6 +200,16 @@ fn print_sim(p: &gps_sim::SweepPoint) {
         p.staleness_max_ns as f64 / 1e6,
         p.lost_arrivals,
         if p.tree_identical { "ok" } else { "DIVERGED" },
+    );
+}
+
+fn print_telemetry(t: &TelemetryResult) {
+    println!(
+        "{:<34} {:>9} edges  stable fingerprint {}  [{} counters]",
+        t.scenario,
+        t.edges,
+        t.stable_fingerprint,
+        t.counters.len(),
     );
 }
 
@@ -325,6 +344,13 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    let telemetry = if args.telemetry && args.check.is_none() {
+        let t = perf::run_telemetry(&args.cfg);
+        print_telemetry(&t);
+        Some(t)
+    } else {
+        None
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -352,6 +378,7 @@ fn main() -> ExitCode {
             serve: &serve,
             chaos: &chaos,
             sim: &sim,
+            telemetry: telemetry.as_ref(),
         },
     );
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {

@@ -784,6 +784,59 @@ pub fn run_sim(
     })
 }
 
+/// One deterministic telemetry capture for the baseline document: the
+/// engine's `Stable`-class counters after a clean, checkpointed run, plus
+/// the FNV-1a fingerprint of the whole stable snapshot (counters *and*
+/// histograms). Everything here is a pure function of seed + mode — no
+/// wall clock — so a committed document re-validates bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct TelemetryResult {
+    /// Stable scenario name (`telemetry/holme_kim/triangle/mM/sS`).
+    pub scenario: String,
+    /// Stream length.
+    pub edges: usize,
+    /// Shard count of the capture run.
+    pub shards: usize,
+    /// `{:016x}` digest of the stable snapshot's text exposition.
+    pub stable_fingerprint: String,
+    /// Stable counters `(name, value)`, in snapshot (name) order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Captures the `telemetry` section: one clean engine run on the
+/// triangle-weight Holme–Kim scenario with checkpointing armed, reduced to
+/// its deterministic stable subset (see `TelemetrySnapshot::stable` in
+/// `gps-telemetry`). Timing-class metrics and the event ring are excluded
+/// on purpose — the committed numbers must replay exactly under
+/// `bench_baseline --check`.
+pub fn run_telemetry(cfg: &PerfConfig) -> TelemetryResult {
+    let edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    let m = engine_capacity(cfg.quick);
+    let shards = 2usize;
+    let engine_cfg = EngineConfig {
+        checkpoint_every: 64,
+        ..EngineConfig::new(m, shards, cfg.seed)
+    };
+    let outcome = run_engine_scenario(
+        engine_cfg,
+        TriangleWeight::default(),
+        edges.iter().copied(),
+        FaultPlan::new(),
+    );
+    let stable = outcome.telemetry.stable();
+    TelemetryResult {
+        scenario: format!("telemetry/holme_kim/triangle/m{m}/s{shards}"),
+        edges: edges.len(),
+        shards,
+        stable_fingerprint: format!("{:016x}", stable.fingerprint()),
+        counters: stable
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), c.value))
+            .collect(),
+    }
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -815,6 +868,9 @@ pub struct OptionalGrids<'a> {
     pub chaos: &'a [ChaosResult],
     /// Simulated scale-out sweep from [`run_sim`] (`sim` key).
     pub sim: &'a [gps_sim::SweepPoint],
+    /// Deterministic telemetry capture from [`run_telemetry`]
+    /// (`telemetry` key; `None` omits it).
+    pub telemetry: Option<&'a TelemetryResult>,
 }
 
 /// Builds the machine-readable baseline document; the [`OptionalGrids`]
@@ -831,6 +887,7 @@ pub fn results_json(
         serve,
         chaos,
         sim,
+        telemetry,
     } = grids;
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
@@ -1065,6 +1122,37 @@ pub fn results_json(
                                         Value::Number(f64::from(u8::from(p.tree_identical))),
                                     ),
                                     ("finished_at_ns", Value::Number(p.finished_at_ns as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if let Some(t) = telemetry {
+        fields.push((
+            "telemetry",
+            Value::object(vec![
+                ("scenario", Value::String(t.scenario.clone())),
+                ("edges", Value::Number(t.edges as f64)),
+                ("shards", Value::Number(t.shards as f64)),
+                (
+                    "stable_fingerprint",
+                    Value::String(t.stable_fingerprint.clone()),
+                ),
+                (
+                    "counters",
+                    Value::Array(
+                        t.counters
+                            .iter()
+                            .map(|(name, value)| {
+                                // Counter values are bounded by stream
+                                // length × small constants, far below
+                                // 2^53 — exact in a JSON number.
+                                Value::object(vec![
+                                    ("name", Value::String(name.clone())),
+                                    ("value", Value::Number(*value as f64)),
                                 ])
                             })
                             .collect(),
@@ -1315,6 +1403,51 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
             _ => problems.push("sim section missing 'points' entries".into()),
         }
     }
+    // Optional section (absent in documents predating gps-telemetry): one
+    // deterministic stable-counter capture plus the digest that pins it.
+    if let Some(t) = doc.get("telemetry") {
+        if t.get_str("scenario").is_none() {
+            problems.push("telemetry section missing 'scenario'".into());
+        }
+        for field in ["edges", "shards"] {
+            match t.get_f64(field) {
+                Some(x) if x >= 1.0 => {}
+                _ => problems.push(format!("telemetry section has invalid '{field}'")),
+            }
+        }
+        match t.get_str("stable_fingerprint") {
+            Some(fp) if fp.len() == 16 && fp.bytes().all(|b| b.is_ascii_hexdigit()) => {}
+            Some(_) => {
+                problems.push("telemetry stable_fingerprint is not a 64-bit hex digest".into())
+            }
+            None => problems.push("telemetry section missing 'stable_fingerprint'".into()),
+        }
+        match t.get("counters").and_then(Value::as_array) {
+            Some(entries) if !entries.is_empty() => {
+                for (i, entry) in entries.iter().enumerate() {
+                    if entry.get_str("name").is_none() {
+                        problems.push(format!("telemetry counter {i} missing 'name'"));
+                    }
+                    match entry.get_f64("value") {
+                        Some(x) if x >= 0.0 => {}
+                        Some(_) => {
+                            problems.push(format!("telemetry counter {i} value is negative"))
+                        }
+                        None => problems.push(format!("telemetry counter {i} missing 'value'")),
+                    }
+                }
+                // A capture without the engine's arrival ledger measured
+                // nothing — the section must carry the core counter.
+                if !entries
+                    .iter()
+                    .any(|e| e.get_str("name") == Some("gps_engine_arrivals_total"))
+                {
+                    problems.push("telemetry counters missing 'gps_engine_arrivals_total'".into());
+                }
+            }
+            _ => problems.push("telemetry section missing 'counters' entries".into()),
+        }
+    }
     problems
 }
 
@@ -1406,6 +1539,7 @@ mod tests {
         assert!(doc.get("serve").is_none());
         assert!(doc.get("chaos").is_none());
         assert!(doc.get("sim").is_none());
+        assert!(doc.get("telemetry").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -1476,6 +1610,16 @@ mod tests {
             tree_identical: true,
             finished_at_ns: 9_000_000,
         }];
+        let telemetry = TelemetryResult {
+            scenario: "telemetry/holme_kim/triangle/m128/s2".into(),
+            edges: edges.len(),
+            shards: 2,
+            stable_fingerprint: "00c0ffee00c0ffee".into(),
+            counters: vec![
+                ("gps_engine_arrivals_total".into(), edges.len() as u64),
+                ("gps_sampler_inserts_total".into(), 77),
+            ],
+        };
         let doc = results_json(
             &cfg,
             "deadbeef",
@@ -1486,6 +1630,7 @@ mod tests {
                 serve: &serve,
                 chaos: &chaos,
                 sim: &sim,
+                telemetry: Some(&telemetry),
             },
         );
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
@@ -1523,6 +1668,81 @@ mod tests {
         assert_eq!(points[0].get_str("name"), Some("sim/s16/hash/clean"));
         assert_eq!(points[0].get_f64("tree_identical"), Some(1.0));
         assert_eq!(points[0].get_f64("wedge_covered"), Some(1.0));
+        let tele = parsed.get("telemetry").expect("telemetry section present");
+        assert_eq!(tele.get_str("stable_fingerprint"), Some("00c0ffee00c0ffee"));
+        let counters = tele
+            .get("counters")
+            .and_then(Value::as_array)
+            .expect("telemetry counters present");
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get_str("name"),
+            Some("gps_engine_arrivals_total")
+        );
+        assert_eq!(counters[0].get_f64("value"), Some(edges.len() as f64));
+    }
+
+    #[test]
+    fn telemetry_capture_is_deterministic_and_validates() {
+        let cfg = tiny_cfg();
+        let a = run_telemetry(&cfg);
+        let b = run_telemetry(&cfg);
+        // The capture is the stable subset of a seeded engine run: two
+        // invocations must agree to the bit, digest included.
+        assert_eq!(a.stable_fingerprint, b.stable_fingerprint);
+        assert_eq!(a.counters, b.counters);
+        // A clean run loses nothing: arrivals == stream length, zero
+        // restarts, zero losses — and the always-on sampler ledger moved.
+        let counter = |name: &str| a.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(counter("gps_engine_arrivals_total"), Some(a.edges as u64));
+        assert_eq!(counter("gps_engine_lost_arrivals_total"), Some(0));
+        assert_eq!(counter("gps_engine_restarts_total"), Some(0));
+        assert!(counter("gps_sampler_inserts_total").unwrap() > 0);
+        assert!(counter("gps_engine_checkpoints_total").unwrap() > 0);
+        // And the emitted section round-trips through the validator.
+        let doc = results_json(
+            &cfg,
+            "deadbeef",
+            &[],
+            OptionalGrids {
+                telemetry: Some(&a),
+                ..OptionalGrids::default()
+            },
+        );
+        let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
+        let problems = validate_baseline(&parsed);
+        // The empty scenarios array is the only complaint expected here.
+        assert!(
+            problems.iter().all(|p| p.contains("scenarios")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_malformed_telemetry() {
+        let doc = json::parse(
+            r#"{
+                "schema": "gps-bench/bench-baseline/v1",
+                "git_rev": "deadbeef",
+                "mode": "quick",
+                "scenarios": [],
+                "telemetry": {
+                    "scenario": "telemetry/x",
+                    "edges": 10,
+                    "shards": 2,
+                    "stable_fingerprint": "nope",
+                    "counters": [{"name": "gps_sampler_inserts_total", "value": 3}]
+                }
+            }"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("stable_fingerprint is not a 64-bit hex digest")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("missing 'gps_engine_arrivals_total'")));
     }
 
     #[test]

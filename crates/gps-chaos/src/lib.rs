@@ -29,6 +29,7 @@ use gps_core::weights::EdgeWeight;
 use gps_core::TriadEstimates;
 use gps_engine::{EngineConfig, EngineHealth, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
+use gps_telemetry::TelemetrySnapshot;
 
 /// Bit-level fingerprint of an estimate bundle: the five independently
 /// stored floats of a [`TriadEstimates`] (clustering is derived), as raw
@@ -56,6 +57,13 @@ pub struct ScenarioOutcome {
     pub health: EngineHealth,
     /// Arrivals offered to the engine (the full stream length).
     pub pushed: u64,
+    /// Telemetry snapshot taken after the engine finished. Its
+    /// [`TelemetrySnapshot::stable`] subset (arrival/checkpoint/restart/
+    /// sampler counters) is a pure function of seed + config + plan and is
+    /// asserted bit-identical across same-seed runs by the reproducibility
+    /// suite; `Timing`-class entries (queue depth high-water) and the event
+    /// ring order may vary with thread scheduling.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl ScenarioOutcome {
@@ -87,6 +95,7 @@ pub fn run_engine_scenario<W: EdgeWeight + Clone + Send + 'static>(
         in_stream: engine.estimate_in_stream(),
         health: engine.health().clone(),
         pushed: engine.pushed(),
+        telemetry: engine.telemetry(),
     }
 }
 

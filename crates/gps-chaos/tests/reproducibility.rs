@@ -52,6 +52,19 @@ fn crashed_and_restored_run_is_bit_reproducible() {
     assert_eq!(fingerprint(&a.estimate), fingerprint(&b.estimate));
     assert_eq!(fingerprint(&a.in_stream), fingerprint(&b.in_stream));
     assert_eq!(a.pushed, b.pushed);
+    // The Stable telemetry subset — arrivals, batches, checkpoints,
+    // restarts, losses, sampler activity — is a pure function of
+    // seed + config + plan: bit-identical snapshots, bit-identical
+    // renderings.
+    let (sa, sb) = (a.telemetry.stable(), b.telemetry.stable());
+    assert_eq!(sa, sb, "stable telemetry must replay exactly");
+    assert_eq!(sa.fingerprint(), sb.fingerprint());
+    // And it agrees with the independent ledgers of the run.
+    assert_eq!(
+        sa.counter_value("gps_engine_lost_arrivals_total"),
+        Some(a.health.lost_arrivals)
+    );
+    assert_eq!(sa.counter_value("gps_engine_restarts_total"), Some(1));
     // The ledger itself is exact: one crash, restarted once, with the
     // (checkpoint, crash] window — at most one checkpoint interval plus
     // the in-flight batch — lost and accounted.

@@ -59,6 +59,6 @@ pub mod weights;
 
 pub use estimate::{variance_of_mean, Estimate, TriadEstimates};
 pub use in_stream::{InStreamEstimator, InStreamState};
-pub use reservoir::{Arrival, GpsSampler, SampleView, SampledEdge};
+pub use reservoir::{Arrival, GpsSampler, SampleView, SampledEdge, SamplerStats};
 pub use snapshot::MotifCounter;
 pub use weights::{EdgeWeight, FnWeight, TriadWeight, TriangleWeight, UniformWeight, WedgeWeight};

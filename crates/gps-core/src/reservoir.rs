@@ -259,6 +259,30 @@ pub struct GpsSampler<W> {
     rng: SmallRng,
     arrivals: u64,
     duplicates: u64,
+    inserts: u64,
+    evictions: u64,
+    rejections: u64,
+}
+
+/// Always-on sampler counters (plain `u64` fields bumped on the ingest
+/// path — cheap enough to never gate). Harvested by the engine layer into
+/// `gps-telemetry` registries; every field is a pure function of seed +
+/// stream, so the derived metrics are stable-class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Total arrivals processed (stream position `t`).
+    pub arrivals: u64,
+    /// Arrivals skipped as duplicates of sampled edges.
+    pub duplicates: u64,
+    /// Arrivals admitted to the reservoir (fill inserts + replacements).
+    pub inserts: u64,
+    /// Sampled edges discarded to make room for a higher priority.
+    pub evictions: u64,
+    /// Arrivals discarded on arrival (priority at or below the minimum).
+    pub rejections: u64,
+    /// Lifetime adjacency-pool spill transitions (see
+    /// `gps_graph::CompactAdjacency::spill_count`).
+    pub slab_spills: u64,
 }
 
 impl<W: EdgeWeight> GpsSampler<W> {
@@ -326,6 +350,9 @@ impl<W: EdgeWeight> GpsSampler<W> {
             rng: SmallRng::seed_from_u64(seed),
             arrivals: 0,
             duplicates: 0,
+            inserts: 0,
+            evictions: 0,
+            rejections: 0,
         }
     }
 
@@ -406,6 +433,9 @@ impl<W: EdgeWeight> GpsSampler<W> {
             rng: SmallRng::seed_from_u64(seed),
             arrivals,
             duplicates: 0,
+            inserts: 0,
+            evictions: 0,
+            rejections: 0,
         };
         for (edge, weight, priority) in records {
             assert!(
@@ -460,6 +490,7 @@ impl<W: EdgeWeight> GpsSampler<W> {
             let (_, hints) = self.adj.insert_with_hints(edge, slot);
             self.slab.get_mut(slot).hints = hints;
             self.heap.push(HeapEntry { priority, slot });
+            self.inserts += 1;
             return Arrival::Inserted { weight };
         }
 
@@ -468,6 +499,7 @@ impl<W: EdgeWeight> GpsSampler<W> {
         let current_min = self.heap.peek().expect("full reservoir has a minimum");
         if priority <= current_min.priority {
             self.z_star = self.z_star.max(priority);
+            self.rejections += 1;
             return Arrival::Rejected { weight };
         }
         let slot = self.slab.insert(EdgeRecord::new(edge, weight, priority));
@@ -481,6 +513,8 @@ impl<W: EdgeWeight> GpsSampler<W> {
         let evicted_record = self.slab.remove(evicted_entry.slot);
         self.adj
             .remove_hinted(evicted_record.edge, evicted_record.hints);
+        self.inserts += 1;
+        self.evictions += 1;
         Arrival::Replaced {
             weight,
             evicted: evicted_record.edge,
@@ -530,6 +564,22 @@ impl<W: EdgeWeight> GpsSampler<W> {
     #[inline]
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Always-on ingest counters (see [`SamplerStats`]). Counter fields
+    /// restart from zero on [`GpsSampler::restore`] (only `arrivals`
+    /// carries the checkpointed stream position), so consumers harvesting
+    /// across restarts should track deltas per sampler instance.
+    #[inline]
+    pub fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            arrivals: self.arrivals,
+            duplicates: self.duplicates,
+            inserts: self.inserts,
+            evictions: self.evictions,
+            rejections: self.rejections,
+            slab_spills: self.adj.spill_count(),
+        }
     }
 
     /// Read-only sample view (for estimators and weight functions).

@@ -43,6 +43,9 @@ use gps_core::weights::EdgeWeight;
 use gps_core::{post_stream, GpsSampler, InStreamState, TriadEstimates};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
+use gps_telemetry::{
+    Counter, Event, EventKind, Gauge, Histogram, Registry, Stability, TelemetrySnapshot,
+};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
@@ -305,6 +308,79 @@ enum WorkerEvent<W> {
     },
 }
 
+/// Telemetry handles shared with every worker thread. All counters here
+/// are stable-class: batch boundaries, checkpoint sites, and crash sites
+/// are arrival-keyed, so same-seed same-plan runs record identical
+/// totals. The queue-depth gauge is the one timing-class member — it
+/// measures scheduling.
+#[derive(Clone)]
+struct WorkerMetrics {
+    /// Arrivals consumed in *completed* batches (includes arrivals later
+    /// rolled back by a checkpoint restore; the rollback is itemized in
+    /// `gps_engine_lost_arrivals_total`).
+    arrivals: Counter,
+    batches: Counter,
+    checkpoints: Counter,
+    checkpoint_bytes: Counter,
+    /// Per-shard arrivals between consecutive checkpoint writes.
+    checkpoint_interval: Histogram,
+    /// Batches shipped by the supervisor (internal, unregistered).
+    shipped: Counter,
+    /// Batches taken off a feed channel by a worker (internal,
+    /// unregistered).
+    drained: Counter,
+    /// High-water mark of engine-wide in-flight batches (shipped minus
+    /// drained, sampled by workers at batch pickup — approximate by
+    /// construction, hence timing-class).
+    depth_highwater: Gauge,
+    registry: Arc<Registry>,
+}
+
+/// Supervisor-side telemetry: the worker bundle plus the incident
+/// counters only `handle_panic` / `abandon_straggler` touch.
+struct EngineMetrics {
+    worker: WorkerMetrics,
+    restarts: Counter,
+    lost: Counter,
+    sampler_inserts: Counter,
+    sampler_evictions: Counter,
+    sampler_rejections: Counter,
+    sampler_duplicates: Counter,
+    sampler_slab_spills: Counter,
+}
+
+impl EngineMetrics {
+    /// Registers the engine's metric set on `registry`. Metric names and
+    /// meanings are cataloged in `docs/observability.md` (enforced by
+    /// `gps-analyze metric-name-registry`).
+    fn register(registry: Arc<Registry>) -> Self {
+        EngineMetrics {
+            worker: WorkerMetrics {
+                arrivals: registry.counter("gps_engine_arrivals_total", Stability::Stable),
+                batches: registry.counter("gps_engine_batches_total", Stability::Stable),
+                checkpoints: registry.counter("gps_engine_checkpoints_total", Stability::Stable),
+                checkpoint_bytes: registry
+                    .counter("gps_engine_checkpoint_bytes_total", Stability::Stable),
+                checkpoint_interval: registry
+                    .histogram("gps_engine_checkpoint_interval_arrivals", Stability::Stable),
+                shipped: Counter::default(),
+                drained: Counter::default(),
+                depth_highwater: registry
+                    .gauge("gps_engine_queue_depth_highwater", Stability::Timing),
+                registry: Arc::clone(&registry),
+            },
+            restarts: registry.counter("gps_engine_restarts_total", Stability::Stable),
+            lost: registry.counter("gps_engine_lost_arrivals_total", Stability::Stable),
+            sampler_inserts: registry.counter("gps_sampler_inserts_total", Stability::Stable),
+            sampler_evictions: registry.counter("gps_sampler_evictions_total", Stability::Stable),
+            sampler_rejections: registry.counter("gps_sampler_rejections_total", Stability::Stable),
+            sampler_duplicates: registry.counter("gps_sampler_duplicates_total", Stability::Stable),
+            sampler_slab_spills: registry
+                .counter("gps_sampler_slab_spills_total", Stability::Stable),
+        }
+    }
+}
+
 /// Everything a worker thread owns; `run` is the worker loop.
 struct WorkerLoop<W> {
     shard: usize,
@@ -318,6 +394,7 @@ struct WorkerLoop<W> {
     checkpoint_every: u64,
     faults: Option<Arc<FaultPlan>>,
     initial_report: bool,
+    metrics: WorkerMetrics,
 }
 
 impl<W: EdgeWeight + Send + 'static> WorkerLoop<W> {
@@ -352,11 +429,23 @@ impl<W: EdgeWeight + Send + 'static> WorkerLoop<W> {
             }
         }
         let mut next_ckpt = self.runner.arrivals() + self.checkpoint_every.max(1);
+        let mut last_ckpt = self.runner.arrivals();
         loop {
             let batch = match self.first.take() {
                 Some(batch) => batch,
                 None => match self.rx.recv() {
-                    Ok(batch) => batch,
+                    Ok(batch) => {
+                        self.metrics.drained.incr();
+                        // In-flight depth at pickup: shipped minus drained
+                        // plus the batch in hand. Cross-thread reads race
+                        // benignly — the gauge is timing-class.
+                        let shipped = self.metrics.shipped.get();
+                        let drained = self.metrics.drained.get();
+                        self.metrics
+                            .depth_highwater
+                            .record_max(shipped.saturating_sub(drained) + 1);
+                        batch
+                    }
                     Err(_) => break,
                 },
             };
@@ -385,6 +474,8 @@ impl<W: EdgeWeight + Send + 'static> WorkerLoop<W> {
                     // Hand the drained buffer back for reuse; the
                     // producer may already be gone at drain time.
                     let _ = self.recycle_tx.send(batch);
+                    self.metrics.arrivals.add(self.runner.arrivals() - before);
+                    self.metrics.batches.incr();
                     self.runner.maybe_report();
                     if self.checkpoint_every > 0 && self.runner.arrivals() >= next_ckpt {
                         let arrivals = self.runner.arrivals();
@@ -400,6 +491,18 @@ impl<W: EdgeWeight + Send + 'static> WorkerLoop<W> {
                                 bytes.truncate(bytes.len() / 2);
                             }
                         }
+                        self.metrics.checkpoints.incr();
+                        self.metrics.checkpoint_bytes.add(bytes.len() as u64);
+                        self.metrics
+                            .checkpoint_interval
+                            .record(arrivals - last_ckpt);
+                        last_ckpt = arrivals;
+                        self.metrics.registry.event(Event {
+                            at: arrivals,
+                            kind: EventKind::CheckpointWrite,
+                            shard: Some(self.shard as u32),
+                            detail: bytes.len() as u64,
+                        });
                         *locked(&self.ckpt) = bytes;
                     }
                 }
@@ -533,6 +636,12 @@ pub struct ShardedGps<W> {
     /// post-finish) — what `save` writes as `gps-sample v2` sections.
     in_states: Vec<Option<InStreamState>>,
     pushed: u64,
+    /// Runtime metric handles (the registry lives behind
+    /// [`ShardedGps::telemetry_registry`]).
+    metrics: EngineMetrics,
+    /// True once the final sampler stats were folded into the registry
+    /// (`try_finish` success path; guards the idempotent re-entry).
+    harvested: bool,
 }
 
 impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
@@ -555,7 +664,15 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         Self::validate(&cfg);
         let samplers = Self::fresh_samplers(&cfg, &weight_fn);
         let states = (0..cfg.shards).map(|_| None).collect();
-        Self::launch(cfg, weight_fn, samplers, states, WorkerMode::Plain, None)
+        Self::launch(
+            cfg,
+            weight_fn,
+            samplers,
+            states,
+            WorkerMode::Plain,
+            None,
+            Arc::new(Registry::new()),
+        )
     }
 
     /// [`ShardedGps::with_config`] plus a deterministic [`FaultPlan`]
@@ -571,6 +688,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             states,
             WorkerMode::Plain,
             Some(Arc::new(faults)),
+            Arc::new(Registry::new()),
         )
     }
 
@@ -589,17 +707,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_estimation(cfg: EngineConfig, weight_fn: W, hook: Option<EpochHook>) -> Self {
-        Self::validate(&cfg);
-        let samplers = Self::fresh_samplers(&cfg, &weight_fn);
-        let states = (0..cfg.shards).map(|_| None).collect();
-        Self::launch(
-            cfg,
-            weight_fn,
-            samplers,
-            states,
-            WorkerMode::Estimating(hook),
-            None,
-        )
+        Self::with_estimation_on_registry(cfg, weight_fn, hook, None, Arc::new(Registry::new()))
     }
 
     /// [`ShardedGps::with_estimation`] plus a deterministic [`FaultPlan`]
@@ -610,6 +718,33 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         hook: Option<EpochHook>,
         faults: FaultPlan,
     ) -> Self {
+        Self::with_estimation_on_registry(
+            cfg,
+            weight_fn,
+            hook,
+            Some(faults),
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// [`ShardedGps::with_estimation`] (optionally with a [`FaultPlan`]),
+    /// registering the engine's metrics on a **caller-supplied** telemetry
+    /// registry instead of a private one. Layers that stack their own
+    /// metrics on top of the engine (`gps-serve`) pass a shared registry
+    /// so a single [`TelemetrySnapshot`] covers the whole stack.
+    /// Registration is idempotent by name, so a registry that has seen a
+    /// previous engine generation hands back the *same* counters and the
+    /// ledgers stay cumulative across restores.
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedGps::with_config`].
+    pub fn with_estimation_on_registry(
+        cfg: EngineConfig,
+        weight_fn: W,
+        hook: Option<EpochHook>,
+        faults: Option<FaultPlan>,
+        registry: Arc<Registry>,
+    ) -> Self {
         Self::validate(&cfg);
         let samplers = Self::fresh_samplers(&cfg, &weight_fn);
         let states = (0..cfg.shards).map(|_| None).collect();
@@ -619,7 +754,8 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             samplers,
             states,
             WorkerMode::Estimating(hook),
-            Some(Arc::new(faults)),
+            faults.map(Arc::new),
+            registry,
         )
     }
 
@@ -664,6 +800,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
         states: Vec<Option<InStreamState>>,
         mode: WorkerMode,
         faults: Option<Arc<FaultPlan>>,
+        registry: Arc<Registry>,
     ) -> Self {
         assert!(cfg.batch > 0, "batch size must be positive");
         assert!(cfg.queue > 0, "queue depth must be positive");
@@ -676,6 +813,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             WorkerMode::Plain => (None, false),
             WorkerMode::Estimating(hook) => (hook, true),
         };
+        let metrics = EngineMetrics::register(registry);
         let mut engine = ShardedGps {
             partitioner: EdgePartitioner::new(cfg.seed, cfg.shards),
             pending: (0..cfg.shards)
@@ -697,6 +835,8 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             in_finals: Vec::with_capacity(cfg.shards),
             in_states: Vec::with_capacity(cfg.shards),
             pushed: 0,
+            metrics,
+            harvested: false,
             cfg,
         };
         for (shard, (sampler, state)) in samplers.into_iter().zip(states).enumerate() {
@@ -721,6 +861,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
                 checkpoint_every: engine.cfg.checkpoint_every,
                 faults: engine.faults.clone(),
                 initial_report: true,
+                metrics: engine.metrics.worker.clone(),
             }
             .spawn();
             engine.workers.push(Worker {
@@ -882,6 +1023,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             match tx.try_send(batch) {
                 Ok(()) => {
                     self.workers[s].routed += n;
+                    self.metrics.worker.shipped.incr();
                     return Ok(());
                 }
                 Err(TrySendError::Full(back)) => {
@@ -1004,6 +1146,14 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             restarts,
         });
         self.health.lost_arrivals += lost;
+        self.metrics.restarts.incr();
+        self.metrics.lost.add(lost);
+        self.metrics.worker.registry.event(Event {
+            at,
+            kind: EventKind::ShardRestart,
+            shard: Some(shard as u32),
+            detail: lost,
+        });
         // Re-anchor the slot at the state actually restarted from (if the
         // checkpoint was corrupt, the shard restarts from scratch and the
         // slot must say so rather than fail the same way again).
@@ -1022,6 +1172,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             checkpoint_every: self.cfg.checkpoint_every,
             faults: self.faults.clone(),
             initial_report: false,
+            metrics: self.metrics.worker.clone(),
         }
         .spawn();
         self.workers[shard].handle = Some(handle);
@@ -1053,6 +1204,13 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             restarts,
         });
         self.health.lost_arrivals += lost;
+        self.metrics.lost.add(lost);
+        self.metrics.worker.registry.event(Event {
+            at: routed,
+            kind: EventKind::StragglerAbandoned,
+            shard: Some(s as u32),
+            detail: lost,
+        });
         // Detach the stuck thread: it holds only channel clones and the
         // checkpoint Arc, and its late Done (if any) is ignored.
         self.workers[s].handle = None;
@@ -1166,7 +1324,35 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
                 self.in_states.push(state);
             }
         }
+        self.harvest_sampler_stats();
         Ok(())
+    }
+
+    /// Folds the finished samplers' always-on ingest counters
+    /// ([`gps_core::SamplerStats`]) into the registry — once, at
+    /// successful finish. Stable-class: the final sampler states are a
+    /// pure function of seed + config + fault plan. A restarted shard's
+    /// counters restart from its recovery checkpoint (the rolled-back
+    /// interval is accounted in `gps_engine_lost_arrivals_total`).
+    fn harvest_sampler_stats(&mut self) {
+        if self.harvested {
+            return;
+        }
+        self.harvested = true;
+        let mut totals = gps_core::SamplerStats::default();
+        for s in &self.samplers {
+            let st = s.stats();
+            totals.inserts += st.inserts;
+            totals.evictions += st.evictions;
+            totals.rejections += st.rejections;
+            totals.duplicates += st.duplicates;
+            totals.slab_spills += st.slab_spills;
+        }
+        self.metrics.sampler_inserts.add(totals.inserts);
+        self.metrics.sampler_evictions.add(totals.evictions);
+        self.metrics.sampler_rejections.add(totals.rejections);
+        self.metrics.sampler_duplicates.add(totals.duplicates);
+        self.metrics.sampler_slab_spills.add(totals.slab_spills);
     }
 
     /// Whether [`ShardedGps::finish`] has run (workers are constructed
@@ -1299,6 +1485,29 @@ impl<W: EdgeWeight> ShardedGps<W> {
     #[inline]
     pub fn health(&self) -> &EngineHealth {
         &self.health
+    }
+
+    /// The engine's telemetry registry. Shared (`Arc`) so higher layers —
+    /// `gps-serve` publishes board metrics here — can register their own
+    /// metrics into the same snapshot, and so the lost-arrivals counter
+    /// can be read from other threads while the supervisor runs.
+    #[inline]
+    pub fn telemetry_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics.worker.registry)
+    }
+
+    /// A consistent snapshot of every registered metric and the event
+    /// ring. Sampler ingest counters land at finish; the rest are live.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.metrics.worker.registry.snapshot()
+    }
+
+    /// The engine's lost-arrivals counter handle (stable-class; tracks
+    /// [`EngineHealth::lost_arrivals`]). `gps-serve` stamps its value on
+    /// published epochs so degraded epochs are self-describing.
+    #[inline]
+    pub fn lost_arrivals_counter(&self) -> Counter {
+        self.metrics.lost.clone()
     }
 
     /// The edge → shard assignment this engine routes with.

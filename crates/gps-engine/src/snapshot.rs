@@ -46,7 +46,9 @@ use gps_core::persist::{self, PersistError, SavedSample};
 use gps_core::weights::EdgeWeight;
 use gps_core::GpsSampler;
 use gps_graph::BackendKind;
+use gps_telemetry::Registry;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
 
 /// Magic first line of the engine container format.
 const MAGIC: &str = "gps-engine v1";
@@ -128,11 +130,37 @@ impl SavedEngine {
         hook: Option<crate::engine::EpochHook>,
         epoch_every: u64,
     ) -> ShardedGps<W> {
+        self.into_serving_engine_on_registry(
+            weight_fn,
+            backend,
+            hook,
+            epoch_every,
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// [`SavedEngine::into_serving_engine`] with the restored engine's
+    /// metrics registered on a **caller-supplied** telemetry registry (see
+    /// [`ShardedGps::with_estimation_on_registry`]): `gps-serve` passes the
+    /// board's registry so engine counters stay cumulative across the
+    /// snapshot/restore cycle instead of restarting on a private registry.
+    ///
+    /// # Panics
+    /// Same conditions as [`SavedEngine::into_engine`].
+    pub fn into_serving_engine_on_registry<W: EdgeWeight + Clone + Send + 'static>(
+        self,
+        weight_fn: W,
+        backend: BackendKind,
+        hook: Option<crate::engine::EpochHook>,
+        epoch_every: u64,
+        registry: Arc<Registry>,
+    ) -> ShardedGps<W> {
         self.relaunch_with(
             weight_fn,
             backend,
             WorkerMode::Estimating(hook),
             epoch_every,
+            registry,
         )
     }
 
@@ -142,7 +170,13 @@ impl SavedEngine {
         backend: BackendKind,
         mode: WorkerMode,
     ) -> ShardedGps<W> {
-        self.relaunch_with(weight_fn, backend, mode, crate::engine::DEFAULT_EPOCH_EVERY)
+        self.relaunch_with(
+            weight_fn,
+            backend,
+            mode,
+            crate::engine::DEFAULT_EPOCH_EVERY,
+            Arc::new(Registry::new()),
+        )
     }
 
     fn relaunch_with<W: EdgeWeight + Clone + Send + 'static>(
@@ -151,6 +185,7 @@ impl SavedEngine {
         backend: BackendKind,
         mode: WorkerMode,
         epoch_every: u64,
+        registry: Arc<Registry>,
     ) -> ShardedGps<W> {
         assert!(!self.shards.is_empty(), "engine snapshot has no shards");
         let total: usize = self.shards.iter().map(|s| s.capacity).sum();
@@ -177,7 +212,7 @@ impl SavedEngine {
             ));
             states.push(shard.in_stream);
         }
-        let mut engine = ShardedGps::launch(cfg, weight_fn, samplers, states, mode, None);
+        let mut engine = ShardedGps::launch(cfg, weight_fn, samplers, states, mode, None, registry);
         engine.set_pushed(pushed);
         engine
     }

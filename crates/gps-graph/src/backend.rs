@@ -102,6 +102,15 @@ impl<V: Copy> AdjacencyBackend<V> {
         }
     }
 
+    /// Lifetime count of compact-pool spill transitions (always 0 for the
+    /// map backend, which has no spill storage).
+    pub fn spill_count(&self) -> u64 {
+        match self {
+            AdjacencyBackend::Compact(a) => a.spill_count(),
+            AdjacencyBackend::Map(_) => 0,
+        }
+    }
+
     /// Number of nodes with at least one incident edge.
     #[inline]
     pub fn num_nodes(&self) -> usize {

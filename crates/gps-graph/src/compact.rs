@@ -167,6 +167,10 @@ pub struct CompactAdjacency<V: Copy> {
     /// Bitset mirror of `node_filter != 0`, 1/8th the footprint so the hot
     /// probe stays L1-resident; counters remain the ground truth.
     node_bits: Vec<u64>,
+    /// Monotone count of slow-path spill transitions (inline → pool block,
+    /// or block growth to the next size class). Survives `clear` so
+    /// telemetry sees lifetime totals.
+    spills: u64,
 }
 
 impl<V: Copy> Default for CompactAdjacency<V> {
@@ -197,6 +201,7 @@ impl<V: Copy> CompactAdjacency<V> {
             num_edges: 0,
             node_filter: vec![0; filter_len],
             node_bits: vec![0; filter_len / 64],
+            spills: 0,
         }
     }
 
@@ -690,6 +695,13 @@ impl<V: Copy> CompactAdjacency<V> {
         self.pool.len()
     }
 
+    /// Lifetime count of slow-path spill transitions (inline lists moved
+    /// to the pool plus block growths). Monotone across `clear`.
+    #[inline]
+    pub fn spill_count(&self) -> u64 {
+        self.spills
+    }
+
     // ---- presence filter ----------------------------------------------
 
     /// Filter index of `node` (masked multiply-shift; robust against
@@ -878,6 +890,7 @@ impl<V: Copy> CompactAdjacency<V> {
         }
         // Slow path: current storage is full — spill inline → class 0, or
         // grow the block one size class (copy, then recycle the old block).
+        self.spills += 1;
         match self.slots[idx].storage {
             NodeStorage::Inline(arr) => {
                 let offset = self.alloc_block(0, entry);

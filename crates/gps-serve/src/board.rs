@@ -14,8 +14,9 @@ use crate::clock::{duration_ns, Clock};
 use crate::epoch::{EpochCell, EstimateEpoch};
 use gps_core::{Estimate, TriadEstimates};
 use gps_engine::ShardReport;
+use gps_telemetry::{Counter, Event, EventKind, Histogram, Registry, Stability, TelemetrySnapshot};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 fn zero_triad() -> TriadEstimates {
@@ -34,6 +35,41 @@ fn full_mask(shards: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << shards) - 1
+    }
+}
+
+/// Serve-layer metric handles, registered on the registry shared with the
+/// producing engine (all `Timing`-class: publication counts and staleness
+/// depend on worker scheduling; see `docs/observability.md`).
+pub(crate) struct BoardMetrics {
+    /// Every epoch published through [`Board::publish_epoch`].
+    epochs: Counter,
+    /// Epochs published with a partial contributing mask.
+    degraded: Counter,
+    /// Transitions into degraded publishing after a gate deadline passed.
+    gate_expiries: Counter,
+    /// Epochs dropped on a full subscriber channel (the subscriber lags;
+    /// a later epoch supersedes the dropped one).
+    lag_drops: Counter,
+    /// Age, in clock nanoseconds, of the **oldest** contributing shard
+    /// report at publication time — the watermark staleness a reader of
+    /// that epoch observes. Keyed off the board clock, so manual-clock
+    /// tests pin exact histogram contents.
+    staleness: Histogram,
+    /// Shared registry, kept for snapshots and event-ring pushes.
+    registry: Arc<Registry>,
+}
+
+impl BoardMetrics {
+    fn register(registry: Arc<Registry>) -> Self {
+        BoardMetrics {
+            epochs: registry.counter("gps_serve_epochs_published_total", Stability::Timing),
+            degraded: registry.counter("gps_serve_degraded_epochs_total", Stability::Timing),
+            gate_expiries: registry.counter("gps_serve_gate_expiries_total", Stability::Timing),
+            lag_drops: registry.counter("gps_serve_subscriber_lag_drops_total", Stability::Timing),
+            staleness: registry.histogram("gps_serve_publish_staleness_ns", Stability::Timing),
+            registry,
+        }
     }
 }
 
@@ -71,6 +107,18 @@ struct BoardState {
     gate_deadline: Option<u64>,
     /// Live subscription senders; lossy on full, pruned on disconnect.
     subscribers: Vec<SyncSender<EstimateEpoch>>,
+    /// Producing engine's lost-arrivals counter, stamped on every epoch
+    /// (see [`EstimateEpoch::lost_arrivals`]). `None` until the serve layer
+    /// attaches the engine — the launch-time reports that can race the
+    /// attach all carry zero loss anyway (losses require pushed arrivals,
+    /// which follow construction).
+    lost: Option<Counter>,
+    /// Whether the board is currently publishing degraded epochs; drives
+    /// the `DegradedEpoch` / `EpochRecovered` transition events.
+    was_degraded: bool,
+    /// Whether the current gate arming already expired (first degraded
+    /// publication fired a `GateExpiry` event); reset by [`Board::reopen`].
+    gate_expired: bool,
 }
 
 /// Shared epoch board (see module docs).
@@ -80,6 +128,8 @@ pub(crate) struct Board {
     wake: Condvar,
     /// Time source for the gate and the bounded waits (see `clock`).
     clock: Clock,
+    /// Serve-layer metric handles on the registry shared with the engine.
+    metrics: BoardMetrics,
 }
 
 impl Board {
@@ -91,7 +141,16 @@ impl Board {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    pub(crate) fn new(shards: usize, gate: Option<Duration>, clock: Clock) -> Self {
+    /// Creates a board with its serve metrics registered on the
+    /// caller-supplied registry — the serve layer passes the same registry
+    /// to the engine so one snapshot covers both layers (tests pass a
+    /// fresh detached registry).
+    pub(crate) fn with_registry(
+        shards: usize,
+        gate: Option<Duration>,
+        clock: Clock,
+        registry: Arc<Registry>,
+    ) -> Self {
         let gate_ns = gate.map(duration_ns);
         let now = clock.now_ns();
         Board {
@@ -106,10 +165,31 @@ impl Board {
                 gate_ns,
                 gate_deadline: gate_ns.map(|d| now.saturating_add(d)),
                 subscribers: Vec::new(),
+                lost: None,
+                was_degraded: false,
+                gate_expired: false,
             }),
             wake: Condvar::new(),
             clock,
+            metrics: BoardMetrics::register(registry),
         }
+    }
+
+    /// Registry shared by this board's serve metrics (and, once the serve
+    /// layer wires it through, the producing engine's).
+    pub(crate) fn telemetry_registry(&self) -> Arc<Registry> {
+        self.metrics.registry.clone()
+    }
+
+    /// Snapshot of every metric and event on the shared registry.
+    pub(crate) fn telemetry(&self) -> TelemetrySnapshot {
+        self.metrics.registry.snapshot()
+    }
+
+    /// Binds the producing engine's lost-arrivals counter so subsequent
+    /// epochs stamp its value (see [`EstimateEpoch::lost_arrivals`]).
+    pub(crate) fn attach_lost_counter(&self, lost: Counter) {
+        self.locked().lost = Some(lost);
     }
 
     /// Advances a manual clock (see [`crate::ClockMode::Manual`]) and wakes
@@ -160,9 +240,9 @@ impl Board {
         state.reported_at[slot] = Some(now);
         let live = self.live_shards(&state, now);
         if live.len() == state.per_shard.len() {
-            self.publish_full(&mut state);
+            self.publish_full(&mut state, now);
         } else if state.gate_deadline.is_some_and(|d| now >= d) && !live.is_empty() {
-            self.publish_partial(&mut state, &live);
+            self.publish_partial(&mut state, &live, now);
         }
         // Otherwise: still inside the gate window with shards missing —
         // keep withholding until they report or the deadline passes.
@@ -200,7 +280,7 @@ impl Board {
     /// holds the lock). Shards that never reported merge as zero estimates
     /// at position 0 — exactly their state — so this is also the forced
     /// final publication of [`Board::close`].
-    fn publish_full(&self, state: &mut BoardState) {
+    fn publish_full(&self, state: &mut BoardState, now: u64) {
         let parts: Vec<TriadEstimates> = state
             .per_shard
             .iter()
@@ -213,7 +293,7 @@ impl Board {
             .sum();
         let contributing = full_mask(parts.len());
         let estimates = TriadEstimates::merged_colored(&parts);
-        self.publish_epoch(state, edges_seen, contributing, estimates);
+        self.publish_epoch(state, edges_seen, contributing, estimates, now);
     }
 
     /// Merges only the `live` shards' snapshots and publishes a degraded
@@ -223,7 +303,7 @@ impl Board {
     /// widened variances — and the watermark covers the reporting
     /// substreams only, so it can sit below a prior full epoch's until the
     /// silent shard returns.
-    fn publish_partial(&self, state: &mut BoardState, live: &[usize]) {
+    fn publish_partial(&self, state: &mut BoardState, live: &[usize], now: u64) {
         let parts: Vec<TriadEstimates> = live
             .iter()
             .filter_map(|&i| state.per_shard[i].map(|r| r.estimates))
@@ -234,7 +314,7 @@ impl Board {
             .sum();
         let contributing = live.iter().fold(0u64, |mask, &i| mask | shard_bit(i));
         let estimates = TriadEstimates::merged_colored_partial(&parts, state.per_shard.len());
-        self.publish_epoch(state, edges_seen, contributing, estimates);
+        self.publish_epoch(state, edges_seen, contributing, estimates, now);
     }
 
     /// Stamps, records, and fans out one epoch (caller holds the lock).
@@ -244,6 +324,7 @@ impl Board {
         edges_seen: u64,
         contributing: u64,
         estimates: TriadEstimates,
+        now: u64,
     ) {
         state.version += 1;
         let epoch = EstimateEpoch {
@@ -251,8 +332,53 @@ impl Board {
             edges_seen,
             shards: state.per_shard.len() as u64,
             contributing,
+            lost_arrivals: state.lost.as_ref().map(|c| c.get()).unwrap_or(0),
             estimates,
         };
+        self.metrics.epochs.incr();
+        // Watermark staleness: the age of the oldest report this epoch
+        // merges — zero when every contributor reported "now" (and for the
+        // forced close-time epoch of a board nobody ever reported to).
+        let oldest = (0..state.per_shard.len())
+            .filter(|&i| contributing & shard_bit(i) != 0)
+            .filter_map(|i| state.reported_at[i])
+            .min()
+            .unwrap_or(now);
+        self.metrics.staleness.record(now.saturating_sub(oldest));
+        let shards = state.per_shard.len();
+        if contributing != full_mask(shards) {
+            self.metrics.degraded.incr();
+            let missing = (shards.min(64) as u64) - u64::from(contributing.count_ones());
+            if !state.gate_expired {
+                // First degraded publication since this gate was armed:
+                // the deadline passing is what let it through.
+                state.gate_expired = true;
+                self.metrics.gate_expiries.incr();
+                self.metrics.registry.event(Event {
+                    at: now,
+                    kind: EventKind::GateExpiry,
+                    shard: None,
+                    detail: missing,
+                });
+            }
+            if !state.was_degraded {
+                state.was_degraded = true;
+                self.metrics.registry.event(Event {
+                    at: now,
+                    kind: EventKind::DegradedEpoch,
+                    shard: None,
+                    detail: missing,
+                });
+            }
+        } else if state.was_degraded {
+            state.was_degraded = false;
+            self.metrics.registry.event(Event {
+                at: now,
+                kind: EventKind::EpochRecovered,
+                shard: None,
+                detail: 0,
+            });
+        }
         state.latest = Some(epoch);
         self.cell.publish(&epoch);
         state.subscribers.retain(|tx| match tx.try_send(epoch) {
@@ -260,7 +386,10 @@ impl Board {
             // Lagging subscriber: epochs are cumulative (the latest
             // supersedes all prior), so dropping this one loses nothing a
             // later delivery won't restate.
-            Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Full(_)) => {
+                self.metrics.lag_drops.incr();
+                true
+            }
             Err(TrySendError::Disconnected(_)) => false,
         });
         self.wake.notify_all();
@@ -284,7 +413,8 @@ impl Board {
             return;
         }
         if state.latest.is_none() {
-            self.publish_full(&mut state);
+            let now = self.clock.now_ns();
+            self.publish_full(&mut state, now);
         }
         state.closed = true;
         state.subscribers.clear();
@@ -316,6 +446,11 @@ impl Board {
         // before the board starts degrading around the missing ones.
         let now = self.clock.now_ns();
         state.gate_deadline = state.gate_ns.map(|d| now.saturating_add(d));
+        state.gate_expired = false;
+        // `state.lost` is deliberately kept: the restored engine registers
+        // onto the same shared registry, so the counter handle is the same
+        // and the serve-lifetime loss ledger stays cumulative across the
+        // restore (the serve layer re-attaches it anyway).
         state.generation
     }
 
@@ -408,11 +543,21 @@ mod tests {
     use crate::clock::ClockMode;
 
     fn wall_board(shards: usize, gate: Option<Duration>) -> Board {
-        Board::new(shards, gate, Clock::new(ClockMode::Wall))
+        Board::with_registry(
+            shards,
+            gate,
+            Clock::new(ClockMode::Wall),
+            Arc::new(Registry::new()),
+        )
     }
 
     fn manual_board(shards: usize, gate: Option<Duration>) -> Board {
-        Board::new(shards, gate, Clock::new(ClockMode::Manual))
+        Board::with_registry(
+            shards,
+            gate,
+            Clock::new(ClockMode::Manual),
+            Arc::new(Registry::new()),
+        )
     }
 
     fn report(shard: usize, arrivals: u64, tri: f64) -> ShardReport {
@@ -618,6 +763,75 @@ mod tests {
         // An already-satisfied watermark answers without waiting at all.
         let quick = board.wait_for_edges_timeout(1, Duration::ZERO);
         assert_eq!(quick.unwrap().edges_seen, 150);
+    }
+
+    #[test]
+    fn manual_clock_pins_exact_staleness_histogram_contents() {
+        use gps_telemetry::{bucket_of, BUCKETS};
+        let board = manual_board(2, None);
+        board.publish_report(0, report(0, 10, 0.0));
+        board.advance_clock(Duration::from_nanos(5));
+        // First full merge at t = 5: shard 0 reported at t = 0, so the
+        // oldest contributing report is 5 ns stale.
+        board.publish_report(0, report(1, 5, 0.0));
+        board.advance_clock(Duration::from_nanos(95));
+        // Re-merge at t = 100: shard 1's report from t = 5 is now the
+        // oldest, 95 ns stale.
+        board.publish_report(0, report(0, 20, 0.0));
+        let snap = board.telemetry();
+        let h = snap
+            .histogram_sample("gps_serve_publish_staleness_ns")
+            .expect("staleness histogram registered");
+        assert_eq!((h.count, h.sum), (2, 100));
+        let mut expect = [0u64; BUCKETS];
+        expect[bucket_of(5)] += 1;
+        expect[bucket_of(95)] += 1;
+        assert_eq!(h.buckets, expect, "virtual time pins exact buckets");
+        assert_eq!(
+            snap.counter_value("gps_serve_epochs_published_total"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("gps_serve_degraded_epochs_total"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn degraded_transitions_emit_events_and_stamp_lost_arrivals() {
+        use gps_telemetry::{Counter, EventKind};
+        let board = manual_board(2, Some(Duration::ZERO));
+        // Zero gate: the lone reporter publishes degraded immediately —
+        // one gate expiry, one degraded-transition event.
+        board.publish_report(0, report(0, 10, 0.0));
+        assert!(board.latest().unwrap().degraded());
+        // The second shard reports within the same instant, so both are
+        // live and the board recovers to a full epoch.
+        board.publish_report(0, report(1, 5, 0.0));
+        assert!(!board.latest().unwrap().degraded());
+        let snap = board.telemetry();
+        assert_eq!(snap.counter_value("gps_serve_gate_expiries_total"), Some(1));
+        assert_eq!(
+            snap.counter_value("gps_serve_degraded_epochs_total"),
+            Some(1)
+        );
+        let kinds: Vec<EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::GateExpiry,
+                EventKind::DegradedEpoch,
+                EventKind::EpochRecovered
+            ]
+        );
+        // Epochs stamp the attached engine loss ledger; before any attach
+        // they stamp zero.
+        assert_eq!(board.latest().unwrap().lost_arrivals, 0);
+        let lost = Counter::default();
+        lost.add(7);
+        board.attach_lost_counter(lost);
+        board.publish_report(0, report(0, 20, 0.0));
+        assert_eq!(board.latest().unwrap().lost_arrivals, 7);
     }
 
     #[test]

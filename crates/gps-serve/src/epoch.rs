@@ -45,6 +45,12 @@ pub struct EstimateEpoch {
     /// the missing strata's loss reflected in the widened variances of
     /// [`TriadEstimates::merged_colored_partial`].
     pub contributing: u64,
+    /// Total arrivals the producing engine has lost to crash-recovery
+    /// rollbacks or written-off stragglers at publication time (the
+    /// engine's `EngineHealth::lost_arrivals` ledger, stamped here so a
+    /// degraded epoch is self-describing: readers see the loss without
+    /// reaching into the engine). `0` on a healthy run.
+    pub lost_arrivals: u64,
     /// Merged triangle / wedge / clustering estimates with variances.
     pub estimates: TriadEstimates,
 }
@@ -65,9 +71,9 @@ impl EstimateEpoch {
 }
 
 /// Words of the seqlock payload: version, edges_seen, shards, the
-/// contributing-shard mask, and the five independent floats of a
-/// `TriadEstimates` (clustering is re-derived).
-const WORDS: usize = 9;
+/// contributing-shard mask, the lost-arrivals stamp, and the five
+/// independent floats of a `TriadEstimates` (clustering is re-derived).
+const WORDS: usize = 10;
 
 impl EstimateEpoch {
     fn encode(&self) -> [u64; WORDS] {
@@ -76,6 +82,7 @@ impl EstimateEpoch {
             self.edges_seen,
             self.shards,
             self.contributing,
+            self.lost_arrivals,
             self.estimates.triangles.value.to_bits(),
             self.estimates.triangles.variance.to_bits(),
             self.estimates.wedges.value.to_bits(),
@@ -90,16 +97,17 @@ impl EstimateEpoch {
             edges_seen: words[1],
             shards: words[2],
             contributing: words[3],
+            lost_arrivals: words[4],
             estimates: TriadEstimates::from_parts(
                 Estimate {
-                    value: f64::from_bits(words[4]),
-                    variance: f64::from_bits(words[5]),
+                    value: f64::from_bits(words[5]),
+                    variance: f64::from_bits(words[6]),
                 },
                 Estimate {
-                    value: f64::from_bits(words[6]),
-                    variance: f64::from_bits(words[7]),
+                    value: f64::from_bits(words[7]),
+                    variance: f64::from_bits(words[8]),
                 },
-                f64::from_bits(words[8]),
+                f64::from_bits(words[9]),
             ),
         }
     }
@@ -201,6 +209,7 @@ mod tests {
             edges_seen: edges,
             shards: 4,
             contributing: 0b1011,
+            lost_arrivals: edges / 10,
             estimates: TriadEstimates::from_parts(
                 Estimate {
                     value: tri,
@@ -230,6 +239,7 @@ mod tests {
         assert_eq!(got.shards, 4);
         assert_eq!(got.contributing, 0b1011);
         assert_eq!(got.contributing_count(), 3);
+        assert_eq!(got.lost_arrivals, 123);
         assert!(got.degraded(), "3 of 4 shards contributing is degraded");
         assert_eq!(got.estimates.triangles.value.to_bits(), 56.5f64.to_bits());
         assert_eq!(

@@ -33,6 +33,18 @@
 //! lossy-on-lag queue (epochs are cumulative, so a dropped intermediate is
 //! restated by the next delivery).
 //!
+//! ## Observability
+//!
+//! The stack shares one `gps-telemetry` registry: the engine registers its
+//! ingest/checkpoint/restart counters on it, the board adds the serve-side
+//! publication metrics (epochs published, degraded epochs, gate expiries,
+//! subscriber lag drops, and a watermark-staleness histogram keyed off the
+//! board clock — [`ClockMode::Manual`] pins its exact contents in tests),
+//! and [`ServeEngine::telemetry`] / [`QueryHandle::telemetry`] snapshot it
+//! all torn-read-free. Every epoch also stamps the engine's lost-arrivals
+//! ledger ([`EstimateEpoch::lost_arrivals`]), so a degraded epoch is
+//! self-describing. The metric catalog lives in `docs/observability.md`.
+//!
 //! ## Consistency model
 //!
 //! An epoch merges each shard's *latest report*, so its watermark

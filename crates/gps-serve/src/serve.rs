@@ -9,6 +9,7 @@ use gps_engine::snapshot::SavedEngine;
 use gps_engine::{EngineConfig, EngineHealth, EpochHook, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
+use gps_telemetry::{Registry, TelemetrySnapshot};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,18 +102,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_config(cfg: ServeConfig, weight_fn: W) -> Self {
-        let board = Arc::new(Board::new(
-            cfg.engine.shards,
-            cfg.gate_timeout,
-            Clock::new(cfg.clock),
-        ));
-        let hook = Self::hook_for(&board, board.generation());
-        let engine = ShardedGps::with_estimation(cfg.engine, weight_fn, Some(hook));
-        ServeEngine {
-            engine,
-            board,
-            subscribe_depth: cfg.subscribe_depth,
-        }
+        Self::build(cfg, weight_fn, None)
     }
 
     /// [`ServeEngine::with_config`] with a scripted [`FaultPlan`] injected
@@ -126,14 +116,33 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     /// # Panics
     /// Same conditions as [`ShardedGps::with_config`].
     pub fn with_config_and_faults(cfg: ServeConfig, weight_fn: W, faults: FaultPlan) -> Self {
-        let board = Arc::new(Board::new(
+        Self::build(cfg, weight_fn, Some(faults))
+    }
+
+    /// Shared construction: one telemetry registry carries both the
+    /// board's serve metrics and the engine's, so a single snapshot covers
+    /// the whole stack. The board exists first (the epoch hook needs it),
+    /// then the engine registers onto the same registry, and finally the
+    /// engine's lost-arrivals counter is attached so epochs stamp it —
+    /// launch-time reports racing the attach all carry zero loss (losses
+    /// require pushed arrivals, which follow construction).
+    fn build(cfg: ServeConfig, weight_fn: W, faults: Option<FaultPlan>) -> Self {
+        let registry = Arc::new(Registry::new());
+        let board = Arc::new(Board::with_registry(
             cfg.engine.shards,
             cfg.gate_timeout,
             Clock::new(cfg.clock),
+            registry.clone(),
         ));
         let hook = Self::hook_for(&board, board.generation());
-        let engine =
-            ShardedGps::with_estimation_and_faults(cfg.engine, weight_fn, Some(hook), faults);
+        let engine = ShardedGps::with_estimation_on_registry(
+            cfg.engine,
+            weight_fn,
+            Some(hook),
+            faults,
+            registry,
+        );
+        board.attach_lost_counter(engine.lost_arrivals_counter());
         ServeEngine {
             engine,
             board,
@@ -175,12 +184,17 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     ) -> Self {
         let board = handle.board.clone();
         let generation = board.reopen(saved.shards.len());
-        let engine = saved.into_serving_engine(
+        // Resume onto the board's registry: idempotent registration hands
+        // the restored engine the same counters, so the telemetry ledgers
+        // stay cumulative across the snapshot/restore cycle.
+        let engine = saved.into_serving_engine_on_registry(
             weight_fn,
             backend,
             Some(Self::hook_for(&board, generation)),
             epoch_every,
+            board.telemetry_registry(),
         );
+        board.attach_lost_counter(engine.lost_arrivals_counter());
         ServeEngine {
             engine,
             board,
@@ -274,6 +288,23 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
         self.engine.health()
     }
 
+    /// Snapshot of every metric and event across the serving stack: the
+    /// wrapped engine's ingest/checkpoint/restart counters, the per-shard
+    /// sampler counters, and the board's publication metrics all live on
+    /// one shared registry. Torn-read-free (each histogram is copied under
+    /// its seqlock) and wall-clock-free, so `Stability::Stable` metrics of
+    /// a finished same-seed run are bit-identical — see
+    /// [`TelemetrySnapshot::stable`] and `docs/observability.md`.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.board.telemetry()
+    }
+
+    /// The shared telemetry registry itself, for callers that want to
+    /// register additional metrics alongside the stack's own.
+    pub fn telemetry_registry(&self) -> Arc<Registry> {
+        self.board.telemetry_registry()
+    }
+
     /// Arrivals pushed so far (stream position `t` at the producer; the
     /// published watermark trails this by at most the in-flight batches).
     pub fn pushed(&self) -> u64 {
@@ -358,6 +389,13 @@ impl QueryHandle {
                 last_version: 0,
                 drained: false,
             })
+    }
+
+    /// Snapshot of every metric and event on the serving stack's shared
+    /// registry (see [`ServeEngine::telemetry`]); handles keep answering
+    /// after the engine finishes and across [`ServeEngine::resume`].
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.board.telemetry()
     }
 
     /// Whether the producing engine has finished (and not been resumed).
@@ -679,5 +717,77 @@ mod tests {
         assert_eq!(last.edges_seen, serve.pushed());
         // A stall is a delay, not a failure: no incident, no lost arrivals.
         assert!(!serve.health().degraded());
+        assert_eq!(last.lost_arrivals, 0, "stalls lose nothing");
+        // The degraded stretch is visible in the shared telemetry: gate
+        // expiry and degraded-epoch counters moved, and the transition
+        // events landed in the ring.
+        let snap = serve.telemetry();
+        assert_eq!(snap.counter_value("gps_serve_gate_expiries_total"), Some(1));
+        assert!(
+            snap.counter_value("gps_serve_degraded_epochs_total")
+                .unwrap()
+                >= 1
+        );
+        let kinds: Vec<_> = snap.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&gps_telemetry::EventKind::GateExpiry));
+        assert!(kinds.contains(&gps_telemetry::EventKind::DegradedEpoch));
+        assert!(kinds.contains(&gps_telemetry::EventKind::EpochRecovered));
+    }
+
+    #[test]
+    fn telemetry_spans_engine_and_serve_layers_on_one_registry() {
+        let mut serve = ServeEngine::with_config(
+            ServeConfig {
+                engine: EngineConfig {
+                    batch: 16,
+                    epoch_every: 32,
+                    ..EngineConfig::new(50, 2, 7)
+                },
+                subscribe_depth: 16,
+                gate_timeout: None,
+                clock: ClockMode::Manual,
+            },
+            TriangleWeight::default(),
+        );
+        let handle = serve.handle();
+        serve.push_stream(clique_chunks(150));
+        serve.finish();
+        let snap = serve.telemetry();
+        // Engine-side: every pushed arrival was consumed in a batch.
+        assert_eq!(
+            snap.counter_value("gps_engine_arrivals_total"),
+            Some(serve.pushed())
+        );
+        assert_eq!(snap.counter_value("gps_engine_restarts_total"), Some(0));
+        assert_eq!(
+            snap.counter_value("gps_engine_lost_arrivals_total"),
+            Some(0)
+        );
+        // Sampler-side: the final harvest saw every arrival act.
+        let inserts = snap.counter_value("gps_sampler_inserts_total").unwrap();
+        assert!(inserts > 0, "a non-empty stream inserts something");
+        // Serve-side: the board published at least launch + final epochs,
+        // and the staleness histogram recorded one value per publication
+        // (all zero on the frozen manual clock: bucket 0 holds them all).
+        let epochs = snap
+            .counter_value("gps_serve_epochs_published_total")
+            .unwrap();
+        assert!(epochs >= 1);
+        let h = snap
+            .histogram_sample("gps_serve_publish_staleness_ns")
+            .unwrap();
+        assert_eq!(h.count, epochs);
+        assert_eq!((h.sum, h.buckets[0]), (0, epochs));
+        // The handle reads the same registry, before and after finish.
+        assert_eq!(handle.telemetry(), snap);
+        // Renderers cover every registered metric.
+        let text = snap.to_text();
+        for name in [
+            "gps_engine_arrivals_total",
+            "gps_sampler_inserts_total",
+            "gps_serve_publish_staleness_ns_count",
+        ] {
+            assert!(text.contains(name), "missing {name} in exposition");
+        }
     }
 }

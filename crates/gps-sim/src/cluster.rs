@@ -38,6 +38,7 @@ use gps_core::TriadEstimates;
 use gps_engine::{EdgePartitioner, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
+use gps_telemetry::{Event as TelemetryEvent, EventKind, Registry, Stability, TelemetrySnapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -185,6 +186,12 @@ pub struct SimOutcome {
     pub epochs: Vec<EpochStats>,
     /// Virtual instant the last event finished.
     pub finished_at_ns: u64,
+    /// Full telemetry of the run: counters, the virtual-time staleness
+    /// histogram, and the structured event ring. The sim is single-threaded
+    /// over a virtual clock, so — unlike the threaded engine's — this
+    /// snapshot is deterministic *in its entirety* (events included) and is
+    /// folded into [`SimOutcome::fingerprint`].
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl SimOutcome {
@@ -214,6 +221,9 @@ impl SimOutcome {
             self.restarts,
             self.epochs.len() as u64,
             self.finished_at_ns,
+            // Digest of the full telemetry rendering — pins every counter,
+            // histogram bucket, and ring event of the run.
+            self.telemetry.fingerprint(),
         ]);
         fp
     }
@@ -297,6 +307,13 @@ where
     let mut slots: Vec<Option<Slot>> = vec![None; cfg.shards];
     let mut epochs: Vec<EpochStats> = Vec::new();
     let mut pushed = 0u64;
+    // Single-threaded virtual-time run: every metric here is Stable by
+    // construction (see `docs/observability.md`).
+    let registry = Registry::new();
+    let m_publishes = registry.counter("gps_sim_publishes_total", Stability::Stable);
+    let m_degraded = registry.counter("gps_sim_degraded_publishes_total", Stability::Stable);
+    let m_staleness = registry.histogram("gps_sim_report_staleness_ns", Stability::Stable);
+    let mut was_degraded = false;
     // Non-Publish events in flight: publishes self-reschedule only while
     // work remains, so the heap drains when the run is over.
     let mut work_events = 0usize;
@@ -422,6 +439,30 @@ where
                         .collect();
                     let max = ages.iter().copied().max().unwrap_or(0);
                     let mean = ages.iter().sum::<u64>() / ages.len() as u64;
+                    m_publishes.incr();
+                    for age in &ages {
+                        m_staleness.record(*age);
+                    }
+                    if degraded {
+                        m_degraded.incr();
+                        if !was_degraded {
+                            was_degraded = true;
+                            registry.event(TelemetryEvent {
+                                at: now,
+                                kind: EventKind::DegradedEpoch,
+                                shard: None,
+                                detail: (cfg.shards - reporting.len()) as u64,
+                            });
+                        }
+                    } else if was_degraded {
+                        was_degraded = false;
+                        registry.event(TelemetryEvent {
+                            at: now,
+                            kind: EventKind::EpochRecovered,
+                            shard: None,
+                            detail: 0,
+                        });
+                    }
                     epochs.push(EpochStats {
                         at_ns: now,
                         reporting: reporting.len(),
@@ -437,6 +478,12 @@ where
             Event::Restore { shard } => {
                 work_events -= 1;
                 let generated_at_ns = sched.now();
+                registry.event(TelemetryEvent {
+                    at: generated_at_ns,
+                    kind: EventKind::ShardRestart,
+                    shard: Some(shard.min(u32::MAX as usize) as u32),
+                    detail: leaves[shard].lost(),
+                });
                 for report in leaves[shard].restore() {
                     let delay = cfg
                         .leaf_link
@@ -492,6 +539,18 @@ where
         (flat, tree)
     };
 
+    // End-of-run totals (monotone over the run, so recording them once at
+    // the end is equivalent to incrementing live — and cheaper).
+    registry
+        .counter("gps_sim_pushed_total", Stability::Stable)
+        .add(pushed);
+    registry
+        .counter("gps_sim_lost_arrivals_total", Stability::Stable)
+        .add(lost_arrivals);
+    registry
+        .counter("gps_sim_restarts_total", Stability::Stable)
+        .add(restarts);
+
     SimOutcome {
         leaves: finals,
         flat,
@@ -501,6 +560,7 @@ where
         restarts,
         epochs,
         finished_at_ns,
+        telemetry: registry.snapshot(),
     }
 }
 

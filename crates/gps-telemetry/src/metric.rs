@@ -1,0 +1,278 @@
+//! Metric primitives: [`Counter`], [`Gauge`], and the log2-bucketed
+//! [`Histogram`] with its multi-writer seqlock snapshot protocol.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `b`
+/// (1..=64) holds values whose highest set bit is `b - 1`, i.e. the range
+/// `2^(b-1) ..= 2^b - 1`.
+pub const BUCKETS: usize = 65;
+
+/// Determinism class of a metric, declared at registration time.
+///
+/// The reproducibility suites pin only [`Stability::Stable`] metrics
+/// (via [`crate::TelemetrySnapshot::stable`]); timing-class metrics are
+/// still recorded and exposed but excluded from bit-identity assertions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stability {
+    /// A pure function of seed + configuration + fault plan: identical on
+    /// every same-seed run regardless of thread scheduling.
+    Stable,
+    /// Depends on thread scheduling or wall-clock gates (queue high-water
+    /// marks, wall-mode staleness): real on any given run, but not
+    /// reproducible bit-for-bit.
+    Timing,
+}
+
+/// Bucket index for a recorded value: 0 for zero, else `64 - leading_zeros`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (the Prometheus `le` label).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A monotone event counter. Cloning shares the underlying cell, so a
+/// handle can be captured by worker threads while the registry snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        // ordering: Relaxed — a single-word monotone count published on its
+        // own; no other memory is transferred with it, so no release edge
+        // is needed.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — one-word read cannot tear and the snapshot
+        // makes no cross-metric consistency promise for counters.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins (or high-water) level. Same single-word model as
+/// [`Counter`], but not monotone under [`Gauge::set`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: u64) {
+        // ordering: Relaxed — single word, no payload travels with it.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level to `v` if `v` is higher (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        // ordering: Relaxed — fetch_max is atomic on the one word; the
+        // high-water mark needs no ordering against other memory.
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — one-word read cannot tear.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Payload + sequence word for one histogram. `count`, `sum`, and the 65
+/// buckets are a multi-word record, so readers must not observe a half
+/// -applied sample; the `seq` word runs the same seqlock protocol as
+/// `gps-serve`'s `EpochCell` (see module docs in `lib.rs`).
+#[derive(Debug)]
+struct HistogramInner {
+    seq: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log2-bucketed histogram of `u64` samples (durations in ns, byte
+/// sizes, interval lengths). Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            seq: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    ///
+    /// Writer side of the seqlock. `EpochCell` has one writer and stores
+    /// the odd sequence directly; histograms have many writers, so the
+    /// odd transition is a CAS that doubles as the writer lock. From the
+    /// reader's point of view the protocol is identical: sequence goes
+    /// odd, payload mutates, sequence returns even one step higher.
+    pub fn record(&self, value: u64) {
+        let b = bucket_of(value);
+        loop {
+            // ordering: Relaxed — this load only seeds the CAS below; the
+            // CAS success ordering is what establishes the critical
+            // section, so a stale read here just costs a retry.
+            let seq = self.0.seq.load(Ordering::Relaxed);
+            if seq & 1 == 0
+                // ordering: Acquire on success — taking the sequence odd
+                // enters the writer critical section, and the payload
+                // updates below must not be reordered above it (and must
+                // observe the previous writer's updates, which the
+                // previous Release publish made visible to this Acquire).
+                // Relaxed on failure — a lost race is just a retry.
+                && self
+                    .0
+                    .seq
+                    // ordering: Acquire/Relaxed — justified in the block above.
+                    .compare_exchange_weak(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // ordering: Relaxed (all three) — payload words inside the seqlock
+        // critical section; the odd/even sequence protocol, not per-word
+        // ordering, is what keeps readers from observing a torn sample.
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed); // ordering: see above
+        self.0.buckets[b].fetch_add(1, Ordering::Relaxed); // ordering: see above
+                                                           // ordering: Release — returning the sequence to even publishes the
+                                                           // payload updates above: a reader whose second sequence read sees
+                                                           // this value also sees every payload store that preceded it.
+        self.0.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Copy out a consistent `(count, sum, buckets)` triple.
+    ///
+    /// Reader side of the seqlock — line for line the `EpochCell::read`
+    /// protocol that the interleave checker verifies: Acquire the
+    /// sequence, skip if odd, copy the payload relaxed, Acquire-fence,
+    /// recheck the sequence, retry on mismatch.
+    pub fn sample(&self) -> (u64, u64, [u64; BUCKETS]) {
+        loop {
+            // ordering: Acquire — pairs with the writer's Release on the
+            // even store; the payload reads below cannot float above this
+            // load, so they see at least the payload of the observed
+            // sequence value.
+            let s1 = self.0.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // ordering: Relaxed (payload copies) — torn values are
+            // possible mid-write and are discarded by the recheck below;
+            // the seqlock protocol supplies the consistency.
+            let count = self.0.count.load(Ordering::Relaxed);
+            let sum = self.0.sum.load(Ordering::Relaxed); // ordering: see above
+            let mut buckets = [0u64; BUCKETS];
+            for (slot, bucket) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+                // ordering: Relaxed — same payload-copy rationale as above.
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            // ordering: Acquire fence — the payload loads above cannot be
+            // reordered past the recheck load below, so an unchanged
+            // sequence proves the copy spans no writer critical section.
+            fence(Ordering::Acquire);
+            // ordering: Relaxed — the fence above already orders this load
+            // after the payload copies; equality with s1 validates them.
+            let s2 = self.0.seq.load(Ordering::Relaxed);
+            if s1 == s2 {
+                return (count, sum, buckets);
+            }
+        }
+    }
+
+    /// Total number of recorded samples (consistent with a full sample).
+    pub fn count(&self) -> u64 {
+        self.sample().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 2, 5, 100, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper_bound(b));
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.incr();
+        assert_eq!(c.get(), 6);
+
+        let g = Gauge::default();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_totals_consistent() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 1000, 1 << 33] {
+            h.record(v);
+        }
+        let (count, sum, buckets) = h.sample();
+        assert_eq!(count, 6);
+        assert_eq!(sum, 1005 + (1 << 33));
+        assert_eq!(buckets.iter().sum::<u64>(), count);
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 2); // the two ones
+        assert_eq!(buckets[2], 1); // the three
+    }
+}

@@ -1,0 +1,181 @@
+//! The [`Registry`]: named metric handles plus the event ring, with a
+//! consistent snapshot path.
+
+use crate::metric::{Counter, Gauge, Histogram, Stability};
+use crate::ring::{Event, EventRing};
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, TelemetrySnapshot};
+use std::sync::Mutex;
+
+/// A named collection of metrics and an event ring.
+///
+/// Registration is mutex-guarded and idempotent by name: registering the
+/// same name twice returns a handle to the *same* cell (the first
+/// registration's [`Stability`] wins), so a worker respawned after a
+/// crash keeps accumulating into the original counter. Recording through
+/// a handle never takes the registry lock — handles are `Arc`-backed
+/// atomics — so the hot path stays lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Stability, Counter)>>,
+    gauges: Mutex<Vec<(String, Stability, Gauge)>>,
+    histograms: Mutex<Vec<(String, Stability, Histogram)>>,
+    ring: EventRing,
+}
+
+fn lock_entries<T>(slot: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    match slot.lock() {
+        Ok(g) => g,
+        // Registration writes plain (String, enum, Arc) tuples; a panic
+        // mid-push cannot leave them torn, so the poisoned list is usable.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// An empty registry whose event ring holds at most `cap` events.
+    pub fn with_event_capacity(cap: usize) -> Self {
+        Registry {
+            ring: EventRing::with_capacity(cap),
+            ..Registry::default()
+        }
+    }
+
+    /// Register (or fetch) the counter `name`.
+    pub fn counter(&self, name: &str, stability: Stability) -> Counter {
+        let mut entries = lock_entries(&self.counters);
+        if let Some((_, _, handle)) = entries.iter().find(|(n, _, _)| n == name) {
+            return handle.clone();
+        }
+        let handle = Counter::default();
+        entries.push((name.to_string(), stability, handle.clone()));
+        handle
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    pub fn gauge(&self, name: &str, stability: Stability) -> Gauge {
+        let mut entries = lock_entries(&self.gauges);
+        if let Some((_, _, handle)) = entries.iter().find(|(n, _, _)| n == name) {
+            return handle.clone();
+        }
+        let handle = Gauge::default();
+        entries.push((name.to_string(), stability, handle.clone()));
+        handle
+    }
+
+    /// Register (or fetch) the histogram `name`.
+    pub fn histogram(&self, name: &str, stability: Stability) -> Histogram {
+        let mut entries = lock_entries(&self.histograms);
+        if let Some((_, _, handle)) = entries.iter().find(|(n, _, _)| n == name) {
+            return handle.clone();
+        }
+        let handle = Histogram::default();
+        entries.push((name.to_string(), stability, handle.clone()));
+        handle
+    }
+
+    /// Append a structured event to the ring.
+    pub fn event(&self, event: Event) {
+        self.ring.push(event);
+    }
+
+    /// Capture a [`TelemetrySnapshot`]: every metric sampled through its
+    /// tear-free read path, events copied out, all sections sorted by
+    /// name so same-state registries render identically.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters: Vec<CounterSample> = lock_entries(&self.counters)
+            .iter()
+            .map(|(name, stability, handle)| CounterSample {
+                name: name.clone(),
+                stability: *stability,
+                value: handle.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let mut gauges: Vec<GaugeSample> = lock_entries(&self.gauges)
+            .iter()
+            .map(|(name, stability, handle)| GaugeSample {
+                name: name.clone(),
+                stability: *stability,
+                value: handle.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let mut histograms: Vec<HistogramSample> = lock_entries(&self.histograms)
+            .iter()
+            .map(|(name, stability, handle)| {
+                let (count, sum, buckets) = handle.sample();
+                HistogramSample {
+                    name: name.clone(),
+                    stability: *stability,
+                    count,
+                    sum,
+                    buckets,
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let (events, events_lost) = self.ring.snapshot();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::EventKind;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", Stability::Stable);
+        let b = reg.counter("x_total", Stability::Timing);
+        a.add(3);
+        b.add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 7);
+        // First registration's stability class wins.
+        assert_eq!(snap.counters[0].stability, Stability::Stable);
+    }
+
+    #[test]
+    fn snapshot_sections_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zzz_total", Stability::Stable).incr();
+        reg.counter("aaa_total", Stability::Stable).incr();
+        reg.histogram("mid_ns", Stability::Stable).record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "aaa_total");
+        assert_eq!(snap.counters[1].name, "zzz_total");
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn events_flow_into_snapshot() {
+        let reg = Registry::with_event_capacity(4);
+        reg.event(Event {
+            at: 9,
+            kind: EventKind::ShardRestart,
+            shard: Some(2),
+            detail: 0,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, EventKind::ShardRestart);
+        assert_eq!(snap.events_lost, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded structured-event ring with an explicit loss counter.
+//!
+//! Events are coarse state transitions (a shard restarted, an epoch went
+//! degraded, a checkpoint was written) — rare enough that a mutex-guarded
+//! ring is fine off the hot path, and bounded so a misbehaving run cannot
+//! grow memory without bound. When the ring is full the **oldest** event
+//! is dropped and `events_lost` is incremented, so consumers always know
+//! the window is incomplete rather than silently seeing a gap.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity. Generous for the event rates in this repo
+/// (restarts + checkpoints + epoch transitions), small enough to bound
+/// memory at a few KiB.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// What happened. Variants cover the state transitions the engine, serve
+/// layer, and simulator report; `as_str` names are stable identifiers
+/// used by both exposition formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A shard worker died and was respawned by the supervisor.
+    ShardRestart,
+    /// A shard wrote a checkpoint (detail = encoded bytes).
+    CheckpointWrite,
+    /// An epoch was published with at least one shard missing.
+    DegradedEpoch,
+    /// Publication returned to full membership after a degraded stretch.
+    EpochRecovered,
+    /// The serve gate timed out waiting for a laggard shard.
+    GateExpiry,
+    /// The simulator abandoned a straggler's stale report.
+    StragglerAbandoned,
+}
+
+impl EventKind {
+    /// Stable identifier for exposition output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::ShardRestart => "shard_restart",
+            EventKind::CheckpointWrite => "checkpoint_write",
+            EventKind::DegradedEpoch => "degraded_epoch",
+            EventKind::EpochRecovered => "epoch_recovered",
+            EventKind::GateExpiry => "gate_expiry",
+            EventKind::StragglerAbandoned => "straggler_abandoned",
+        }
+    }
+}
+
+/// One structured event.
+///
+/// `at` is a caller-supplied timestamp in the caller's own time base —
+/// the engine stamps arrival counts, the serve layer stamps clock-hook
+/// nanoseconds, the simulator stamps virtual nanoseconds. The ring never
+/// reads a wall clock itself, which is what keeps single-writer event
+/// streams (like the simulator's) bit-reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-supplied timestamp (arrival count, clock-hook ns, or
+    /// virtual ns — see type docs).
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Originating shard, when the event is shard-scoped.
+    pub shard: Option<u32>,
+    /// Kind-specific payload (bytes for checkpoints, missing-shard count
+    /// for degraded epochs, zero when unused).
+    pub detail: u64,
+}
+
+/// The bounded ring itself. Push is mutex-guarded (events are rare and
+/// off the hot path); the loss counter is atomic so it can be read
+/// without the lock.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    lost: AtomicU64,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            lost: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, dropping (and counting) the oldest if full.
+    pub fn push(&self, event: Event) {
+        let mut guard = match self.events.lock() {
+            Ok(g) => g,
+            // A panicking event producer must not wedge telemetry; the
+            // ring holds plain Copy data, so the poisoned state is usable.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.len() == self.capacity {
+            guard.pop_front();
+            // ordering: Relaxed — single-word loss tally; readers need no
+            // ordering between it and the ring contents (the snapshot
+            // takes the lock anyway).
+            self.lost.fetch_add(1, Ordering::Relaxed);
+        }
+        guard.push_back(event);
+    }
+
+    /// Copy out the retained events (oldest first) and the loss count.
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let guard = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let events = guard.iter().copied().collect();
+        // ordering: Relaxed — see `push`; the lock already serialises the
+        // snapshot against concurrent pushes.
+        (events, self.lost.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_counts_loss() {
+        let ring = EventRing::with_capacity(2);
+        for i in 0..5u64 {
+            ring.push(Event {
+                at: i,
+                kind: EventKind::CheckpointWrite,
+                shard: Some(0),
+                detail: i * 10,
+            });
+        }
+        let (events, lost) = ring.snapshot();
+        assert_eq!(lost, 3);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 3);
+        assert_eq!(events[1].at, 4);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            EventKind::ShardRestart,
+            EventKind::CheckpointWrite,
+            EventKind::DegradedEpoch,
+            EventKind::EpochRecovered,
+            EventKind::GateExpiry,
+            EventKind::StragglerAbandoned,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+}

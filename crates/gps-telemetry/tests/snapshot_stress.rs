@@ -1,0 +1,137 @@
+//! Concurrent snapshot consistency stress: writer threads hammer a shared
+//! histogram and counters while readers snapshot continuously. A torn
+//! histogram read would break the algebraic invariants asserted below;
+//! the seqlock protocol must never let one through.
+//!
+//! Scaled down under Miri (which executes a real, if slow, concurrent
+//! interleaving search) the same way `gps-serve/tests/torn_read.rs` is.
+
+use gps_telemetry::{Registry, Stability, TelemetrySnapshot, BUCKETS};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// (records per writer, writer threads, reader threads)
+fn scale() -> (u64, usize, usize) {
+    if cfg!(miri) {
+        (40, 2, 1)
+    } else {
+        (20_000, 4, 2)
+    }
+}
+
+/// Every writer `t` records only the value `1 << t`, which lands only in
+/// bucket `t + 1`. Any consistent sample therefore satisfies
+/// `sum == Σ_b buckets[b] · 2^(b-1)` exactly; a copy that straddles a
+/// writer's critical section would violate it.
+fn check_histogram_invariants(snap: &TelemetrySnapshot) {
+    let h = snap
+        .histogram_sample("gps_stress_values")
+        .expect("histogram registered");
+    let bucket_total: u64 = h.buckets.iter().sum();
+    assert_eq!(bucket_total, h.count, "bucket occupancy must equal count");
+    let weighted: u64 = (1..BUCKETS).map(|b| h.buckets[b] * (1u64 << (b - 1))).sum();
+    assert_eq!(weighted, h.sum, "sum must match bucket-weighted total");
+}
+
+#[test]
+fn snapshots_never_observe_torn_histograms() {
+    let (records, writers, readers) = scale();
+    let reg = Arc::new(Registry::new());
+    // Register up front so readers always find the metrics.
+    let hist = reg.histogram("gps_stress_values", Stability::Stable);
+    let total = reg.counter("gps_stress_records_total", Stability::Stable);
+    drop((hist, total));
+
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let h = reg.histogram("gps_stress_values", Stability::Stable);
+                let c = reg.counter("gps_stress_records_total", Stability::Stable);
+                for _ in 0..records {
+                    h.record(1u64 << t);
+                    c.incr();
+                }
+            })
+        })
+        .collect();
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut last_count = 0u64;
+                let mut iters = 0u64;
+                // ordering: Relaxed — plain stop flag; no data is
+                // transferred through it.
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reg.snapshot();
+                    check_histogram_invariants(&snap);
+                    let count = snap.histogram_sample("gps_stress_values").unwrap().count;
+                    assert!(count >= last_count, "histogram count must be monotone");
+                    last_count = count;
+                    iters += 1;
+                }
+                iters
+            })
+        })
+        .collect();
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    // ordering: Relaxed — see the reader loop; joining writers already
+    // happened-before this store via the join itself.
+    done.store(true, Ordering::Relaxed);
+    for h in reader_handles {
+        assert!(h.join().unwrap() > 0, "readers must have snapshotted");
+    }
+
+    // Final totals are exact once all writers joined.
+    let snap = reg.snapshot();
+    check_histogram_invariants(&snap);
+    let expected = records * writers as u64;
+    assert_eq!(
+        snap.counter_value("gps_stress_records_total"),
+        Some(expected)
+    );
+    let h = snap.histogram_sample("gps_stress_values").unwrap();
+    assert_eq!(h.count, expected);
+    for t in 0..writers {
+        assert_eq!(h.buckets[t + 1], records, "writer {t}'s bucket is exact");
+    }
+}
+
+#[test]
+fn event_ring_loss_counting_under_contention() {
+    let (records, writers, _) = scale();
+    let cap = 16usize;
+    let reg = Arc::new(Registry::with_event_capacity(cap));
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for i in 0..records {
+                    reg.event(gps_telemetry::Event {
+                        at: i,
+                        kind: gps_telemetry::EventKind::CheckpointWrite,
+                        shard: Some(t as u32),
+                        detail: i,
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = reg.snapshot();
+    let pushed = records * writers as u64;
+    assert_eq!(snap.events.len(), cap.min(pushed as usize));
+    // Retained + lost accounts for every push exactly.
+    assert_eq!(snap.events.len() as u64 + snap.events_lost, pushed);
+}

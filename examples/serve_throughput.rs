@@ -11,18 +11,21 @@
 //! `QueryHandle::latest()`. For each reader count the run prints ingest
 //! throughput, total successful reads, the watermark staleness the readers
 //! actually observed, and the final epoch's triangle estimate with its
-//! honest 95% interval next to the exact count.
+//! honest 95% interval next to the exact count. The last run's full
+//! telemetry exposition (see docs/observability.md) closes the report —
+//! the same counters an operator of a live engine would scrape.
 //!
-//! The point to take away: the read path is a lock-free seqlock cell, so
+//! Two points to take away: the read path is a lock-free seqlock cell, so
 //! adding readers costs ingest (almost) nothing beyond the cores they
-//! occupy — there is no lock a stampede could take from the workers.
+//! occupy — there is no lock a stampede could take from the workers. And
+//! the epoch watermark itself is a perfectly good shutdown signal: readers
+//! simply spin until they observe the final epoch (`edges_seen` = the full
+//! stream), so the example needs no stop flag and no atomics of its own.
 //!
 //! `--readers N` runs a single reader count instead of the 0/1/4 sweep
 //! (CI smoke runs `--readers 2 --quick`); `--quick` shrinks the stream.
 
 use graph_priority_sampling::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -58,25 +61,27 @@ fn main() {
         "readers", "ns/edge", "Medges/s", "reads", "lag(max)", "triangles [95% CI]"
     );
     let sweep: Vec<usize> = single_readers.map_or_else(|| vec![0, 1, 4], |r| vec![r]);
+    let mut final_telemetry = None;
     for readers in sweep {
         let mut serve = ServeEngine::new(m, TriangleWeight::default(), 42, shards);
-        let stop = Arc::new(AtomicBool::new(false));
+        let total = stream.len() as u64;
         let handles: Vec<_> = (0..readers)
             .map(|_| {
                 let handle = serve.handle();
-                let stop = stop.clone();
                 std::thread::spawn(move || {
-                    let (mut reads, mut max_lag_version) = (0u64, 0u64);
-                    // ordering: Relaxed — stop flag only ends the loop;
-                    // epoch data arrives through the serve handle.
-                    while !stop.load(Ordering::Relaxed) {
+                    // Spin until the final epoch's watermark covers the
+                    // whole stream — the published data is the shutdown
+                    // signal, no side-channel flag needed.
+                    let mut reads = 0u64;
+                    loop {
                         if let Some(epoch) = handle.latest() {
                             reads += 1;
-                            max_lag_version = max_lag_version.max(epoch.version);
+                            if epoch.edges_seen >= total {
+                                return reads;
+                            }
                         }
                         std::thread::yield_now();
                     }
-                    (reads, max_lag_version)
                 })
             })
             .collect();
@@ -93,10 +98,8 @@ fn main() {
         }
         serve.finish();
         let elapsed = start.elapsed();
-        // ordering: Relaxed — shutdown signal; reader results come back
-        // through join(), which synchronizes.
-        stop.store(true, Ordering::Relaxed);
-        let reads: u64 = handles.into_iter().map(|h| h.join().unwrap().0).sum();
+        // finish() published the full-stream epoch, so every reader exits.
+        let reads: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
 
         let epoch = probe.latest().expect("final epoch");
         let (lb, ub) = epoch.estimates.triangles.ci95();
@@ -107,10 +110,15 @@ fn main() {
             epoch.estimates.triangles.value,
         );
         assert_eq!(epoch.edges_seen, serve.pushed());
+        final_telemetry = Some(serve.telemetry());
     }
     println!("\nexact triangles: {exact_triangles}");
     println!(
         "(epoch CIs include the between-shard coloring variance — honest \
          for S > 1; see gps-serve's statistical suite)"
     );
+    if let Some(snapshot) = final_telemetry {
+        println!("\nfinal telemetry exposition (last run):");
+        print!("{}", snapshot.to_text());
+    }
 }
