@@ -340,6 +340,12 @@ fn has_adjacent_ordering_comment(m: &MaskedFile, i: usize) -> bool {
 /// runtime, so a second call site silently aliases the first handle and
 /// the two "metrics" become one ledger.
 ///
+/// Trace stage and mark names (`.stage("…")`, `.mark("…")` on an
+/// `EpochTrace`) are held to the same contract: documented in the
+/// trace-stage catalog, and recorded from exactly one library call site —
+/// a stage name stamped from two places would make `EpochTrace::span`
+/// ambiguous and the timeline unreadable.
+///
 /// Cross-file by nature, so it runs once over the scanned set
 /// ([`crate::lint_workspace`] calls it after the per-file pass) instead of
 /// inside [`lint_source`]; fixture tests call it directly with synthetic
@@ -371,7 +377,13 @@ pub fn rule_metric_registry(files: &[(String, String)], catalog: &str) -> Vec<Vi
                 continue;
             }
             let code: Vec<char> = line.chars().collect();
-            for pat in [".counter(\"", ".gauge(\"", ".histogram(\""] {
+            for pat in [
+                ".counter(\"",
+                ".gauge(\"",
+                ".histogram(\"",
+                ".stage(\"",
+                ".mark(\"",
+            ] {
                 for at in find_all(&code, pat) {
                     let start = at + pat.chars().count();
                     // The code view masks literal interiors but keeps the

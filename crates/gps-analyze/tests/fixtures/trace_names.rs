@@ -1,0 +1,22 @@
+//! Fixture: trace stage/mark recordings for the metric-name-registry
+//! rule's trace-name extension. Linted with a synthetic catalog that
+//! documents `fix_stage_documented` and `fix_mark_documented`.
+
+pub fn record(trace: &mut EpochTrace, now: u64) {
+    trace.stage("fix_stage_documented", 0, now, 1);
+    trace.stage("fix_stage_undocumented", 0, now, 0);
+    trace.mark("fix_mark_documented", now, None, 0);
+    trace.stage("fix_stage_documented", now, now, 2);
+    // A timeline lookup must not count as a recording, nor a name that
+    // only appears in prose: `fix_stage_comment_only`.
+    let _s = trace.span("fix_stage_never_recorded");
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only(trace: &mut EpochTrace) {
+        // Test-code recordings are out of scope for the catalog.
+        trace.stage("fix_stage_test_only", 0, 0, 0);
+        trace.mark("fix_mark_test_only", 0, None, 0);
+    }
+}

@@ -147,6 +147,48 @@ fn metric_registry_fixture_exact_lines() {
 }
 
 #[test]
+fn trace_name_fixture_exact_lines() {
+    let text = fixture("trace_names.rs");
+    let catalog = "# Observability\n\n\
+                   - `fix_stage_documented` — a documented demo stage.\n\
+                   - `fix_mark_documented` — a documented demo mark.\n";
+    let files = vec![("crates/gps-serve/src/fixture.rs".to_owned(), text.clone())];
+    let got: Vec<(usize, String)> = gps_analyze::rules::rule_metric_registry(&files, catalog)
+        .into_iter()
+        .map(|v| {
+            assert_eq!(v.rule, "metric-name-registry");
+            (v.line, v.msg)
+        })
+        .collect();
+    assert_eq!(got.len(), 2, "{got:?}");
+    // Line 7: a stage recorded but absent from the catalog.
+    assert_eq!(got[0].0, 7);
+    assert!(got[0].1.contains("`fix_stage_undocumented`"));
+    assert!(got[0].1.contains("not documented"));
+    // Line 9: second recording site for a documented stage name.
+    assert_eq!(got[1].0, 9);
+    assert!(got[1].1.contains("duplicate registration"));
+    assert!(got[1].1.contains("crates/gps-serve/src/fixture.rs:6"));
+    // The documented stage and mark, the `span`/prose mentions, and the
+    // cfg(test) recordings must all stay silent — covered by the exact
+    // count above.
+}
+
+#[test]
+fn trace_name_rule_is_scoped_to_crate_lib_code() {
+    let text = fixture("trace_names.rs");
+    // Outside crates/*/src — integration tests, examples — stage/mark
+    // recordings are free-form even with an empty catalog.
+    for path in ["crates/gps-serve/tests/fixture.rs", "examples/fixture.rs"] {
+        let files = vec![(path.to_owned(), text.clone())];
+        assert!(
+            gps_analyze::rules::rule_metric_registry(&files, "").is_empty(),
+            "{path} must be out of scope"
+        );
+    }
+}
+
+#[test]
 fn metric_registry_rule_is_scoped_to_crate_lib_code() {
     let text = fixture("metrics.rs");
     let catalog = "";

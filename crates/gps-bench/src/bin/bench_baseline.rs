@@ -8,7 +8,7 @@
 //! ```text
 //! bench_baseline [--quick] [--iters N] [--seed N] [--out PATH]
 //!                [--baselines] [--engine] [--serve] [--chaos] [--sim]
-//!                [--telemetry] [--check PATH [--min-ratio R]]
+//!                [--telemetry] [--trace] [--check PATH [--min-ratio R]]
 //! ```
 //!
 //! - `--quick`: reduced streams and capacities (CI smoke scale).
@@ -38,6 +38,11 @@
 //!   plus the fingerprint that pins the whole stable snapshot
 //!   (`telemetry` section; schema stays v1-compatible and `--check`
 //!   validates its shape).
+//! - `--trace`: additionally capture per-stage epoch latency attribution
+//!   (p50/p99 per pipeline stage) from the serving stack's flight
+//!   recorder over a manual-clock driven run — fully deterministic per
+//!   seed (`trace` section; schema stays v1-compatible and `--check`
+//!   validates its shape).
 //! - `--check PATH`: *instead of* writing, validate the committed baseline
 //!   at `PATH` (schema + required fields) and fail — exit code 1 — if the
 //!   current compact-backend throughput falls below `min-ratio` × the
@@ -47,7 +52,7 @@
 use gps_bench::json::{self, Value};
 use gps_bench::perf::{
     self, BaselineResult, ChaosResult, EngineResult, PerfConfig, ScenarioResult, ServeResult,
-    TelemetryResult,
+    TelemetryResult, TraceResult,
 };
 use std::process::{Command, ExitCode};
 
@@ -62,6 +67,7 @@ struct Args {
     chaos: bool,
     sim: bool,
     telemetry: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         chaos: false,
         sim: false,
         telemetry: false,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -88,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--chaos" => args.chaos = true,
             "--sim" => args.sim = true,
             "--telemetry" => args.telemetry = true,
+            "--trace" => args.trace = true,
             "--iters" => {
                 args.cfg.iters = take("--iters")?
                     .parse()
@@ -109,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "bench_baseline [--quick] [--iters N] [--seed N] [--out PATH] \
                      [--baselines] [--engine] [--serve] [--chaos] [--sim] \
-                     [--telemetry] [--check PATH [--min-ratio R]]"
+                     [--telemetry] [--trace] [--check PATH [--min-ratio R]]"
                 );
                 std::process::exit(0);
             }
@@ -211,6 +219,19 @@ fn print_telemetry(t: &TelemetryResult) {
         t.stable_fingerprint,
         t.counters.len(),
     );
+}
+
+fn print_trace(t: &TraceResult) {
+    println!(
+        "{:<34} {:>9} edges  stable fingerprint {}  [{} epochs]",
+        t.scenario, t.edges, t.stable_fingerprint, t.epochs,
+    );
+    for s in &t.stages {
+        println!(
+            "  {:<20} n={:<4} p50 {:>9} ns  p99 {:>9} ns",
+            s.stage, s.count, s.p50_ns, s.p99_ns
+        );
+    }
 }
 
 fn print_baseline(r: &BaselineResult) {
@@ -351,6 +372,13 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    let trace = if args.trace && args.check.is_none() {
+        let t = perf::run_trace(&args.cfg);
+        print_trace(&t);
+        Some(t)
+    } else {
+        None
+    };
 
     if let (Some(path), Some(committed)) = (&args.check, &committed) {
         let failures = check_against(committed, &results, args.min_ratio);
@@ -379,6 +407,7 @@ fn main() -> ExitCode {
             chaos: &chaos,
             sim: &sim,
             telemetry: telemetry.as_ref(),
+            trace: trace.as_ref(),
         },
     );
     if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {

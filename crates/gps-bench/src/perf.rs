@@ -837,6 +837,137 @@ pub fn run_telemetry(cfg: &PerfConfig) -> TelemetryResult {
     }
 }
 
+/// One stage row of the trace section: latency attribution for a pipeline
+/// stage across every epoch of the traced run.
+#[derive(Clone, Debug)]
+pub struct TraceStage {
+    /// Stage name from the trace-stage catalog (`docs/observability.md`).
+    pub stage: String,
+    /// Epochs that recorded this stage.
+    pub count: u64,
+    /// Median stage latency (nearest-rank) in clock nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile stage latency (nearest-rank) in clock nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The `trace` section of the baseline document: per-stage latency
+/// attribution from the serving stack's flight recorder over one
+/// manual-clock run. Every field is stable — the run drives the clock
+/// itself, so the percentiles replay bit-for-bit under `--check`.
+#[derive(Clone, Debug)]
+pub struct TraceResult {
+    /// Stable scenario name (`trace/holme_kim/triangle/mM/s1`).
+    pub scenario: String,
+    /// Stream length of the traced run.
+    pub edges: usize,
+    /// Epochs retained by the flight recorder (all of them — the run is
+    /// sized under the recorder capacity).
+    pub epochs: usize,
+    /// Per-stage attribution rows, in stage-name order.
+    pub stages: Vec<TraceStage>,
+    /// `{:016x}` FNV-1a digest of the rows plus every retained trace's
+    /// own fingerprint.
+    pub stable_fingerprint: String,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile_ns(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Captures the `trace` section: a single-shard serving engine on the
+/// manual clock, driven one epoch-sized batch at a time — push a batch,
+/// wait for its epoch, advance the clock one fixed step. Because the
+/// driver owns the clock, every span the flight recorder stamps is a pure
+/// function of seed + mode (the inter-epoch `arrival_batch` stage is
+/// exactly one step; the in-publication stages are zero-width), so the
+/// percentile table and its fingerprint replay exactly under
+/// `bench_baseline --check`.
+pub fn run_trace(cfg: &PerfConfig) -> TraceResult {
+    let m = engine_capacity(cfg.quick);
+    let chunk = 64usize;
+    // Sized under the flight recorder's 64-trace capacity (one epoch per
+    // chunk, plus the start-of-worker and drain-end epochs).
+    let chunks = if cfg.quick { 16 } else { 48 };
+    let mut edges = StreamKind::HolmeKim.edges(cfg.quick, cfg.seed);
+    edges.truncate(chunk * chunks);
+    let serve_cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: chunk,
+            epoch_every: chunk as u64,
+            ..EngineConfig::new(m, 1, cfg.seed)
+        },
+        subscribe_depth: 1 << 10,
+        gate_timeout: None,
+        clock: ClockMode::Manual,
+    };
+    let mut serve = ServeEngine::with_config(serve_cfg, TriangleWeight::default());
+    let handle = serve.handle();
+    let step = Duration::from_micros(250);
+    let mut pushed = 0u64;
+    for batch in edges.chunks(chunk) {
+        serve.push_batch(batch);
+        pushed += batch.len() as u64;
+        // Blocks until the batch's epoch publishes; also stamps its
+        // first-observation span at the current (pre-advance) instant.
+        handle.wait_for_edges(pushed);
+        serve.advance_clock(step);
+    }
+    serve.finish();
+    // Observe the drain-end epoch so its trace is complete too.
+    std::hint::black_box(handle.latest());
+    let traces = handle.recent_traces(gps_telemetry::DEFAULT_TRACE_CAPACITY);
+    let mut by_stage: std::collections::BTreeMap<&'static str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for t in &traces {
+        for s in &t.spans {
+            by_stage.entry(s.stage).or_default().push(s.duration_ns());
+        }
+    }
+    let stages: Vec<TraceStage> = by_stage
+        .into_iter()
+        .map(|(stage, mut d)| {
+            d.sort_unstable();
+            TraceStage {
+                stage: stage.to_string(),
+                count: d.len() as u64,
+                p50_ns: percentile_ns(&d, 50),
+                p99_ns: percentile_ns(&d, 99),
+            }
+        })
+        .collect();
+    let scenario = format!("trace/holme_kim/triangle/m{m}/s1");
+    let mut text = format!("{scenario} edges={} epochs={}", edges.len(), traces.len());
+    for s in &stages {
+        text.push_str(&format!(
+            " {}:{}:{}:{}",
+            s.stage, s.count, s.p50_ns, s.p99_ns
+        ));
+    }
+    // FNV-1a over the rows, then fold in every retained trace's own digest
+    // so the committed fingerprint pins full timelines, not just the table.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for t in &traces {
+        h ^= t.fingerprint();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TraceResult {
+        scenario,
+        edges: edges.len(),
+        epochs: traces.len(),
+        stages,
+        stable_fingerprint: format!("{h:016x}"),
+    }
+}
+
 fn measurement_json(m: &Measurement) -> Value {
     Value::object(vec![
         ("elapsed_ns", Value::Number(m.elapsed_ns as f64)),
@@ -871,6 +1002,9 @@ pub struct OptionalGrids<'a> {
     /// Deterministic telemetry capture from [`run_telemetry`]
     /// (`telemetry` key; `None` omits it).
     pub telemetry: Option<&'a TelemetryResult>,
+    /// Deterministic flight-recorder latency attribution from
+    /// [`run_trace`] (`trace` key; `None` omits it).
+    pub trace: Option<&'a TraceResult>,
 }
 
 /// Builds the machine-readable baseline document; the [`OptionalGrids`]
@@ -888,6 +1022,7 @@ pub fn results_json(
         chaos,
         sim,
         telemetry,
+        trace,
     } = grids;
     let mut fields = vec![
         ("schema", Value::String(SCHEMA.into())),
@@ -1153,6 +1288,36 @@ pub fn results_json(
                                 Value::object(vec![
                                     ("name", Value::String(name.clone())),
                                     ("value", Value::Number(*value as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if let Some(t) = trace {
+        fields.push((
+            "trace",
+            Value::object(vec![
+                ("scenario", Value::String(t.scenario.clone())),
+                ("edges", Value::Number(t.edges as f64)),
+                ("epochs", Value::Number(t.epochs as f64)),
+                (
+                    "stable_fingerprint",
+                    Value::String(t.stable_fingerprint.clone()),
+                ),
+                (
+                    "stages",
+                    Value::Array(
+                        t.stages
+                            .iter()
+                            .map(|s| {
+                                Value::object(vec![
+                                    ("stage", Value::String(s.stage.clone())),
+                                    ("count", Value::Number(s.count as f64)),
+                                    ("p50_ns", Value::Number(s.p50_ns as f64)),
+                                    ("p99_ns", Value::Number(s.p99_ns as f64)),
                                 ])
                             })
                             .collect(),
@@ -1448,6 +1613,50 @@ pub fn validate_baseline(doc: &Value) -> Vec<String> {
             _ => problems.push("telemetry section missing 'counters' entries".into()),
         }
     }
+    // Optional section (absent in documents predating the flight
+    // recorder): per-stage latency attribution plus the digest pinning
+    // the retained timelines.
+    if let Some(t) = doc.get("trace") {
+        if t.get_str("scenario").is_none() {
+            problems.push("trace section missing 'scenario'".into());
+        }
+        for field in ["edges", "epochs"] {
+            match t.get_f64(field) {
+                Some(x) if x >= 1.0 => {}
+                _ => problems.push(format!("trace section has invalid '{field}'")),
+            }
+        }
+        match t.get_str("stable_fingerprint") {
+            Some(fp) if fp.len() == 16 && fp.bytes().all(|b| b.is_ascii_hexdigit()) => {}
+            Some(_) => problems.push("trace stable_fingerprint is not a 64-bit hex digest".into()),
+            None => problems.push("trace section missing 'stable_fingerprint'".into()),
+        }
+        match t.get("stages").and_then(Value::as_array) {
+            Some(entries) if !entries.is_empty() => {
+                for (i, entry) in entries.iter().enumerate() {
+                    if entry.get_str("stage").is_none() {
+                        problems.push(format!("trace stage {i} missing 'stage'"));
+                    }
+                    match entry.get_f64("count") {
+                        Some(x) if x >= 1.0 => {}
+                        _ => problems.push(format!("trace stage {i} has invalid 'count'")),
+                    }
+                    for field in ["p50_ns", "p99_ns"] {
+                        match entry.get_f64(field) {
+                            Some(x) if x >= 0.0 => {}
+                            _ => problems.push(format!("trace stage {i} has invalid '{field}'")),
+                        }
+                    }
+                }
+                // A traced run that never reached the merge stage traced
+                // nothing — the table must carry the pipeline's heart.
+                if !entries.iter().any(|e| e.get_str("stage") == Some("merge")) {
+                    problems.push("trace stages missing 'merge'".into());
+                }
+            }
+            _ => problems.push("trace section missing 'stages' entries".into()),
+        }
+    }
     problems
 }
 
@@ -1540,6 +1749,7 @@ mod tests {
         assert!(doc.get("chaos").is_none());
         assert!(doc.get("sim").is_none());
         assert!(doc.get("telemetry").is_none());
+        assert!(doc.get("trace").is_none());
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
         assert_eq!(parsed, doc);
         assert!(validate_baseline(&parsed).is_empty());
@@ -1620,6 +1830,26 @@ mod tests {
                 ("gps_sampler_inserts_total".into(), 77),
             ],
         };
+        let trace = TraceResult {
+            scenario: "trace/holme_kim/triangle/m128/s1".into(),
+            edges: edges.len(),
+            epochs: 18,
+            stages: vec![
+                TraceStage {
+                    stage: "arrival_batch".into(),
+                    count: 18,
+                    p50_ns: 250_000,
+                    p99_ns: 250_000,
+                },
+                TraceStage {
+                    stage: "merge".into(),
+                    count: 18,
+                    p50_ns: 0,
+                    p99_ns: 0,
+                },
+            ],
+            stable_fingerprint: "00c0ffee00c0ffee".into(),
+        };
         let doc = results_json(
             &cfg,
             "deadbeef",
@@ -1631,6 +1861,7 @@ mod tests {
                 chaos: &chaos,
                 sim: &sim,
                 telemetry: Some(&telemetry),
+                trace: Some(&trace),
             },
         );
         let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
@@ -1680,6 +1911,14 @@ mod tests {
             Some("gps_engine_arrivals_total")
         );
         assert_eq!(counters[0].get_f64("value"), Some(edges.len() as f64));
+        let tr = parsed.get("trace").expect("trace section present");
+        assert_eq!(tr.get_f64("epochs"), Some(18.0));
+        let stages = tr
+            .get("stages")
+            .and_then(Value::as_array)
+            .expect("trace stages present");
+        assert_eq!(stages[0].get_str("stage"), Some("arrival_batch"));
+        assert_eq!(stages[0].get_f64("p50_ns"), Some(250_000.0));
     }
 
     #[test]
@@ -1743,6 +1982,80 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("missing 'gps_engine_arrivals_total'")));
+    }
+
+    #[test]
+    fn trace_capture_is_deterministic_and_validates() {
+        let cfg = tiny_cfg();
+        let a = run_trace(&cfg);
+        let b = run_trace(&cfg);
+        // The driver owns the manual clock, so two runs agree to the bit —
+        // including the digest that folds every retained timeline.
+        assert_eq!(a.stable_fingerprint, b.stable_fingerprint);
+        assert_eq!(a.epochs, b.epochs);
+        // One epoch per chunk plus the start-of-worker and drain-end
+        // publications, all under the recorder capacity.
+        assert!(a.epochs >= 17, "only {} epochs traced", a.epochs);
+        let stage = |name: &str| a.stages.iter().find(|s| s.stage == name);
+        let merge = stage("merge").expect("merge stage recorded");
+        assert_eq!(merge.count, a.epochs as u64, "every epoch merges");
+        assert_eq!(
+            merge.p99_ns, 0,
+            "in-publication stages are zero-width under the driven clock"
+        );
+        let batch = stage("arrival_batch").expect("arrival_batch stage recorded");
+        assert_eq!(
+            batch.p50_ns, 250_000,
+            "inter-epoch latency is exactly the driver's clock step"
+        );
+        // And the emitted section round-trips through the validator.
+        let doc = results_json(
+            &cfg,
+            "deadbeef",
+            &[],
+            OptionalGrids {
+                trace: Some(&a),
+                ..OptionalGrids::default()
+            },
+        );
+        let parsed = json::parse(&doc.to_pretty()).expect("emitted JSON must parse");
+        let problems = validate_baseline(&parsed);
+        // The empty scenarios array is the only complaint expected here.
+        assert!(
+            problems.iter().all(|p| p.contains("scenarios")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_malformed_trace() {
+        let doc = json::parse(
+            r#"{
+                "schema": "gps-bench/bench-baseline/v1",
+                "git_rev": "deadbeef",
+                "mode": "quick",
+                "scenarios": [],
+                "trace": {
+                    "scenario": "trace/x",
+                    "edges": 10,
+                    "epochs": 0,
+                    "stable_fingerprint": "nope",
+                    "stages": [{"stage": "arrival_batch", "count": 3, "p50_ns": -1, "p99_ns": 0}]
+                }
+            }"#,
+        )
+        .unwrap();
+        let problems = validate_baseline(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("trace section has invalid 'epochs'")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("trace stable_fingerprint is not a 64-bit hex digest")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("trace stage 0 has invalid 'p50_ns'")));
+        assert!(problems.iter().any(|p| p.contains("missing 'merge'")));
     }
 
     #[test]

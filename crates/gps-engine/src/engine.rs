@@ -243,6 +243,11 @@ pub struct ShardReport {
     pub shard: usize,
     /// Arrivals this shard has consumed (its substream position).
     pub arrivals: u64,
+    /// Arrivals consumed since this shard's previous report — the size of
+    /// the batch that triggered this one. Zero for the unconditional
+    /// start-of-worker report. Provenance traces use it to attribute the
+    /// arrival-batch stage of an epoch.
+    pub batch_arrivals: u64,
     /// The shard's in-stream estimates of *its own* (monochromatic)
     /// subgraph counts — merge across shards with
     /// [`TriadEstimates::merged_colored`].
@@ -501,6 +506,7 @@ impl<W: EdgeWeight + Send + 'static> WorkerLoop<W> {
                             at: arrivals,
                             kind: EventKind::CheckpointWrite,
                             shard: Some(self.shard as u32),
+                            epoch: None,
                             detail: bytes.len() as u64,
                         });
                         *locked(&self.ckpt) = bytes;
@@ -1152,6 +1158,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             at,
             kind: EventKind::ShardRestart,
             shard: Some(shard as u32),
+            epoch: None,
             detail: lost,
         });
         // Re-anchor the slot at the state actually restarted from (if the
@@ -1209,6 +1216,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ShardedGps<W> {
             at: routed,
             kind: EventKind::StragglerAbandoned,
             shard: Some(s as u32),
+            epoch: None,
             detail: lost,
         });
         // Detach the stuck thread: it holds only channel clones and the

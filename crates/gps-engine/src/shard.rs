@@ -55,6 +55,9 @@ enum Inner<W> {
         hook: Option<EpochHook>,
         every: u64,
         next: u64,
+        /// Arrival watermark of the previous report, for per-report batch
+        /// attribution in `ShardReport::batch_arrivals`.
+        last_report: u64,
     },
 }
 
@@ -79,7 +82,8 @@ impl<W: EdgeWeight> ShardRunner<W> {
         hook: Option<EpochHook>,
         every: u64,
     ) -> Self {
-        let next = sampler.arrivals() + every;
+        let start = sampler.arrivals();
+        let next = start + every;
         let est = match state {
             Some(state) => InStreamEstimator::resume(sampler, state),
             None => InStreamEstimator::from_sampler(sampler),
@@ -91,6 +95,7 @@ impl<W: EdgeWeight> ShardRunner<W> {
                 hook,
                 every,
                 next,
+                last_report: start,
             },
         }
     }
@@ -211,6 +216,7 @@ impl<W: EdgeWeight> ShardRunner<W> {
             hook(ShardReport {
                 shard: *shard,
                 arrivals: est.sampler().arrivals(),
+                batch_arrivals: 0,
                 estimates: est.estimates(),
             });
         }
@@ -225,6 +231,7 @@ impl<W: EdgeWeight> ShardRunner<W> {
             hook: Some(hook),
             every,
             next,
+            last_report,
         } = &mut self.inner
         {
             let arrivals = est.sampler().arrivals();
@@ -232,9 +239,12 @@ impl<W: EdgeWeight> ShardRunner<W> {
                 while *next <= arrivals {
                     *next += *every;
                 }
+                let batch_arrivals = arrivals - *last_report;
+                *last_report = arrivals;
                 hook(ShardReport {
                     shard: *shard,
                     arrivals,
+                    batch_arrivals,
                     estimates: est.estimates(),
                 });
             }
@@ -246,13 +256,19 @@ impl<W: EdgeWeight> ShardRunner<W> {
         match self.inner {
             Inner::Plain(sampler) => (sampler, None, None),
             Inner::Live {
-                shard, est, hook, ..
+                shard,
+                est,
+                hook,
+                last_report,
+                ..
             } => {
                 let finals = est.estimates();
                 if let Some(hook) = hook {
+                    let arrivals = est.sampler().arrivals();
                     hook(ShardReport {
                         shard,
-                        arrivals: est.sampler().arrivals(),
+                        arrivals,
+                        batch_arrivals: arrivals - last_report,
                         estimates: finals,
                     });
                 }

@@ -14,7 +14,11 @@ use crate::clock::{duration_ns, Clock};
 use crate::epoch::{EpochCell, EstimateEpoch};
 use gps_core::{Estimate, TriadEstimates};
 use gps_engine::ShardReport;
-use gps_telemetry::{Counter, Event, EventKind, Histogram, Registry, Stability, TelemetrySnapshot};
+use gps_telemetry::{
+    Counter, EpochTrace, Event, EventKind, FlightRecorder, Histogram, Registry, Stability,
+    TelemetrySnapshot, TraceCause,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -119,6 +123,29 @@ struct BoardState {
     /// Whether the current gate arming already expired (first degraded
     /// publication fired a `GateExpiry` event); reset by [`Board::reopen`].
     gate_expired: bool,
+    /// Clock instant of the first report withheld since the last
+    /// publication — the start of the `gate_wait` trace stage. `None`
+    /// when nothing is currently withheld.
+    gate_wait_from: Option<u64>,
+}
+
+/// What triggered a publication: the report that tipped the board over,
+/// carried into the epoch's provenance trace. (The triggering shard
+/// itself is identifiable as the newest `report_mark`.)
+struct Trigger {
+    batch_arrivals: u64,
+    prev_report_at: Option<u64>,
+}
+
+/// Publication context threaded from the report/close entry point down to
+/// [`Board::publish_epoch`], for trace stamping.
+struct PublishCtx {
+    /// Report-arrival instant captured by the caller.
+    now: u64,
+    cause: TraceCause,
+    trigger: Option<Trigger>,
+    t_merge_start: u64,
+    t_merge_end: u64,
 }
 
 /// Shared epoch board (see module docs).
@@ -130,6 +157,12 @@ pub(crate) struct Board {
     clock: Clock,
     /// Serve-layer metric handles on the registry shared with the engine.
     metrics: BoardMetrics,
+    /// Recent epoch provenance traces (bounded, lossy-counted).
+    recorder: FlightRecorder,
+    /// Highest epoch version whose first observation has been stamped
+    /// into the recorder — readers race through a CAS on this word so
+    /// only the first observer of a version takes the recorder lock.
+    observed: AtomicU64,
 }
 
 impl Board {
@@ -168,10 +201,13 @@ impl Board {
                 lost: None,
                 was_degraded: false,
                 gate_expired: false,
+                gate_wait_from: None,
             }),
             wake: Condvar::new(),
             clock,
             metrics: BoardMetrics::register(registry),
+            recorder: FlightRecorder::default(),
+            observed: AtomicU64::new(0),
         }
     }
 
@@ -236,16 +272,24 @@ impl Board {
         let slot = report.shard;
         assert!(slot < state.per_shard.len(), "report from unknown shard");
         let now = self.clock.now_ns();
+        let prev_report_at = state.reported_at[slot];
         state.per_shard[slot] = Some(report);
         state.reported_at[slot] = Some(now);
+        let trigger = Some(Trigger {
+            batch_arrivals: report.batch_arrivals,
+            prev_report_at,
+        });
         let live = self.live_shards(&state, now);
         if live.len() == state.per_shard.len() {
-            self.publish_full(&mut state, now);
+            self.publish_full(&mut state, now, TraceCause::Full, trigger);
         } else if state.gate_deadline.is_some_and(|d| now >= d) && !live.is_empty() {
-            self.publish_partial(&mut state, &live, now);
+            self.publish_partial(&mut state, &live, now, trigger);
+        } else {
+            // Still inside the gate window with shards missing — keep
+            // withholding until they report or the deadline passes. The
+            // first withheld report starts the `gate_wait` trace stage.
+            state.gate_wait_from.get_or_insert(now);
         }
-        // Otherwise: still inside the gate window with shards missing —
-        // keep withholding until they report or the deadline passes.
     }
 
     /// Generation the board currently accepts reports for.
@@ -280,7 +324,13 @@ impl Board {
     /// holds the lock). Shards that never reported merge as zero estimates
     /// at position 0 — exactly their state — so this is also the forced
     /// final publication of [`Board::close`].
-    fn publish_full(&self, state: &mut BoardState, now: u64) {
+    fn publish_full(
+        &self,
+        state: &mut BoardState,
+        now: u64,
+        cause: TraceCause,
+        trigger: Option<Trigger>,
+    ) {
         let parts: Vec<TriadEstimates> = state
             .per_shard
             .iter()
@@ -292,8 +342,17 @@ impl Board {
             .map(|r| r.map(|r| r.arrivals).unwrap_or(0))
             .sum();
         let contributing = full_mask(parts.len());
+        let t_merge_start = self.clock.now_ns();
         let estimates = TriadEstimates::merged_colored(&parts);
-        self.publish_epoch(state, edges_seen, contributing, estimates, now);
+        let t_merge_end = self.clock.now_ns();
+        let ctx = PublishCtx {
+            now,
+            cause,
+            trigger,
+            t_merge_start,
+            t_merge_end,
+        };
+        self.publish_epoch(state, edges_seen, contributing, estimates, ctx);
     }
 
     /// Merges only the `live` shards' snapshots and publishes a degraded
@@ -303,7 +362,13 @@ impl Board {
     /// widened variances — and the watermark covers the reporting
     /// substreams only, so it can sit below a prior full epoch's until the
     /// silent shard returns.
-    fn publish_partial(&self, state: &mut BoardState, live: &[usize], now: u64) {
+    fn publish_partial(
+        &self,
+        state: &mut BoardState,
+        live: &[usize],
+        now: u64,
+        trigger: Option<Trigger>,
+    ) {
         let parts: Vec<TriadEstimates> = live
             .iter()
             .filter_map(|&i| state.per_shard[i].map(|r| r.estimates))
@@ -313,19 +378,30 @@ impl Board {
             .filter_map(|&i| state.per_shard[i].map(|r| r.arrivals))
             .sum();
         let contributing = live.iter().fold(0u64, |mask, &i| mask | shard_bit(i));
+        let t_merge_start = self.clock.now_ns();
         let estimates = TriadEstimates::merged_colored_partial(&parts, state.per_shard.len());
-        self.publish_epoch(state, edges_seen, contributing, estimates, now);
+        let t_merge_end = self.clock.now_ns();
+        let ctx = PublishCtx {
+            now,
+            cause: TraceCause::GateExpired,
+            trigger,
+            t_merge_start,
+            t_merge_end,
+        };
+        self.publish_epoch(state, edges_seen, contributing, estimates, ctx);
     }
 
-    /// Stamps, records, and fans out one epoch (caller holds the lock).
+    /// Stamps, records, and fans out one epoch (caller holds the lock),
+    /// then records its provenance trace in the flight recorder.
     fn publish_epoch(
         &self,
         state: &mut BoardState,
         edges_seen: u64,
         contributing: u64,
         estimates: TriadEstimates,
-        now: u64,
+        ctx: PublishCtx,
     ) {
+        let now = ctx.now;
         state.version += 1;
         let epoch = EstimateEpoch {
             version: state.version,
@@ -339,11 +415,12 @@ impl Board {
         // Watermark staleness: the age of the oldest report this epoch
         // merges — zero when every contributor reported "now" (and for the
         // forced close-time epoch of a board nobody ever reported to).
-        let oldest = (0..state.per_shard.len())
+        let contributing_at: Vec<u64> = (0..state.per_shard.len())
             .filter(|&i| contributing & shard_bit(i) != 0)
             .filter_map(|i| state.reported_at[i])
-            .min()
-            .unwrap_or(now);
+            .collect();
+        let oldest = contributing_at.iter().copied().min().unwrap_or(now);
+        let newest = contributing_at.iter().copied().max().unwrap_or(now);
         self.metrics.staleness.record(now.saturating_sub(oldest));
         let shards = state.per_shard.len();
         if contributing != full_mask(shards) {
@@ -358,6 +435,7 @@ impl Board {
                     at: now,
                     kind: EventKind::GateExpiry,
                     shard: None,
+                    epoch: Some(state.version),
                     detail: missing,
                 });
             }
@@ -367,6 +445,7 @@ impl Board {
                     at: now,
                     kind: EventKind::DegradedEpoch,
                     shard: None,
+                    epoch: Some(state.version),
                     detail: missing,
                 });
             }
@@ -376,6 +455,7 @@ impl Board {
                 at: now,
                 kind: EventKind::EpochRecovered,
                 shard: None,
+                epoch: Some(state.version),
                 detail: 0,
             });
         }
@@ -392,7 +472,102 @@ impl Board {
             }
             Err(TrySendError::Disconnected(_)) => false,
         });
+        // Provenance trace: the epoch's pipeline timeline, in stage
+        // order. Every instant comes from the board clock, so manual
+        // clocks and virtual time pin traces bit-identically.
+        let t_publish_end = self.clock.now_ns();
+        let mut trace = EpochTrace::new(
+            state.version,
+            edges_seen,
+            shards.min(u32::MAX as usize) as u32,
+            contributing,
+        );
+        trace.cause = ctx.cause;
+        trace.report_skew_ns = newest.saturating_sub(oldest);
+        trace.published_at_ns = t_publish_end;
+        for i in 0..state.per_shard.len() {
+            if contributing & shard_bit(i) == 0 {
+                continue;
+            }
+            if let (Some(at), Some(r)) = (state.reported_at[i], state.per_shard[i]) {
+                trace.mark(
+                    "report_mark",
+                    at,
+                    Some(i.min(u32::MAX as usize) as u32),
+                    r.arrivals,
+                );
+            }
+        }
+        if let Some(t) = &ctx.trigger {
+            trace.stage(
+                "arrival_batch",
+                t.prev_report_at.unwrap_or(now),
+                now,
+                t.batch_arrivals,
+            );
+        }
+        let merged = u64::from(contributing.count_ones());
+        trace.stage("shard_report", oldest, newest, merged);
+        trace.stage(
+            "gate_wait",
+            state.gate_wait_from.take().unwrap_or(ctx.t_merge_start),
+            ctx.t_merge_start,
+            0,
+        );
+        trace.stage("merge", ctx.t_merge_start, ctx.t_merge_end, merged);
+        trace.stage(
+            "seqlock_publish",
+            ctx.t_merge_end,
+            t_publish_end,
+            state.subscribers.len() as u64,
+        );
+        self.recorder.record(trace);
         self.wake.notify_all();
+    }
+
+    /// Stamps the first observation of `epoch` into its provenance trace
+    /// (called from every reader path). The version CAS keeps the fast
+    /// path lock-free: only the first observer of a new version touches
+    /// the recorder mutex; later and out-of-order observations return
+    /// immediately.
+    pub(crate) fn observe(&self, epoch: &EstimateEpoch) {
+        loop {
+            // ordering: Relaxed — the word is a monotone version
+            // high-water mark used only to elect one marker; the recorder
+            // mutex serialises the trace mutation itself, and a stale
+            // read just retries the CAS.
+            let seen = self.observed.load(Ordering::Relaxed);
+            if epoch.version <= seen {
+                return;
+            }
+            if self
+                .observed
+                // ordering: Relaxed — see above; no payload is published
+                // through this word.
+                .compare_exchange(seen, epoch.version, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.recorder
+                    .mark_observed(epoch.version, self.clock.now_ns());
+                return;
+            }
+        }
+    }
+
+    /// Provenance trace for `version`, if it is still in the flight
+    /// recorder.
+    pub(crate) fn trace(&self, version: u64) -> Option<EpochTrace> {
+        self.recorder.trace(version)
+    }
+
+    /// The last `n` retained provenance traces, oldest first.
+    pub(crate) fn recent_traces(&self, n: usize) -> Vec<EpochTrace> {
+        self.recorder.latest(n)
+    }
+
+    /// Traces evicted from the flight recorder since the board was built.
+    pub(crate) fn traces_lost(&self) -> u64 {
+        self.recorder.lost()
     }
 
     /// Marks the producer finished: wakes all waiters and ends all
@@ -414,7 +589,7 @@ impl Board {
         }
         if state.latest.is_none() {
             let now = self.clock.now_ns();
-            self.publish_full(&mut state, now);
+            self.publish_full(&mut state, now, TraceCause::ForcedClose, None);
         }
         state.closed = true;
         state.subscribers.clear();
@@ -447,6 +622,7 @@ impl Board {
         let now = self.clock.now_ns();
         state.gate_deadline = state.gate_ns.map(|d| now.saturating_add(d));
         state.gate_expired = false;
+        state.gate_wait_from = None;
         // `state.lost` is deliberately kept: the restored engine registers
         // onto the same shared registry, so the counter handle is the same
         // and the serve-lifetime loss ledger stays cumulative across the
@@ -455,8 +631,14 @@ impl Board {
     }
 
     /// Latest epoch (lock-free; `None` before the first publication).
+    /// Reading it counts as observing it — the first reader of each
+    /// version stamps the trace's final pipeline stage.
     pub(crate) fn latest(&self) -> Option<EstimateEpoch> {
-        self.cell.load()
+        let epoch = self.cell.load();
+        if let Some(e) = &epoch {
+            self.observe(e);
+        }
+        epoch
     }
 
     /// Blocks until an epoch with `edges_seen >= n` is published and
@@ -467,6 +649,7 @@ impl Board {
         loop {
             if let Some(epoch) = state.latest {
                 if epoch.edges_seen >= n {
+                    self.observe(&epoch);
                     return Some(epoch);
                 }
             }
@@ -492,6 +675,7 @@ impl Board {
         loop {
             if let Some(epoch) = state.latest {
                 if epoch.edges_seen >= n {
+                    self.observe(&epoch);
                     return Some(epoch);
                 }
             }
@@ -564,6 +748,7 @@ mod tests {
         ShardReport {
             shard,
             arrivals,
+            batch_arrivals: arrivals,
             estimates: TriadEstimates::from_parts(
                 Estimate {
                     value: tri,
@@ -863,5 +1048,114 @@ mod tests {
         assert!(board
             .wait_for_edges_timeout(1_000, Duration::ZERO)
             .is_none());
+    }
+
+    #[test]
+    fn manual_clock_pins_the_exact_trace_timeline() {
+        use gps_telemetry::StageSpan;
+        let board = manual_board(2, None);
+        // t = 0: shard 0 reports; the ungated board withholds until every
+        // shard has spoken, which starts the gate_wait stage.
+        board.publish_report(0, report(0, 100, 1.0));
+        assert!(board.trace(1).is_none(), "no epoch, no trace");
+        board.advance_clock(Duration::from_nanos(10));
+        // t = 10: shard 1 reports and the full merge publishes.
+        board.publish_report(0, report(1, 50, 2.0));
+        // Reading the epoch stamps the first-observation stage at t = 10.
+        assert_eq!(board.latest().unwrap().version, 1);
+        let trace = board.trace(1).expect("epoch 1 is in the recorder");
+        assert_eq!(trace.cause, TraceCause::Full);
+        assert_eq!(trace.contributing, 0b11);
+        assert_eq!(trace.report_skew_ns, 10);
+        assert_eq!(trace.first_observed_ns, Some(10));
+        assert_eq!(
+            trace.spans,
+            vec![
+                // Shard 1's first report has no predecessor: the batch
+                // span collapses to the report instant.
+                StageSpan {
+                    stage: "arrival_batch",
+                    start_ns: 10,
+                    end_ns: 10,
+                    detail: 50,
+                },
+                StageSpan {
+                    stage: "shard_report",
+                    start_ns: 0,
+                    end_ns: 10,
+                    detail: 2,
+                },
+                StageSpan {
+                    stage: "gate_wait",
+                    start_ns: 0,
+                    end_ns: 10,
+                    detail: 0,
+                },
+                StageSpan {
+                    stage: "merge",
+                    start_ns: 10,
+                    end_ns: 10,
+                    detail: 2,
+                },
+                StageSpan {
+                    stage: "seqlock_publish",
+                    start_ns: 10,
+                    end_ns: 10,
+                    detail: 0,
+                },
+                StageSpan {
+                    stage: "first_observation",
+                    start_ns: 10,
+                    end_ns: 10,
+                    detail: 0,
+                },
+            ]
+        );
+        let marks: Vec<(u64, Option<u32>, u64)> = trace
+            .marks
+            .iter()
+            .map(|m| (m.at_ns, m.shard, m.detail))
+            .collect();
+        assert_eq!(marks, vec![(0, Some(0), 100), (10, Some(1), 50)]);
+        // A second publication attributes the triggering shard's batch.
+        board.advance_clock(Duration::from_nanos(5));
+        board.publish_report(0, report(0, 164, 1.0));
+        let t2 = board.trace(2).expect("epoch 2 traced");
+        let batch = t2.span("arrival_batch").expect("arrival_batch recorded");
+        assert_eq!((batch.start_ns, batch.end_ns, batch.detail), (0, 15, 164));
+        assert_eq!(
+            t2.stage_ns("gate_wait"),
+            Some(0),
+            "nothing was withheld before epoch 2"
+        );
+        assert_eq!(
+            board
+                .recent_traces(10)
+                .iter()
+                .map(|t| t.version)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(board.traces_lost(), 0);
+    }
+
+    #[test]
+    fn degraded_trace_names_the_gate_expiry_and_missing_shards() {
+        let board = manual_board(3, Some(Duration::ZERO));
+        // Zero gate: the lone reporter publishes a degraded epoch at once.
+        board.publish_report(0, report(1, 40, 6.0));
+        let trace = board.trace(1).expect("degraded epoch traced");
+        assert_eq!(trace.cause, TraceCause::GateExpired);
+        assert!(trace.degraded());
+        assert_eq!(trace.missing_shards(), vec![0, 2]);
+        assert_eq!(trace.contributing, 0b010);
+        let json = trace.to_json();
+        assert!(json.contains("\"cause\":\"gate_expired\",\"degraded\":true"));
+        // A board closed before any publication traces a forced close.
+        let empty = manual_board(1, None);
+        empty.close();
+        let t = empty.trace(1).expect("forced close-time epoch traced");
+        assert_eq!(t.cause, TraceCause::ForcedClose);
+        assert!(t.span("arrival_batch").is_none(), "no triggering report");
     }
 }

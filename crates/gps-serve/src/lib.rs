@@ -43,7 +43,12 @@
 //! and [`ServeEngine::telemetry`] / [`QueryHandle::telemetry`] snapshot it
 //! all torn-read-free. Every epoch also stamps the engine's lost-arrivals
 //! ledger ([`EstimateEpoch::lost_arrivals`]), so a degraded epoch is
-//! self-describing. The metric catalog lives in `docs/observability.md`.
+//! self-describing. Every publication also records a per-stage provenance
+//! trace (arrival batch → shard report → gate wait → merge → seqlock
+//! publish → first observation) into a bounded flight recorder, queried
+//! with [`QueryHandle::trace`], and [`ServeEngine::start_scrape`] serves
+//! `/metrics`, `/health`, and `/trace/<version>` over loopback HTTP. The
+//! metric, event, and trace-stage catalogs live in `docs/observability.md`.
 //!
 //! ## Consistency model
 //!
@@ -62,8 +67,12 @@
 mod board;
 mod clock;
 mod epoch;
+mod scrape;
 mod serve;
 
 pub use clock::ClockMode;
 pub use epoch::EstimateEpoch;
+// Trace types cross this crate's public API (`QueryHandle::trace`), so
+// re-export them for callers that don't depend on gps-telemetry directly.
+pub use gps_telemetry::{EpochTrace, StageSpan, TraceCause, TraceMark};
 pub use serve::{EpochSubscription, QueryHandle, ServeConfig, ServeEngine};

@@ -1,0 +1,212 @@
+//! The std-only telemetry scrape endpoint: a tiny `TcpListener` HTTP
+//! responder over the serving stack's shared registry and flight
+//! recorder.
+//!
+//! Three paths, all `GET`, all `Connection: close`:
+//!
+//! - `/metrics` — the Prometheus-style text exposition
+//!   ([`gps_telemetry::TelemetrySnapshot::to_text`]).
+//! - `/health` — a one-object JSON summary: board liveness, the latest
+//!   epoch's identity fields, the degraded bitmask (configured shards the
+//!   epoch did *not* merge), and the engine's loss/restart ledgers read
+//!   from the shared registry.
+//! - `/trace/<version>` — the epoch's provenance trace from the flight
+//!   recorder ([`gps_telemetry::EpochTrace::to_json`]), `404` once
+//!   evicted.
+//!
+//! The responder is deliberately minimal — one accept loop, bounded
+//! request reads, no keep-alive — because its job is to make the existing
+//! telemetry *scrapeable*, not to be a web server. It runs on its own
+//! thread and is lifecycle-tied to the [`crate::ServeEngine`] that
+//! started it: dropping the engine (or starting a replacement endpoint)
+//! stops the loop and joins the thread. Nothing here reads a wall clock;
+//! the only time source is the board's clock hook, so traces served over
+//! HTTP are the same bytes a manual-clock test pins.
+
+use crate::board::Board;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop dozes when no connection is pending. Scrapes
+/// are seconds apart in practice; 2 ms keeps shutdown latency and idle
+/// cost both negligible.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Per-connection read budget: request line + headers. Anything larger
+/// than this is not a scrape.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// A running scrape endpoint (see [module docs](self)). Dropping it
+/// stops the accept loop and joins the serving thread.
+pub(crate) struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and starts the accept loop over `board`.
+    pub(crate) fn bind(board: Arc<Board>, addr: &str) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the loop can notice the stop flag; the
+        // poll interval bounds both shutdown latency and idle wakeups.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("gps-scrape".into())
+            .spawn(move || accept_loop(&listener, &board, &flag))?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        // ordering: Relaxed — plain shutdown flag; the accept loop reads
+        // it between connections and no data is published through it.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, board: &Arc<Board>, stop: &AtomicBool) {
+    // ordering: Relaxed — see `ScrapeServer::drop`.
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // A misbehaving client only fails its own connection.
+                let _ = serve_connection(stream, board);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (connection reset mid-handshake):
+            // back off and keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, board: &Board) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = route(board, &path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request headers (or the byte budget) and
+/// returns the request-line path; anything unparseable routes to 404.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // A slow client hitting the read timeout still gets whatever
+            // routing its bytes so far allow (typically a 404).
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return Ok(String::new());
+    }
+    Ok(path.to_string())
+}
+
+/// Maps a request path to `(status, content type, body)`.
+fn route(board: &Board, path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            board.telemetry().to_text(),
+        ),
+        "/health" => ("200 OK", "application/json", health_json(board)),
+        _ => {
+            if let Some(version) = path.strip_prefix("/trace/") {
+                if let Ok(version) = version.parse::<u64>() {
+                    if let Some(trace) = board.trace(version) {
+                        return ("200 OK", "application/json", trace.to_json());
+                    }
+                    return (
+                        "404 Not Found",
+                        "application/json",
+                        format!("{{\"error\":\"trace not retained\",\"version\":{version}}}"),
+                    );
+                }
+            }
+            (
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"unknown path\"}".to_string(),
+            )
+        }
+    }
+}
+
+/// The `/health` body: board liveness, latest-epoch identity, the
+/// degraded bitmask, and the engine ledgers from the shared registry.
+fn health_json(board: &Board) -> String {
+    let snap = board.telemetry();
+    let counter = |name: &str| snap.counter_value(name).unwrap_or(0);
+    let latest = board.latest();
+    let (version, edges_seen, shards, contributing) = latest
+        .map(|e| (e.version, e.edges_seen, e.shards, e.contributing))
+        .unwrap_or((0, 0, 0, 0));
+    let full = if shards >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << shards) - 1
+    };
+    let degraded_mask = full & !contributing;
+    format!(
+        "{{\"closed\":{},\"version\":{},\"edges_seen\":{},\"shards\":{},\
+         \"contributing\":{},\"degraded\":{},\"degraded_mask\":{},\
+         \"lost_arrivals\":{},\"restarts\":{},\"epochs_published\":{},\
+         \"degraded_epochs\":{},\"gate_expiries\":{},\"traces_lost\":{},\"events_lost\":{}}}",
+        board.is_closed(),
+        version,
+        edges_seen,
+        shards,
+        contributing,
+        degraded_mask != 0,
+        degraded_mask,
+        counter("gps_engine_lost_arrivals_total"),
+        counter("gps_engine_restarts_total"),
+        counter("gps_serve_epochs_published_total"),
+        counter("gps_serve_degraded_epochs_total"),
+        counter("gps_serve_gate_expiries_total"),
+        board.traces_lost(),
+        snap.events_lost,
+    )
+}

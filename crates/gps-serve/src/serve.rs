@@ -3,13 +3,15 @@
 use crate::board::Board;
 use crate::clock::{Clock, ClockMode};
 use crate::epoch::EstimateEpoch;
+use crate::scrape::ScrapeServer;
 use gps_core::weights::EdgeWeight;
 use gps_core::TriadEstimates;
 use gps_engine::snapshot::SavedEngine;
 use gps_engine::{EngineConfig, EngineHealth, EpochHook, FaultPlan, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
-use gps_telemetry::{Registry, TelemetrySnapshot};
+use gps_telemetry::{EpochTrace, Registry, TelemetrySnapshot};
+use std::net::SocketAddr;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,6 +87,8 @@ pub struct ServeEngine<W> {
     engine: ShardedGps<W>,
     board: Arc<Board>,
     subscribe_depth: usize,
+    /// Running scrape endpoint, if started; stops when the engine drops.
+    scrape: Option<ScrapeServer>,
 }
 
 impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
@@ -147,6 +151,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
             engine,
             board,
             subscribe_depth: cfg.subscribe_depth,
+            scrape: None,
         }
     }
 
@@ -199,6 +204,7 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
             engine,
             board,
             subscribe_depth: handle.subscribe_depth,
+            scrape: None,
         }
     }
 
@@ -329,6 +335,34 @@ impl<W: EdgeWeight + Clone + Send + 'static> ServeEngine<W> {
     pub fn advance_clock(&self, d: Duration) -> bool {
         self.board.advance_clock(d)
     }
+
+    /// Starts (or replaces) the telemetry scrape endpoint on `addr` —
+    /// e.g. `"127.0.0.1:0"` for an ephemeral loopback port — and returns
+    /// the bound address. The endpoint serves `GET /metrics` (text
+    /// exposition), `/health` (JSON summary with the degraded bitmask),
+    /// and `/trace/<version>` (flight-recorder JSON); see
+    /// `docs/observability.md` for the exact shapes. It runs on its own
+    /// thread over the shared board, keeps answering after
+    /// [`ServeEngine::finish`] (handles do too), and stops — thread
+    /// joined — when the engine drops or [`ServeEngine::stop_scrape`]
+    /// runs.
+    pub fn start_scrape(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let server = ScrapeServer::bind(self.board.clone(), addr)?;
+        let bound = server.local_addr();
+        self.scrape = Some(server);
+        Ok(bound)
+    }
+
+    /// Address of the running scrape endpoint, if one was started.
+    pub fn scrape_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::local_addr)
+    }
+
+    /// Stops the scrape endpoint and joins its thread. Idempotent; also
+    /// implied by dropping the engine.
+    pub fn stop_scrape(&mut self) {
+        self.scrape = None;
+    }
 }
 
 impl<W> Drop for ServeEngine<W> {
@@ -403,6 +437,27 @@ impl QueryHandle {
         self.board.is_closed()
     }
 
+    /// The provenance trace of epoch `version`, if it is still in the
+    /// flight recorder: the complete per-stage pipeline timeline
+    /// (arrival batch → shard report → gate wait → merge → seqlock
+    /// publish → first observation), per-shard report marks and skew,
+    /// and the degraded/partial-merge cause code. Timestamps come from
+    /// the board clock, so manual-clock runs pin traces bit-identically.
+    pub fn trace(&self, version: u64) -> Option<EpochTrace> {
+        self.board.trace(version)
+    }
+
+    /// The last `n` retained provenance traces, oldest first.
+    pub fn recent_traces(&self, n: usize) -> Vec<EpochTrace> {
+        self.board.recent_traces(n)
+    }
+
+    /// Traces evicted from the bounded flight recorder so far (the
+    /// recorder is lossy-counted, like the event ring).
+    pub fn traces_lost(&self) -> u64 {
+        self.board.traces_lost()
+    }
+
     /// Advances a [`ClockMode::Manual`] board clock by `d`; see
     /// [`ServeEngine::advance_clock`] (the board — and so the clock — is
     /// shared by every handle and the engine). `false` on the wall clock.
@@ -431,6 +486,7 @@ impl EpochSubscription {
         match self.rx.recv() {
             Ok(epoch) => {
                 self.last_version = epoch.version;
+                self.board.observe(&epoch);
                 Some(epoch)
             }
             Err(_) => self.final_drain(),
@@ -443,6 +499,7 @@ impl EpochSubscription {
         match self.rx.try_recv() {
             Ok(epoch) => {
                 self.last_version = epoch.version;
+                self.board.observe(&epoch);
                 Some(epoch)
             }
             Err(std::sync::mpsc::TryRecvError::Empty) => None,

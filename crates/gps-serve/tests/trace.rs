@@ -1,0 +1,238 @@
+//! Provenance tracing acceptance: the flight recorder's epoch timelines
+//! are **bit-reproducible** under the manual clock, degraded epochs name
+//! their cause and missing shards, and the scrape endpoint serves the
+//! whole story over loopback HTTP.
+//!
+//! The determinism contract mirrors the chaos suite's: every span
+//! timestamp comes from the board's clock hook, and in these tests the
+//! driver owns that clock — so two same-seed runs must agree on every
+//! trace to the byte, JSON rendering included. The committed seeds are
+//! shifted by `GPS_SEED_OFFSET` when set, so CI re-runs the suite under
+//! a small seed matrix.
+
+use gps_core::weights::UniformWeight;
+use gps_engine::{EngineConfig, FaultPlan};
+use gps_serve::{ClockMode, EstimateEpoch, ServeConfig, ServeEngine};
+use gps_stream::{gen, permuted};
+use gps_telemetry::{EpochTrace, TraceCause};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Suite seed: the committed base shifted by the CI matrix offset.
+fn seed(base: u64) -> u64 {
+    let offset = std::env::var("GPS_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    base + offset
+}
+
+/// One fully driven single-shard run: push one epoch-sized batch, wait
+/// for its epoch, advance the manual clock one fixed step — the same
+/// discipline `bench_baseline --trace` uses — then return every trace
+/// the flight recorder retained.
+fn traced_run(seed: u64, step_ns: u64) -> Vec<EpochTrace> {
+    let chunk = 32usize;
+    let mut edges = gen::collaboration(80, 70, (2, 4), 0.5, 13);
+    edges = permuted(&edges, seed);
+    edges.truncate(chunk * 6);
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: chunk,
+            epoch_every: chunk as u64,
+            ..EngineConfig::new(64, 1, seed)
+        },
+        subscribe_depth: 1024,
+        gate_timeout: None,
+        clock: ClockMode::Manual,
+    };
+    let mut serve = ServeEngine::with_config(cfg, UniformWeight);
+    let handle = serve.handle();
+    let mut pushed = 0u64;
+    for batch in edges.chunks(chunk) {
+        serve.push_batch(batch);
+        pushed += batch.len() as u64;
+        handle.wait_for_edges(pushed).expect("epoch publishes");
+        serve.advance_clock(Duration::from_nanos(step_ns));
+    }
+    serve.finish();
+    // Observe the drain-end epoch so its timeline is complete too.
+    handle.latest().expect("final epoch");
+    handle.recent_traces(64)
+}
+
+#[test]
+fn manual_clock_timelines_are_bit_identical_across_runs() {
+    let step = 100u64;
+    let a = traced_run(seed(41), step);
+    let b = traced_run(seed(41), step);
+    assert!(a.len() >= 7, "launch + 6 chunks + drain, got {}", a.len());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        // Everything in a manual-clock trace is a stable field: same
+        // seed must reproduce the rendering byte-for-byte.
+        assert_eq!(x.to_json(), y.to_json(), "epoch {} diverged", x.version);
+        assert_eq!(x.fingerprint(), y.fingerprint());
+    }
+    // Pin one mid-run epoch's exact timeline. Epoch 3 is the second
+    // chunk's: its batch spans exactly one clock step, and every
+    // in-publication stage is zero-width because the clock only moves
+    // between chunks.
+    let t = a.iter().find(|t| t.version == 3).expect("epoch 3 retained");
+    let stages: Vec<&str> = t.spans.iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            "arrival_batch",
+            "shard_report",
+            "gate_wait",
+            "merge",
+            "seqlock_publish",
+            "first_observation",
+        ]
+    );
+    assert_eq!(t.stage_ns("arrival_batch"), Some(step));
+    assert_eq!(t.stage_ns("merge"), Some(0));
+    assert_eq!(t.stage_ns("seqlock_publish"), Some(0));
+    assert_eq!(t.cause, TraceCause::Full);
+    assert_eq!(t.contributing, 0b1);
+    assert!(!t.degraded());
+    assert_eq!(t.first_observed_ns, Some(t.published_at_ns));
+    // The drain-end epoch publishes on engine close, full merge.
+    let last = a.last().expect("non-empty");
+    assert_eq!(last.cause, TraceCause::Full);
+}
+
+#[test]
+fn degraded_epoch_trace_names_the_cause_and_the_missing_shard() {
+    // The stalled-shard scenario from the serve suite: shard 1 parks for
+    // 400 ms of wall time while the 50 ms publication gate runs on
+    // frozen virtual time, so every epoch shard 0 publishes during the
+    // stall is degraded — and its trace must say why and who.
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: 8,
+            epoch_every: 16,
+            ..EngineConfig::new(60, 2, seed(5))
+        },
+        subscribe_depth: 4096,
+        gate_timeout: Some(Duration::from_millis(50)),
+        clock: ClockMode::Manual,
+    };
+    let faults = FaultPlan::new().stall_at(1, 1, 400);
+    let mut serve = ServeEngine::with_config_and_faults(cfg, UniformWeight, faults);
+    let handle = serve.handle();
+    let sub = handle.subscribe().expect("live engine");
+    handle.wait_for_edges(0).expect("launch epoch");
+    assert!(serve.advance_clock(Duration::from_millis(51)));
+    let edges = gen::collaboration(120, 100, (2, 4), 0.5, 13);
+    serve.push_stream(edges.iter().copied());
+    serve.finish();
+    let epochs: Vec<EstimateEpoch> = sub.collect();
+    let degraded = epochs
+        .iter()
+        .rev()
+        .find(|e| e.degraded() && e.contributing == 0b01)
+        .expect("the gate publishes shard-0-only epochs during the stall");
+    let trace = handle
+        .trace(degraded.version)
+        .expect("recent degraded epoch is still in the recorder");
+    assert_eq!(trace.cause, TraceCause::GateExpired);
+    assert!(trace.degraded());
+    assert_eq!(
+        trace.missing_shards(),
+        vec![1],
+        "the trace names the non-reporting shard"
+    );
+    assert_eq!(trace.contributing, 0b01);
+    let json = trace.to_json();
+    assert!(json.contains("\"cause\":\"gate_expired\",\"degraded\":true"));
+    // The recovered tail publishes full epochs with a full-cause trace.
+    let last = epochs.last().expect("finish publishes a final epoch");
+    assert!(!last.degraded());
+    let tail = handle.trace(last.version).expect("final epoch traced");
+    assert_eq!(tail.cause, TraceCause::Full);
+    assert_eq!(tail.missing_shards(), Vec::<u32>::new());
+}
+
+/// Minimal HTTP GET over a `TcpStream`; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint accepts");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("request written");
+    let mut response = String::new();
+    // `Connection: close` — read to EOF.
+    stream.read_to_string(&mut response).expect("response read");
+    let status = response.lines().next().unwrap_or("").to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn scrape_endpoint_serves_metrics_health_and_traces_over_loopback() {
+    let cfg = ServeConfig {
+        engine: EngineConfig {
+            batch: 16,
+            epoch_every: 16,
+            ..EngineConfig::new(64, 2, seed(23))
+        },
+        subscribe_depth: 1024,
+        gate_timeout: None,
+        clock: ClockMode::Manual,
+    };
+    let mut serve = ServeEngine::with_config(cfg, UniformWeight);
+    let addr = serve
+        .start_scrape("127.0.0.1:0")
+        .expect("loopback bind succeeds");
+    assert_eq!(serve.scrape_addr(), Some(addr));
+    let edges = gen::collaboration(100, 90, (2, 4), 0.5, 13);
+    serve.push_stream(edges.iter().copied());
+    serve.finish();
+    let epoch = serve.handle().latest().expect("final epoch");
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("gps_serve_epochs_published_total"));
+    assert!(body.contains("gps_engine_arrivals_total"));
+
+    let (status, body) = http_get(addr, "/health");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.starts_with('{') && body.ends_with('}'));
+    assert!(body.contains("\"closed\":true"));
+    assert!(body.contains(&format!("\"version\":{}", epoch.version)));
+    assert!(body.contains(&format!("\"edges_seen\":{}", epoch.edges_seen)));
+    assert!(body.contains("\"degraded\":false"));
+    assert!(body.contains("\"degraded_mask\":0"));
+
+    let (status, body) = http_get(addr, &format!("/trace/{}", epoch.version));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains(&format!("\"version\":{}", epoch.version)));
+    assert!(body.contains("\"spans\":[{\"stage\":"));
+    // The HTTP body is the same rendering the in-process query returns.
+    let trace = serve
+        .handle()
+        .trace(epoch.version)
+        .expect("final epoch traced");
+    assert_eq!(body, trace.to_json());
+
+    let (status, body) = http_get(addr, "/trace/999999");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(body.contains("\"error\":\"trace not retained\""));
+
+    let (status, body) = http_get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(body.contains("\"error\":\"unknown path\""));
+
+    // Lifecycle: dropping the engine stops the endpoint (thread joined,
+    // listener closed) — new connections must be refused.
+    drop(serve);
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "scrape endpoint must stop with its engine"
+    );
+}

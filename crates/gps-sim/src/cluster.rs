@@ -38,7 +38,10 @@ use gps_core::TriadEstimates;
 use gps_engine::{EdgePartitioner, ShardedGps};
 use gps_graph::types::Edge;
 use gps_graph::BackendKind;
-use gps_telemetry::{Event as TelemetryEvent, EventKind, Registry, Stability, TelemetrySnapshot};
+use gps_telemetry::{
+    EpochTrace, Event as TelemetryEvent, EventKind, Registry, Stability, TelemetrySnapshot,
+    TraceCause,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -192,6 +195,13 @@ pub struct SimOutcome {
     /// snapshot is deterministic *in its entirety* (events included) and is
     /// folded into [`SimOutcome::fingerprint`].
     pub telemetry: TelemetrySnapshot,
+    /// Per-publish provenance traces, one per entry of [`Self::epochs`],
+    /// stamped in virtual time with the sim's own stage names
+    /// (`sim_report_spread`: oldest → newest included report;
+    /// `sim_publish_wait`: newest report → publish instant). A partial
+    /// publish carries [`TraceCause::Partial`]. Deterministic like the
+    /// telemetry, and folded into [`SimOutcome::fingerprint`].
+    pub traces: Vec<EpochTrace>,
 }
 
 impl SimOutcome {
@@ -225,6 +235,9 @@ impl SimOutcome {
             // histogram bucket, and ring event of the run.
             self.telemetry.fingerprint(),
         ]);
+        // Every publish's full provenance trace (stage timings, skew,
+        // cause, contributing mask), each as its own JSON digest.
+        fp.extend(self.traces.iter().map(EpochTrace::fingerprint));
         fp
     }
 }
@@ -306,6 +319,7 @@ where
     let mut sched: Scheduler<Event> = Scheduler::new();
     let mut slots: Vec<Option<Slot>> = vec![None; cfg.shards];
     let mut epochs: Vec<EpochStats> = Vec::new();
+    let mut traces: Vec<EpochTrace> = Vec::new();
     let mut pushed = 0u64;
     // Single-threaded virtual-time run: every metric here is Stable by
     // construction (see `docs/observability.md`).
@@ -451,6 +465,7 @@ where
                                 at: now,
                                 kind: EventKind::DegradedEpoch,
                                 shard: None,
+                                epoch: Some(epochs.len() as u64 + 1),
                                 detail: (cfg.shards - reporting.len()) as u64,
                             });
                         }
@@ -460,9 +475,43 @@ where
                             at: now,
                             kind: EventKind::EpochRecovered,
                             shard: None,
+                            epoch: Some(epochs.len() as u64 + 1),
                             detail: 0,
                         });
                     }
+                    // The publish's provenance trace, in virtual time.
+                    // Distinct `sim_*` stage names keep the trace-name
+                    // registry honest about which layer records what.
+                    let oldest = reporting
+                        .iter()
+                        .map(|(_, s)| s.generated_at_ns)
+                        .min()
+                        .unwrap_or(now);
+                    let newest = reporting
+                        .iter()
+                        .map(|(_, s)| s.generated_at_ns)
+                        .max()
+                        .unwrap_or(now);
+                    let mut contributing = 0u64;
+                    for (leaf, _) in &reporting {
+                        contributing |= 1u64 << (*leaf).min(63);
+                    }
+                    let mut trace = EpochTrace::new(
+                        epochs.len() as u64 + 1,
+                        reporting.iter().map(|(_, s)| s.arrivals).sum(),
+                        cfg.shards.min(u32::MAX as usize) as u32,
+                        contributing,
+                    );
+                    trace.cause = if degraded {
+                        TraceCause::Partial
+                    } else {
+                        TraceCause::Full
+                    };
+                    trace.report_skew_ns = newest - oldest;
+                    trace.published_at_ns = now;
+                    trace.stage("sim_report_spread", oldest, newest, reporting.len() as u64);
+                    trace.stage("sim_publish_wait", newest, now, reporting.len() as u64);
+                    traces.push(trace);
                     epochs.push(EpochStats {
                         at_ns: now,
                         reporting: reporting.len(),
@@ -482,6 +531,7 @@ where
                     at: generated_at_ns,
                     kind: EventKind::ShardRestart,
                     shard: Some(shard.min(u32::MAX as usize) as u32),
+                    epoch: None,
                     detail: leaves[shard].lost(),
                 });
                 for report in leaves[shard].restore() {
@@ -561,6 +611,7 @@ where
         epochs,
         finished_at_ns,
         telemetry: registry.snapshot(),
+        traces,
     }
 }
 

@@ -7,7 +7,9 @@
 //! atomic [`Counter`]s, [`Gauge`]s, and log2-bucketed [`Histogram`]s, plus
 //! a bounded, lossy-counted structured [`EventRing`], snapshotted into an
 //! immutable [`TelemetrySnapshot`] with Prometheus-style text and JSON
-//! renderers.
+//! renderers. Per-epoch provenance lives next door: an [`EpochTrace`]
+//! records one epoch's pipeline stage timeline and the [`FlightRecorder`]
+//! ring retains the recent ones (see [`trace`](crate::EpochTrace)).
 //!
 //! ## Concurrency model
 //!
@@ -45,8 +47,12 @@ mod metric;
 mod registry;
 mod ring;
 mod snapshot;
+mod trace;
 
 pub use metric::{bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, Stability, BUCKETS};
 pub use registry::Registry;
 pub use ring::{Event, EventKind, EventRing, DEFAULT_EVENT_CAPACITY};
 pub use snapshot::{CounterSample, GaugeSample, HistogramSample, TelemetrySnapshot};
+pub use trace::{
+    EpochTrace, FlightRecorder, StageSpan, TraceCause, TraceMark, DEFAULT_TRACE_CAPACITY,
+};

@@ -171,6 +171,7 @@ mod tests {
             at: 9,
             kind: EventKind::ShardRestart,
             shard: Some(2),
+            epoch: None,
             detail: 0,
         });
         let snap = reg.snapshot();

@@ -65,6 +65,10 @@ pub struct Event {
     pub kind: EventKind,
     /// Originating shard, when the event is shard-scoped.
     pub shard: Option<u32>,
+    /// Epoch version the event belongs to, when one is in scope at the
+    /// emission site (publication-path events carry it; engine-side
+    /// events that fire between epochs do not).
+    pub epoch: Option<u64>,
     /// Kind-specific payload (bytes for checkpoints, missing-shard count
     /// for degraded epochs, zero when unused).
     pub detail: u64,
@@ -140,6 +144,7 @@ mod tests {
                 at: i,
                 kind: EventKind::CheckpointWrite,
                 shard: Some(0),
+                epoch: None,
                 detail: i * 10,
             });
         }

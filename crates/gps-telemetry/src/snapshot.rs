@@ -155,12 +155,17 @@ impl TelemetrySnapshot {
                 Some(s) => s.to_string(),
                 None => "-".to_string(),
             };
+            let epoch = match e.epoch {
+                Some(v) => v.to_string(),
+                None => "-".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "# event at={} kind={} shard={} detail={}",
+                "# event at={} kind={} shard={} epoch={} detail={}",
                 e.at,
                 e.kind.as_str(),
                 shard,
+                epoch,
                 e.detail
             );
         }
@@ -230,11 +235,15 @@ impl TelemetrySnapshot {
             }
             let _ = write!(
                 out,
-                "{{\"at\":{},\"kind\":\"{}\",\"shard\":{},\"detail\":{}}}",
+                "{{\"at\":{},\"kind\":\"{}\",\"shard\":{},\"epoch\":{},\"detail\":{}}}",
                 e.at,
                 e.kind.as_str(),
                 match e.shard {
                     Some(s) => s.to_string(),
+                    None => "null".to_string(),
+                },
+                match e.epoch {
+                    Some(v) => v.to_string(),
                     None => "null".to_string(),
                 },
                 e.detail
@@ -286,6 +295,7 @@ mod tests {
             at: 7,
             kind: EventKind::DegradedEpoch,
             shard: None,
+            epoch: Some(3),
             detail: 1,
         });
         reg
@@ -305,7 +315,7 @@ mod tests {
         assert!(text.contains("gps_demo_latency_ns_sum 6"));
         assert!(text.contains("gps_demo_latency_ns_count 3"));
         assert!(text.contains("gps_telemetry_events_lost_total 0"));
-        assert!(text.contains("# event at=7 kind=degraded_epoch shard=- detail=1"));
+        assert!(text.contains("# event at=7 kind=degraded_epoch shard=- epoch=3 detail=1"));
     }
 
     #[test]
@@ -316,7 +326,9 @@ mod tests {
             "\"name\":\"gps_demo_arrivals_total\",\"stability\":\"stable\",\"value\":10"
         ));
         assert!(json.contains("\"count\":3,\"sum\":6,\"buckets\":[[0,1],[2,2]]"));
-        assert!(json.contains("\"kind\":\"degraded_epoch\",\"shard\":null,\"detail\":1"));
+        assert!(
+            json.contains("\"kind\":\"degraded_epoch\",\"shard\":null,\"epoch\":3,\"detail\":1")
+        );
         assert!(json.contains("\"events_lost\":0"));
     }
 

@@ -1,0 +1,144 @@
+//! End-to-end smoke of the scrape endpoint: boot a `ServeEngine`, bind
+//! the loopback HTTP responder, and fetch all three paths with plain
+//! `TcpStream` GETs — exactly what a Prometheus scraper or a curl-armed
+//! operator would do.
+//!
+//! ```text
+//! cargo run --release --example scrape_smoke
+//! ```
+//!
+//! The run streams a small Holme–Kim graph through a 2-shard engine with
+//! `ServeEngine::start_scrape("127.0.0.1:0")` active, then validates the
+//! shapes documented in docs/observability.md:
+//!
+//! - `GET /metrics` — Prometheus text exposition (`# TYPE` headers, the
+//!   engine and serve counters).
+//! - `GET /health` — one-line JSON with the latest epoch's identity and
+//!   the degraded-shard bitmask.
+//! - `GET /trace/<version>` — the flight recorder's timeline for the
+//!   final epoch, byte-identical to `QueryHandle::trace`'s rendering.
+//! - Unknown paths and evicted versions answer 404 with a JSON error.
+//!
+//! Any shape violation panics (non-zero exit), so CI can run this
+//! example as the scrape-endpoint gate.
+
+use graph_priority_sampling::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Minimal HTTP/1.1 GET; returns (status line, body). The endpoint
+/// answers `Connection: close`, so reading to EOF delimits the response.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint accepts");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let status = response.lines().next().unwrap_or("").to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn expect(cond: bool, what: &str, got: &str) {
+    assert!(cond, "scrape smoke failed: {what}\n--- response ---\n{got}");
+}
+
+fn main() {
+    // 1. A short run with the endpoint up from the first edge.
+    let edges = gps_stream::gen::holme_kim(4_000, 4, 0.5, 7);
+    let stream = permuted(&edges, 99);
+    let mut serve = ServeEngine::new(1_500, TriangleWeight::default(), 42, 2);
+    let addr = serve
+        .start_scrape("127.0.0.1:0")
+        .expect("binding 127.0.0.1:0 succeeds");
+    println!("scrape endpoint: http://{addr}");
+    serve.push_stream(stream.iter().copied());
+    serve.finish();
+    let epoch = serve.handle().latest().expect("final epoch");
+
+    // 2. /metrics — Prometheus text exposition.
+    let (status, body) = http_get(addr, "/metrics");
+    expect(status == "HTTP/1.1 200 OK", "/metrics status", &status);
+    for needle in [
+        "# TYPE gps_engine_arrivals_total counter",
+        "gps_serve_epochs_published_total",
+    ] {
+        expect(body.contains(needle), needle, &body);
+    }
+    println!(
+        "GET /metrics         200, {} bytes of exposition",
+        body.len()
+    );
+
+    // 3. /health — single-line JSON summary.
+    let (status, body) = http_get(addr, "/health");
+    expect(status == "HTTP/1.1 200 OK", "/health status", &status);
+    expect(
+        body.starts_with('{') && body.trim_end().ends_with('}'),
+        "/health is a JSON object",
+        &body,
+    );
+    for needle in [
+        "\"closed\":true".to_owned(),
+        format!("\"version\":{}", epoch.version),
+        format!("\"edges_seen\":{}", epoch.edges_seen),
+        "\"degraded\":false".to_owned(),
+        "\"degraded_mask\":0".to_owned(),
+    ] {
+        expect(body.contains(&needle), &needle, &body);
+    }
+    println!("GET /health          200: {}", body.trim_end());
+
+    // 4. /trace/<version> — the final epoch's flight-recorder timeline,
+    //    byte-identical to the in-process query.
+    let (status, body) = http_get(addr, &format!("/trace/{}", epoch.version));
+    expect(status == "HTTP/1.1 200 OK", "/trace status", &status);
+    let in_process = serve
+        .handle()
+        .trace(epoch.version)
+        .expect("final epoch is retained")
+        .to_json();
+    expect(
+        body == in_process,
+        "/trace matches QueryHandle::trace",
+        &body,
+    );
+    println!(
+        "GET /trace/{:<8} 200, {} bytes of timeline",
+        epoch.version,
+        body.len()
+    );
+
+    // 5. The 404 shapes.
+    let (status, body) = http_get(addr, "/trace/18446744073709551615");
+    expect(
+        status == "HTTP/1.1 404 Not Found",
+        "evicted trace 404s",
+        &status,
+    );
+    expect(
+        body.contains("\"error\""),
+        "404 body is a JSON error",
+        &body,
+    );
+    let (status, _) = http_get(addr, "/nope");
+    expect(
+        status == "HTTP/1.1 404 Not Found",
+        "unknown path 404s",
+        &status,
+    );
+    println!("GET /trace/<gone>    404   GET /nope  404");
+
+    // 6. Lifecycle: the endpoint dies with its engine.
+    drop(serve);
+    expect(
+        TcpStream::connect(addr).is_err(),
+        "endpoint refuses connections after engine drop",
+        "connect succeeded",
+    );
+    println!("endpoint stopped with the engine — scrape smoke OK");
+}

@@ -74,7 +74,10 @@ pub mod prelude {
     };
     pub use gps_engine::{self, EngineConfig, ShardedGps};
     pub use gps_graph::{self, CsrGraph, Edge, IncrementalCounter, NodeId};
-    pub use gps_serve::{self, EstimateEpoch, QueryHandle, ServeConfig, ServeEngine};
+    pub use gps_serve::{
+        self, ClockMode, EpochTrace, EstimateEpoch, QueryHandle, ServeConfig, ServeEngine,
+        TraceCause,
+    };
     pub use gps_stream::{self, batched, permuted, Checkpoints};
 }
 
